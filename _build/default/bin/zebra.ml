@@ -1,0 +1,209 @@
+(* The zebra CLI: run crowdsourcing tasks on a local simulated chain.
+
+     zebra demo                         quickstart task, verbose
+     zebra annotate -n 5 --budget 150   one image-annotation task
+     zebra auction -k 3 --bids 7,2,9,4  reverse auction
+     zebra inspect                      circuit/system parameters
+*)
+
+open Cmdliner
+open Zebralancer
+open Zebra_chain
+
+let seed_arg =
+  let doc = "Deterministic seed for the whole run (chain, keys, proofs)." in
+  Arg.(value & opt string "zebra-cli" & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let quiet_arg =
+  let doc = "Only print the final settlement." in
+  Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
+
+let log fmt = Printf.printf (fmt ^^ "\n%!")
+
+let settle sys (task : Requester.task) wallets rewards answers ~quiet =
+  if not quiet then log "reward instruction verified on-chain";
+  List.iteri
+    (fun i w ->
+      log "worker %d answered %-3d -> paid %4d  (balance %d)" (i + 1) (List.nth answers i)
+        rewards.(i)
+        (Network.balance sys.Protocol.net (Wallet.address w)))
+    wallets;
+  log "requester refund: %d"
+    (Network.balance sys.Protocol.net (Wallet.address task.Requester.wallet))
+
+let run_majority ~seed ~quiet ~n ~budget ~choices ~answers =
+  let sys = Protocol.create_system ~seed () in
+  if not quiet then
+    log "chain up (%d nodes); CPLA circuit: %d constraints" (Network.num_nodes sys.Protocol.net)
+      (Zebra_anonauth.Cpla.circuit_size sys.Protocol.cpla);
+  let answers =
+    match answers with
+    | Some a -> a
+    | None -> List.init n (fun i -> if (i + 1) mod 4 = 0 then 1 mod choices else 0)
+  in
+  if List.length answers <> n then failwith "need exactly n answers";
+  let task, wallets, rewards =
+    Protocol.run_task sys ~policy:(Policy.Majority { choices }) ~budget ~answers
+  in
+  settle sys task wallets rewards answers ~quiet;
+  `Ok ()
+
+let ints_of_string s =
+  try List.map int_of_string (String.split_on_char ',' s)
+  with _ -> failwith "expected a comma-separated list of integers"
+
+(* --- demo --- *)
+
+let demo_cmd =
+  let run seed quiet = run_majority ~seed ~quiet ~n:3 ~budget:90 ~choices:4 ~answers:(Some [ 1; 1; 2 ]) in
+  let doc = "Run the quickstart task: 3 workers, majority vote, budget 90." in
+  Cmd.v (Cmd.info "demo" ~doc) Term.(ret (const run $ seed_arg $ quiet_arg))
+
+(* --- annotate --- *)
+
+let annotate_cmd =
+  let n_arg =
+    Arg.(value & opt int 5 & info [ "n" ] ~docv:"N" ~doc:"Number of answers to collect.")
+  in
+  let budget_arg =
+    Arg.(value & opt int 150 & info [ "budget" ] ~docv:"TOKENS" ~doc:"Task budget.")
+  in
+  let choices_arg =
+    Arg.(value & opt int 4 & info [ "choices" ] ~docv:"K" ~doc:"Size of the label space.")
+  in
+  let answers_arg =
+    let doc = "Comma-separated worker answers (default: mostly label 0)." in
+    Arg.(value & opt (some string) None & info [ "answers" ] ~docv:"A1,A2,..." ~doc)
+  in
+  let run seed quiet n budget choices answers =
+    try run_majority ~seed ~quiet ~n ~budget ~choices ~answers:(Option.map ints_of_string answers)
+    with Failure m -> `Error (false, m)
+  in
+  let doc = "Run one image-annotation task under the majority-vote incentive." in
+  Cmd.v (Cmd.info "annotate" ~doc)
+    Term.(ret (const run $ seed_arg $ quiet_arg $ n_arg $ budget_arg $ choices_arg $ answers_arg))
+
+(* --- auction --- *)
+
+let auction_cmd =
+  let winners_arg =
+    Arg.(value & opt int 2 & info [ "k"; "winners" ] ~docv:"K" ~doc:"Number of winners.")
+  in
+  let max_bid_arg =
+    Arg.(value & opt int 15 & info [ "max-bid" ] ~docv:"B" ~doc:"Highest admissible bid.")
+  in
+  let bids_arg =
+    Arg.(value & opt string "7,2,9,4,12,3" & info [ "bids" ] ~docv:"B1,B2,..." ~doc:"Worker bids.")
+  in
+  let budget_arg =
+    Arg.(value & opt int 60 & info [ "budget" ] ~docv:"TOKENS" ~doc:"Task budget.")
+  in
+  let run seed quiet winners max_bid bids budget =
+    try
+      let bids = ints_of_string bids in
+      let sys = Protocol.create_system ~seed () in
+      let task, wallets, rewards =
+        Protocol.run_task sys
+          ~policy:(Policy.Reverse_auction { winners; max_bid })
+          ~budget ~answers:bids
+      in
+      settle sys task wallets rewards bids ~quiet;
+      `Ok ()
+    with Failure m -> `Error (false, m)
+  in
+  let doc = "Run a sealed-bid reverse auction ((k+1)-price, bids confidential)." in
+  Cmd.v (Cmd.info "auction" ~doc)
+    Term.(ret (const run $ seed_arg $ quiet_arg $ winners_arg $ max_bid_arg $ bids_arg $ budget_arg))
+
+(* --- batch --- *)
+
+let batch_cmd =
+  let tasks_arg =
+    Arg.(value & opt int 3 & info [ "tasks" ] ~docv:"T" ~doc:"Number of tasks in the batch.")
+  in
+  let n_arg =
+    Arg.(value & opt int 2 & info [ "n" ] ~docv:"N" ~doc:"Workers per task.")
+  in
+  let run seed quiet tasks n =
+    let sys = Protocol.create_system ~seed () in
+    let answer_sets = List.init tasks (fun t -> List.init n (fun w -> (t + w) mod 4)) in
+    let results =
+      Protocol.run_batch sys ~policy:(Policy.Majority { choices = 4 }) ~budget_per_task:(30 * n)
+        ~answer_sets
+    in
+    if not quiet then log "one reward-circuit setup amortised over %d tasks" tasks;
+    List.iteri
+      (fun i r ->
+        log "task %d rewards: %s" (i + 1)
+          (String.concat "," (List.map string_of_int (Array.to_list r))))
+      results;
+    `Ok ()
+  in
+  let doc = "Run a batch of same-shape tasks sharing one trusted setup." in
+  Cmd.v (Cmd.info "batch" ~doc) Term.(ret (const run $ seed_arg $ quiet_arg $ tasks_arg $ n_arg))
+
+(* --- truth --- *)
+
+let truth_cmd =
+  let items_arg =
+    Arg.(value & opt int 100 & info [ "items" ] ~docv:"I" ~doc:"Number of questions.")
+  in
+  let run seed items =
+    let rng = Zebra_rng.Chacha20.create ~seed in
+    let rb n = Zebra_rng.Chacha20.bytes rng n in
+    let data, truth =
+      Truth_inference.synthesize ~random_bytes:rb ~items ~choices:4
+        ~reliabilities:[| 0.95; 0.9; 0.3; 0.3; 0.3 |] ()
+    in
+    let maj = Truth_inference.majority data in
+    let em = Truth_inference.dawid_skene data in
+    log "majority voting accuracy: %.1f%%" (100. *. Truth_inference.accuracy ~truth maj);
+    log "Dawid-Skene EM accuracy : %.1f%% (%d iterations)"
+      (100. *. Truth_inference.accuracy ~truth em.Truth_inference.labels)
+      em.Truth_inference.iterations;
+    `Ok ()
+  in
+  let doc = "Compare majority voting with EM truth inference on a synthetic crowd." in
+  Cmd.v (Cmd.info "truth" ~doc) Term.(ret (const run $ seed_arg $ items_arg))
+
+(* --- inspect --- *)
+
+let inspect_cmd =
+  let depth_arg =
+    Arg.(value & opt int 8 & info [ "depth" ] ~docv:"D" ~doc:"RA tree depth to inspect.")
+  in
+  let run seed depth =
+    let rng = Zebra_rng.Chacha20.create ~seed in
+    let rb n = Zebra_rng.Chacha20.bytes rng n in
+    log "ZebraLancer system parameters";
+    log "  SNARK field        : BN254 scalar (%s...)"
+      (String.sub (Zebra_numeric.Nat.to_decimal_string Zebra_field.Fp.modulus) 0 24);
+    log "  MiMC               : exponent %d, %d rounds" Zebra_mimc.Mimc.exponent
+      Zebra_mimc.Mimc.rounds;
+    let cpla = Zebra_anonauth.Cpla.setup ~random_bytes:rb ~depth in
+    log "  CPLA (depth %d)    : %d constraints, vk %d bytes" depth
+      (Zebra_anonauth.Cpla.circuit_size cpla)
+      (Bytes.length (Zebra_anonauth.Cpla.vk_to_bytes cpla));
+    List.iter
+      (fun n ->
+        let rc =
+          Reward_circuit.setup ~random_bytes:rb ~policy:(Policy.Majority { choices = 4 }) ~n
+        in
+        log "  majority n=%-2d      : %d constraints, vk %d bytes" n
+          (Reward_circuit.num_constraints rc)
+          (Bytes.length (Reward_circuit.vk_bytes rc)))
+      [ 3; 5 ];
+    log "  registered contracts: %s" (String.concat ", " (Contract.registered ()));
+    `Ok ()
+  in
+  let doc = "Print circuit sizes and system parameters." in
+  Cmd.v (Cmd.info "inspect" ~doc) Term.(ret (const run $ seed_arg $ depth_arg))
+
+let () =
+  Task_contract.register ();
+  Ra_contract.register ();
+  let doc = "private and anonymous decentralized crowdsourcing (ZebraLancer)" in
+  let info = Cmd.info "zebra" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info [ demo_cmd; annotate_cmd; auction_cmd; batch_cmd; truth_cmd; inspect_cmd ]))

@@ -1,0 +1,1 @@
+examples/anonymity_demo.mli:

@@ -1,0 +1,1 @@
+examples/attacks.ml: Lazy List Network Policy Printf Protocol Requester State Tx Wallet Worker Zebra_anonauth Zebra_chain Zebralancer

@@ -1,0 +1,1 @@
+examples/attacks.mli:

@@ -1,0 +1,1 @@
+examples/image_annotation.ml: Array List Network Policy Printf Protocol Requester Unix Zebra_chain Zebralancer

@@ -1,0 +1,1 @@
+examples/marketplace.ml: Address Array Bytes List Network Policy Printf Protocol Requester String Zebra_chain Zebralancer

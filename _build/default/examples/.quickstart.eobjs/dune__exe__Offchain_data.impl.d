@@ -1,0 +1,1 @@
+examples/offchain_data.ml: Array Block Bytes Light_client List Network Policy Printf Protocol Requester String Task_contract Zebra_chain Zebra_hashing Zebra_store Zebralancer

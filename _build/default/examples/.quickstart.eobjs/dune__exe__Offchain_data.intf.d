@@ -1,0 +1,1 @@
+examples/offchain_data.mli:

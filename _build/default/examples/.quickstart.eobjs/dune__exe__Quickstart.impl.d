@@ -1,0 +1,1 @@
+examples/quickstart.ml: Address Array List Network Policy Printf Protocol Requester Wallet Zebra_anonauth Zebra_chain Zebralancer

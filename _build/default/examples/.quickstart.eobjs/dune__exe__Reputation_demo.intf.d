@@ -1,0 +1,1 @@
+examples/reputation_demo.mli:

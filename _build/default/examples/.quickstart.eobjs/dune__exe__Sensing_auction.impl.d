@@ -1,0 +1,1 @@
+examples/sensing_auction.ml: Array List Network Policy Printf Protocol Requester String Wallet Zebra_chain Zebralancer

@@ -1,0 +1,1 @@
+examples/sensing_auction.mli:

@@ -1,0 +1,1 @@
+examples/truth_discovery.ml: Array Printf Zebra_rng Zebralancer

@@ -1,0 +1,1 @@
+examples/truth_discovery.mli:

@@ -1,0 +1,1 @@
+lib/anonauth/cpla.ml: Array Bytes Cs Fp Gadgets Zebra_codec Zebra_mimc Zebra_r1cs Zebra_snark

@@ -1,0 +1,1 @@
+lib/anonauth/cpla.mli: Fp Zebra_snark

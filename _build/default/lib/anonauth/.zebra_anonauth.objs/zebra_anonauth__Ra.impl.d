@@ -1,0 +1,1 @@
+lib/anonauth/ra.ml: Array Fp Hashtbl Zebra_hashing Zebra_mimc

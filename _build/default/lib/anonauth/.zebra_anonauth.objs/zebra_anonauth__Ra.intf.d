@@ -1,0 +1,1 @@
+lib/anonauth/ra.mli: Fp

@@ -1,0 +1,90 @@
+module Mimc = Zebra_mimc.Mimc
+module Snark = Zebra_snark.Snark
+module Codec = Zebra_codec.Codec
+open Zebra_r1cs
+
+type params = { depth : int; keys : Snark.keypair; n_constraints : int }
+
+type user_key = { sk : Fp.t; pk : Fp.t }
+
+type attestation = { t1 : Fp.t; t2 : Fp.t; proof : Snark.proof }
+
+(* Synthesise the Auth circuit.  Public inputs (in order): prefix, message,
+   root, t1, t2.  Witness: sk, certificate path bits and siblings. *)
+let synthesize ~depth ~prefix ~message ~root ~t1 ~t2 ~sk ~index ~path =
+  let cs = Cs.create () in
+  let open Gadgets in
+  let v_prefix = Cs.alloc_input cs prefix in
+  let v_message = Cs.alloc_input cs message in
+  let v_root = Cs.alloc_input cs root in
+  let v_t1 = Cs.alloc_input cs t1 in
+  let v_t2 = Cs.alloc_input cs t2 in
+  let v_sk = Cs.alloc cs sk in
+  (* pair(pk, sk): the public key is determined by the secret key. *)
+  let pk = mimc_hash cs [ v v_sk ] in
+  (* t1 = H(prefix, sk); t2 = H(prefix || m, sk). *)
+  enforce_eq cs ~label:"t1" (mimc_hash cs [ v v_prefix; v v_sk ]) (v v_t1);
+  enforce_eq cs ~label:"t2" (mimc_hash cs [ v v_prefix; v v_message; v v_sk ]) (v v_t2);
+  (* CertVrfy: pk is a registered leaf under the RA root. *)
+  let path_bits = Array.init depth (fun l -> alloc_bit cs ((index lsr l) land 1 = 1)) in
+  let siblings = Array.map (Cs.alloc cs) path in
+  let computed_root = merkle_root cs ~leaf:pk ~path_bits ~siblings in
+  enforce_eq cs ~label:"certificate" computed_root (v v_root);
+  cs
+
+let setup ~random_bytes ~depth =
+  (* Dummy values: setup only depends on circuit structure. *)
+  let z = Fp.zero in
+  let cs =
+    synthesize ~depth ~prefix:z ~message:z ~root:z ~t1:z ~t2:z ~sk:z ~index:0
+      ~path:(Array.make depth z)
+  in
+  { depth; keys = Snark.setup ~random_bytes cs; n_constraints = Cs.num_constraints cs }
+
+let depth p = p.depth
+let circuit_size p = p.n_constraints
+
+let keygen ~random_bytes =
+  let sk = Fp.random random_bytes in
+  { sk; pk = Mimc.hash_list [ sk ] }
+
+let auth ~random_bytes p ~prefix ~message ~key ~index ~path ~root =
+  if Array.length path <> p.depth then invalid_arg "Cpla.auth: wrong path depth";
+  let t1 = Mimc.hash_list [ prefix; key.sk ] in
+  let t2 = Mimc.hash_list [ prefix; message; key.sk ] in
+  let cs = synthesize ~depth:p.depth ~prefix ~message ~root ~t1 ~t2 ~sk:key.sk ~index ~path in
+  { t1; t2; proof = Snark.prove ~random_bytes p.keys.Snark.pk cs }
+
+let public_inputs ~prefix ~message ~root att = [| prefix; message; root; att.t1; att.t2 |]
+
+let verify p ~prefix ~message ~root att =
+  Snark.verify p.keys.Snark.vk ~public_inputs:(public_inputs ~prefix ~message ~root att)
+    att.proof
+
+let link a b = Fp.equal a.t1 b.t1
+
+let attestation_to_bytes att =
+  Codec.encode
+    (fun w att ->
+      Codec.bytes w (Fp.to_bytes_be att.t1);
+      Codec.bytes w (Fp.to_bytes_be att.t2);
+      Codec.bytes w (Snark.proof_to_bytes att.proof))
+    att
+
+let attestation_of_bytes b =
+  Codec.decode
+    (fun r ->
+      let t1 = Fp.of_bytes_be_exn (Codec.read_bytes r) in
+      let t2 = Fp.of_bytes_be_exn (Codec.read_bytes r) in
+      let proof = Snark.proof_of_bytes (Codec.read_bytes r) in
+      { t1; t2; proof })
+    b
+
+let attestation_size_bytes att = Bytes.length (attestation_to_bytes att)
+
+let vk_to_bytes p = Snark.vk_to_bytes p.keys.Snark.vk
+
+let verify_with_vk ~vk_bytes ~prefix ~message ~root att =
+  match Snark.vk_of_bytes vk_bytes with
+  | vk -> Snark.verify vk ~public_inputs:(public_inputs ~prefix ~message ~root att) att.proof
+  | exception Codec.Decode_error _ -> false

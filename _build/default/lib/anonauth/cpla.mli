@@ -1,0 +1,79 @@
+(** Common-prefix-linkable anonymous authentication — the paper's new
+    cryptographic primitive (Section V-A).
+
+    A user holding a certificate (RA tree membership, see {!Ra}) can
+    authenticate a message [prefix || m] anonymously.  The attestation
+    carries two tags
+
+      t1 = H(prefix, sk)        t2 = H(prefix || m, sk)
+
+    and a zk-SNARK proof of the paper's language L_T:
+
+      CertVrfy(cert, pk, mpk) = 1  /\  pair(pk, sk) = 1  /\
+      t1 = H(prefix, sk)  /\  t2 = H(prefix || m, sk)
+
+    (instantiated as: [pk = H(sk)], [pk] is a leaf under the root [mpk],
+    and the two tag equations — all with the MiMC hash inside the circuit).
+
+    Two valid attestations {!link} iff their [t1] tags are equal, i.e. iff
+    the same key authenticated two messages with the same prefix.  In
+    ZebraLancer the prefix is the task contract address, which is exactly
+    what stops double submission without harming cross-task anonymity. *)
+
+(** Public parameters PP: the circuit shape and SNARK keys for one RA tree
+    depth.  Generated once at system launch. *)
+type params
+
+type user_key = { sk : Fp.t; pk : Fp.t }
+
+type attestation = { t1 : Fp.t; t2 : Fp.t; proof : Zebra_snark.Snark.proof }
+
+(** [setup ~random_bytes ~depth] runs the zk-SNARK trusted setup for the
+    authentication circuit over an RA tree of the given depth. *)
+val setup : random_bytes:(int -> bytes) -> depth:int -> params
+
+val depth : params -> int
+
+(** Number of R1CS constraints of the Auth circuit (reporting). *)
+val circuit_size : params -> int
+
+val keygen : random_bytes:(int -> bytes) -> user_key
+
+(** [auth params ~prefix ~message ~key ~index ~path ~root] produces an
+    attestation.  [index]/[path] are the user's certificate under [root]
+    (refresh with {!Ra.path}).  Soundness of the whole scheme relies on the
+    path actually matching [root]; an inconsistent witness yields an
+    attestation that {!verify} rejects. *)
+val auth :
+  random_bytes:(int -> bytes) ->
+  params ->
+  prefix:Fp.t ->
+  message:Fp.t ->
+  key:user_key ->
+  index:int ->
+  path:Fp.t array ->
+  root:Fp.t ->
+  attestation
+
+(** [verify params ~prefix ~message ~root att]. *)
+val verify : params -> prefix:Fp.t -> message:Fp.t -> root:Fp.t -> attestation -> bool
+
+(** [link a b]: same authenticator, same prefix (t1 equality).  Constant
+    time — the contract runs it O(n) per submission for "nearly nothing"
+    (paper Section V-B). *)
+val link : attestation -> attestation -> bool
+
+val attestation_to_bytes : attestation -> bytes
+
+(** @raise Zebra_codec.Codec.Decode_error on malformed input. *)
+val attestation_of_bytes : bytes -> attestation
+
+val attestation_size_bytes : attestation -> int
+
+(** Serialised verification material for embedding in contracts. *)
+val vk_to_bytes : params -> bytes
+
+(** [verify_with_vk ~vk_bytes ~depth ...] — verification from the
+    serialised key only (what the task contract runs on-chain). *)
+val verify_with_vk :
+  vk_bytes:bytes -> prefix:Fp.t -> message:Fp.t -> root:Fp.t -> attestation -> bool

@@ -1,0 +1,43 @@
+(** The registration authority's certificate tree.
+
+    The paper abstracts certification as an RA signing each participant's
+    public key (CertGen).  To make certificate checking SNARK-friendly we
+    instantiate the certificate as {e membership in a MiMC Merkle tree of
+    registered public keys} (Zcash-style; DESIGN.md substitution 3): the
+    master public key is the tree root, a certificate is the leaf index, and
+    the Auth circuit proves knowledge of [sk] with [pk = H(sk)] present in
+    the tree — without revealing which leaf, so even the RA cannot link an
+    attestation to a registration (the paper's strong anonymity, Def. 2).
+
+    The tree is sparse: unregistered leaves hold the level-0 default value,
+    and default subtree hashes are precomputed per level. *)
+
+type t
+
+(** [create ~depth] — capacity [2^depth] registrations. *)
+val create : depth:int -> t
+
+val depth : t -> int
+val capacity : t -> int
+val num_registered : t -> int
+
+(** Current root — the CPLA master public key [mpk]. *)
+val root : t -> Fp.t
+
+(** [register t pk] appends a public key and returns its leaf index (the
+    certificate).  Re-registering the same key is refused (unique-identity
+    rule: one credential per ID).
+    @raise Failure when the tree is full or [pk] is already present. *)
+val register : t -> Fp.t -> int
+
+(** [path t index] is the sibling list, leaf level first, under the current
+    root.  Participants refresh their path from the (public) tree before
+    authenticating. *)
+val path : t -> int -> Fp.t array
+
+(** [leaf t index] — [None] if unregistered. *)
+val leaf : t -> int -> Fp.t option
+
+(** [verify_path ~depth ~root ~leaf ~index path] — native path check (the
+    circuit's {!Zebra_r1cs.Gadgets.merkle_root} mirrors it). *)
+val verify_path : root:Fp.t -> leaf:Fp.t -> index:int -> Fp.t array -> bool

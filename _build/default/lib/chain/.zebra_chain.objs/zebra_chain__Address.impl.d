@@ -1,0 +1,1 @@
+lib/chain/address.ml: Bytes Format String Zebra_field Zebra_hashing Zebra_rsa

@@ -1,0 +1,1 @@
+lib/chain/address.mli: Format Zebra_field Zebra_rsa

@@ -1,0 +1,1 @@
+lib/chain/block.ml: Bytes Char Format List String Tx Zebra_codec Zebra_hashing

@@ -1,0 +1,1 @@
+lib/chain/contract.ml: Address Hashtbl List

@@ -1,0 +1,1 @@
+lib/chain/light_client.ml: Block Bytes List Option Tx Zebra_hashing

@@ -1,0 +1,1 @@
+lib/chain/light_client.mli: Block Tx

@@ -1,0 +1,1 @@
+lib/chain/network.ml: Address Array Block Bytes Hashtbl List Printf State Tx Zebra_hashing

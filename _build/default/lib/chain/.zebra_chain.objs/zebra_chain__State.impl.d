@@ -1,0 +1,1 @@
+lib/chain/state.ml: Address Contract Hashtbl List Option Printexc Tx Zebra_codec Zebra_hashing

@@ -1,0 +1,1 @@
+lib/chain/state.mli: Address Tx

@@ -1,0 +1,1 @@
+lib/chain/tx.ml: Address Bytes Format Printf Wallet Zebra_codec Zebra_hashing Zebra_rsa

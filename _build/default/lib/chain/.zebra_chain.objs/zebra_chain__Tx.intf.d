@@ -1,0 +1,1 @@
+lib/chain/tx.mli: Address Format Wallet Zebra_rsa

@@ -1,0 +1,1 @@
+lib/chain/wallet.ml: Address Zebra_rsa

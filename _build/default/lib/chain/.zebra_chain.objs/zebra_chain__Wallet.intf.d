@@ -1,0 +1,1 @@
+lib/chain/wallet.mli: Address Zebra_rsa

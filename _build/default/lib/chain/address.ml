@@ -1,0 +1,35 @@
+module Sha256 = Zebra_hashing.Sha256
+
+type t = bytes (* 20 bytes *)
+
+let size = 20
+
+let of_digest d = Bytes.sub d (Bytes.length d - size) size
+
+let of_public_key pk = of_digest (Sha256.digest (Zebra_rsa.Rsa.public_key_to_bytes pk))
+
+let of_creator addr nonce =
+  let ctx = Sha256.init () in
+  Sha256.update_string ctx "contract:";
+  Sha256.update ctx addr;
+  Sha256.update_string ctx (string_of_int nonce);
+  of_digest (Sha256.finalize ctx)
+
+let to_hex = Sha256.to_hex
+
+let of_hex s =
+  if String.length s <> 2 * size then invalid_arg "Address.of_hex: need 40 hex digits";
+  Sha256.of_hex s
+
+let equal = Bytes.equal
+let compare = Bytes.compare
+
+let to_bytes = Bytes.copy
+
+let of_bytes b =
+  if Bytes.length b <> size then invalid_arg "Address.of_bytes: need 20 bytes";
+  Bytes.copy b
+
+let to_field a = Zebra_field.Fp.of_bytes_be a
+
+let pp fmt a = Format.fprintf fmt "0x%s" (to_hex a)

@@ -1,0 +1,35 @@
+(** Blockchain addresses (pseudonyms).
+
+    As in the paper's ideal-ledger model, an address is the hash of a public
+    key: the low 20 bytes of SHA-256 over the serialised RSA key.  Contract
+    addresses are derived from the creator address and its nonce
+    (H(alpha_R || counter) exactly as the paper's footnote 10 prescribes),
+    so a requester can predict her contract's address and authenticate it
+    off-line before deployment. *)
+
+type t
+
+val of_public_key : Zebra_rsa.Rsa.public_key -> t
+
+(** [of_creator addr nonce]: the address of the [nonce]-th contract created
+    by [addr]. *)
+val of_creator : t -> int -> t
+
+val to_hex : t -> string
+
+(** @raise Invalid_argument on malformed input (needs 40 hex digits). *)
+val of_hex : string -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** Raw 20 bytes. *)
+val to_bytes : t -> bytes
+
+val of_bytes : bytes -> t
+
+(** Field-element view, used as the authenticated message component
+    (alpha_C, alpha_i) inside anonymous attestations. *)
+val to_field : t -> Zebra_field.Fp.t
+
+val pp : Format.formatter -> t -> unit

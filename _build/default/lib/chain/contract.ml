@@ -1,0 +1,51 @@
+exception Revert of string
+
+type context = {
+  self : Address.t;
+  sender : Address.t;
+  value : int;
+  height : int;
+  self_balance : int;
+  charge : int -> unit;
+}
+
+type action =
+  | Transfer of Address.t * int
+  | Log of string
+
+module type BEHAVIOR = sig
+  type storage
+
+  val name : string
+  val init : context -> bytes -> storage
+  val receive : context -> storage -> bytes -> storage * action list
+  val encode : storage -> bytes
+  val decode : bytes -> storage
+end
+
+type packed = (module BEHAVIOR)
+
+let registry : (string, packed) Hashtbl.t = Hashtbl.create 16
+
+let register (module B : BEHAVIOR) =
+  if Hashtbl.mem registry B.name then invalid_arg ("Contract.register: duplicate " ^ B.name);
+  Hashtbl.replace registry B.name (module B : BEHAVIOR)
+
+let lookup name = Hashtbl.find registry name
+
+let registered () = Hashtbl.fold (fun k _ acc -> k :: acc) registry [] |> List.sort compare
+
+let run_init (module B : BEHAVIOR) ctx args = B.encode (B.init ctx args)
+
+let run_receive (module B : BEHAVIOR) ctx storage ~payload =
+  let st = B.decode storage in
+  let st', actions = B.receive ctx st payload in
+  (B.encode st', actions)
+
+module Gas = struct
+  let base = 21_000
+  let per_byte = 16
+  let storage_word = 20_000
+  let snark_verify = 200_000
+  let link_check = 100
+end

@@ -1,0 +1,71 @@
+(** Smart-contract runtime interface.
+
+    Contracts are OCaml modules registered by name in a global registry; a
+    [Create] transaction names the behaviour and supplies init arguments.
+    This replaces EVM bytecode with a registry of audited templates — the
+    deployment model the paper itself suggests (contract templates, and a
+    zk-SNARK verifier embedded in the runtime as a primitive, exactly as the
+    authors modified the EVM to embed libsnark.Verifier).
+
+    Every node executes the same behaviour on the same serialised storage,
+    so replicated execution stays deterministic and state roots agree. *)
+
+exception Revert of string
+
+(** Execution context handed to behaviours. *)
+type context = {
+  self : Address.t;
+  sender : Address.t;  (** the transaction's (verified) sender address *)
+  value : int;  (** amount transferred with the call *)
+  height : int;  (** the block being executed — the paper's discrete clock *)
+  self_balance : int;  (** balance of [self], including [value] *)
+  charge : int -> unit;  (** gas metering *)
+}
+
+(** Side effects a behaviour can request; applied atomically after a
+    successful execution. *)
+type action =
+  | Transfer of Address.t * int
+  | Log of string
+
+module type BEHAVIOR = sig
+  type storage
+
+  val name : string
+
+  (** @raise Revert to abort creation. *)
+  val init : context -> bytes -> storage
+
+  (** @raise Revert to abort the call (state and transfers rolled back). *)
+  val receive : context -> storage -> bytes -> storage * action list
+
+  val encode : storage -> bytes
+  val decode : bytes -> storage
+end
+
+type packed = (module BEHAVIOR)
+
+(** Global behaviour registry. *)
+
+val register : packed -> unit
+
+(** @raise Not_found for unknown behaviour names. *)
+val lookup : string -> packed
+
+val registered : unit -> string list
+
+(** Execute helpers used by {!State}. *)
+
+val run_init : packed -> context -> bytes -> bytes
+
+val run_receive : packed -> context -> bytes -> payload:bytes -> bytes * action list
+
+(** Standard gas costs (loosely modelled on EVM orders of magnitude; used
+    by benches to report on-chain cost). *)
+module Gas : sig
+  val base : int
+  val per_byte : int
+  val storage_word : int
+  val snark_verify : int
+  val link_check : int
+end

@@ -1,0 +1,111 @@
+module Sha256 = Zebra_hashing.Sha256
+
+exception Consensus_failure of string
+
+type node = { id : int; state : State.t }
+
+type t = {
+  genesis : (Address.t * int) list;
+  difficulty : int;
+  nodes : node array;
+  mutable mempool : Tx.t list; (* reversed arrival order *)
+  mutable adversary : (Tx.t list -> Tx.t list) option;
+  mutable chain : Block.t list; (* newest first *)
+  receipts : (string, State.receipt) Hashtbl.t;
+  mutable logs : string list; (* reversed *)
+}
+
+let create ?(difficulty = 0) ~num_nodes ~genesis () =
+  if num_nodes < 1 then invalid_arg "Network.create: need at least one node";
+  if difficulty < 0 || difficulty > 32 then invalid_arg "Network.create: difficulty out of range";
+  {
+    genesis;
+    difficulty;
+    nodes = Array.init num_nodes (fun id -> { id; state = State.create ~genesis });
+    mempool = [];
+    adversary = None;
+    chain = [];
+    receipts = Hashtbl.create 64;
+    logs = [];
+  }
+
+let num_nodes t = Array.length t.nodes
+let difficulty t = t.difficulty
+
+let height t = match t.chain with [] -> 0 | b :: _ -> b.Block.header.Block.height
+
+let submit t tx =
+  if not (Tx.validate tx) then invalid_arg "Network.submit: invalid transaction signature";
+  t.mempool <- tx :: t.mempool
+
+let pending t = List.length t.mempool
+
+let set_adversary t f = t.adversary <- f
+
+let tip_hash t = match t.chain with [] -> Block.genesis_hash | b :: _ -> Block.hash b
+
+let mine t =
+  let fifo = List.rev t.mempool in
+  t.mempool <- [];
+  let ordered = match t.adversary with None -> fifo | Some f -> f fifo in
+  let ordered = List.filter Tx.validate ordered in
+  let new_height = height t + 1 in
+  (* Every node executes the block independently; receipts must agree. *)
+  let all_receipts =
+    Array.map
+      (fun node -> List.map (State.apply_tx node.state ~height:new_height) ordered)
+      t.nodes
+  in
+  let roots = Array.map (fun node -> State.root node.state) t.nodes in
+  Array.iteri
+    (fun i r ->
+      if not (Bytes.equal r roots.(0)) then
+        raise (Consensus_failure (Printf.sprintf "node %d state root diverges at height %d" i new_height)))
+    roots;
+  let block =
+    Block.make ~difficulty:t.difficulty ~height:new_height ~prev_hash:(tip_hash t)
+      ~state_root:roots.(0) ordered
+  in
+  (match Block.validate ~difficulty:t.difficulty ~prev_hash:(tip_hash t) ~prev_height:(height t) block with
+  | Ok () -> ()
+  | Error e -> raise (Consensus_failure ("miner produced invalid block: " ^ e)));
+  t.chain <- block :: t.chain;
+  let rs = all_receipts.(0) in
+  List.iter
+    (fun (r : State.receipt) ->
+      Hashtbl.replace t.receipts (Sha256.to_hex r.State.tx_hash) r;
+      t.logs <- List.rev_append r.State.logs t.logs)
+    rs;
+  rs
+
+let mine_until t ~height:target =
+  while height t < target do
+    ignore (mine t)
+  done
+
+let node0 t = t.nodes.(0).state
+
+let balance t addr = State.balance (node0 t) addr
+let nonce t addr = State.nonce (node0 t) addr
+let contract_storage t addr = State.contract_storage (node0 t) addr
+let is_contract t addr = State.is_contract (node0 t) addr
+
+let receipt t tx_hash = Hashtbl.find_opt t.receipts (Sha256.to_hex tx_hash)
+
+let blocks t = List.rev t.chain
+
+let total_supply t = State.total_supply (node0 t)
+
+let all_logs t = List.rev t.logs
+
+let state_root t = State.root (node0 t)
+
+let replay t =
+  let fresh = State.create ~genesis:t.genesis in
+  List.iter
+    (fun (b : Block.t) ->
+      List.iter
+        (fun tx -> ignore (State.apply_tx fresh ~height:b.Block.header.Block.height tx))
+        b.Block.txs)
+    (blocks t);
+  State.root fresh

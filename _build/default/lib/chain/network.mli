@@ -1,0 +1,72 @@
+(** The simulated blockchain network: several fully-replicating nodes, a
+    shared mempool, and a discrete block clock.
+
+    This provides exactly the ideal-public-ledger abstraction of the paper's
+    Section III: (1) a valid transaction submitted to the network is
+    included in the next mined block (liveness under synchrony); (2) every
+    node executes every block deterministically and the simulator asserts
+    their state roots agree (correct computation); (3) anyone can read all
+    state (transparency); and (4) a network adversary may reorder the
+    transactions of a pending block ({!set_adversary}) but cannot forge
+    signatures. *)
+
+type t
+
+exception Consensus_failure of string
+
+(** [create ?difficulty ~num_nodes ~genesis ()] — all nodes start from the
+    same funded genesis state.  [difficulty] (default 0) makes miners grind
+    a proof-of-work seal of that many leading zero bits per block. *)
+val create : ?difficulty:int -> num_nodes:int -> genesis:(Address.t * int) list -> unit -> t
+
+val difficulty : t -> int
+
+val num_nodes : t -> int
+
+(** Current chain height (0 = genesis, before any block). *)
+val height : t -> int
+
+(** [submit t tx] broadcasts to the mempool.  Invalidly-signed transactions
+    are rejected immediately (never enter the mempool). *)
+val submit : t -> Tx.t -> unit
+
+val pending : t -> int
+
+(** [set_adversary t f] lets [f] reorder (or drop/duplicate — the miner
+    will still reject invalid ones) the pending transactions of each block
+    before execution.  [None] restores first-come-first-served order. *)
+val set_adversary : t -> (Tx.t list -> Tx.t list) option -> unit
+
+(** [mine t] seals the mempool into the next block, executes it on every
+    node, checks replica agreement and returns the receipts (node 0's).
+    @raise Consensus_failure if replicas diverge. *)
+val mine : t -> State.receipt list
+
+(** [mine_until t ~height] mines (possibly empty) blocks up to [height]. *)
+val mine_until : t -> height:int -> unit
+
+(** {1 Read-only views (node 0)} *)
+
+val balance : t -> Address.t -> int
+val nonce : t -> Address.t -> int
+val contract_storage : t -> Address.t -> bytes option
+val is_contract : t -> Address.t -> bool
+
+(** Receipt by transaction hash, once mined. *)
+val receipt : t -> bytes -> State.receipt option
+
+val blocks : t -> Block.t list
+
+(** Sum of balances across all accounts (conservation invariant). *)
+val total_supply : t -> int
+
+(** [replay t] rebuilds the ledger from genesis by re-executing every block
+    on a fresh state and returns its root — a late-joining node's sync
+    path.  Determinism means it must equal the live nodes' root. *)
+val replay : t -> bytes
+
+(** Current state root of node 0. *)
+val state_root : t -> bytes
+
+(** All logs emitted so far, oldest first (test/diagnostic helper). *)
+val all_logs : t -> string list

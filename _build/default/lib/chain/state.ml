@@ -1,0 +1,173 @@
+module Sha256 = Zebra_hashing.Sha256
+module Codec = Zebra_codec.Codec
+
+type account = { balance : int; nonce : int }
+
+type contract_info = { behavior : string; storage : bytes }
+
+type t = {
+  accounts : (string, account) Hashtbl.t; (* key: address hex *)
+  contracts : (string, contract_info) Hashtbl.t;
+}
+
+type status =
+  | Ok of Address.t option
+  | Failed of string
+
+type receipt = {
+  tx_hash : bytes;
+  status : status;
+  gas_used : int;
+  logs : string list;
+}
+
+let create ~genesis =
+  let t = { accounts = Hashtbl.create 64; contracts = Hashtbl.create 16 } in
+  List.iter
+    (fun (addr, amount) ->
+      if amount < 0 then invalid_arg "State.create: negative genesis balance";
+      Hashtbl.replace t.accounts (Address.to_hex addr) { balance = amount; nonce = 0 })
+    genesis;
+  t
+
+let account t addr =
+  match Hashtbl.find_opt t.accounts (Address.to_hex addr) with
+  | Some a -> a
+  | None -> { balance = 0; nonce = 0 }
+
+let set_account t addr a = Hashtbl.replace t.accounts (Address.to_hex addr) a
+
+let balance t addr = (account t addr).balance
+let nonce t addr = (account t addr).nonce
+
+let contract_storage t addr =
+  Option.map (fun c -> c.storage) (Hashtbl.find_opt t.contracts (Address.to_hex addr))
+
+let is_contract t addr = Hashtbl.mem t.contracts (Address.to_hex addr)
+
+let snapshot t = (Hashtbl.copy t.accounts, Hashtbl.copy t.contracts)
+
+let restore t (accounts, contracts) =
+  Hashtbl.reset t.accounts;
+  Hashtbl.iter (Hashtbl.replace t.accounts) accounts;
+  Hashtbl.reset t.contracts;
+  Hashtbl.iter (Hashtbl.replace t.contracts) contracts
+
+let credit t addr amount =
+  let a = account t addr in
+  set_account t addr { a with balance = a.balance + amount }
+
+let debit t addr amount =
+  let a = account t addr in
+  if a.balance < amount then raise (Contract.Revert "insufficient balance");
+  set_account t addr { a with balance = a.balance - amount }
+
+let apply_actions t ~self actions =
+  List.filter_map
+    (fun action ->
+      match action with
+      | Contract.Transfer (dst, amount) ->
+        if amount < 0 then raise (Contract.Revert "negative transfer");
+        debit t self amount;
+        credit t dst amount;
+        None
+      | Contract.Log msg -> Some msg)
+    actions
+
+let apply_tx t ~height tx =
+  let tx_hash = Tx.hash tx in
+  let gas = ref (Contract.Gas.base + (Contract.Gas.per_byte * Tx.size_bytes tx)) in
+  let fail reason = { tx_hash; status = Failed reason; gas_used = !gas; logs = [] } in
+  if not (Tx.validate tx) then fail "invalid signature"
+  else begin
+    let sender = account t tx.Tx.sender in
+    if tx.Tx.nonce <> sender.nonce then fail "bad nonce"
+    else if sender.balance < tx.Tx.value then fail "insufficient funds"
+    else begin
+      (* The nonce advances even if execution reverts. *)
+      let snap = snapshot t in
+      set_account t tx.Tx.sender { sender with nonce = sender.nonce + 1 };
+      let after_nonce = snapshot t in
+      let charge n = gas := !gas + n in
+      try
+        match tx.Tx.dst with
+        | Tx.Create { behavior; args } ->
+          let beh =
+            try Contract.lookup behavior
+            with Not_found -> raise (Contract.Revert ("unknown behavior " ^ behavior))
+          in
+          let contract_addr = Address.of_creator tx.Tx.sender tx.Tx.nonce in
+          if is_contract t contract_addr then raise (Contract.Revert "address collision");
+          debit t tx.Tx.sender tx.Tx.value;
+          credit t contract_addr tx.Tx.value;
+          charge Contract.Gas.storage_word;
+          let ctx =
+            {
+              Contract.self = contract_addr;
+              sender = tx.Tx.sender;
+              value = tx.Tx.value;
+              height;
+              self_balance = balance t contract_addr;
+              charge;
+            }
+          in
+          let storage = Contract.run_init beh ctx args in
+          Hashtbl.replace t.contracts (Address.to_hex contract_addr) { behavior; storage };
+          { tx_hash; status = Ok (Some contract_addr); gas_used = !gas; logs = [] }
+        | Tx.Call dst -> (
+          match Hashtbl.find_opt t.contracts (Address.to_hex dst) with
+          | None ->
+            (* plain value transfer *)
+            debit t tx.Tx.sender tx.Tx.value;
+            credit t dst tx.Tx.value;
+            { tx_hash; status = Ok None; gas_used = !gas; logs = [] }
+          | Some info ->
+            let beh = Contract.lookup info.behavior in
+            debit t tx.Tx.sender tx.Tx.value;
+            credit t dst tx.Tx.value;
+            let ctx =
+              {
+                Contract.self = dst;
+                sender = tx.Tx.sender;
+                value = tx.Tx.value;
+                height;
+                self_balance = balance t dst;
+                charge;
+              }
+            in
+            let storage', actions = Contract.run_receive beh ctx info.storage ~payload:tx.Tx.payload in
+            let logs = apply_actions t ~self:dst actions in
+            Hashtbl.replace t.contracts (Address.to_hex dst) { info with storage = storage' };
+            { tx_hash; status = Ok None; gas_used = !gas; logs })
+      with
+      | Contract.Revert reason ->
+        restore t after_nonce;
+        { tx_hash; status = Failed reason; gas_used = !gas; logs = [] }
+      | Codec.Decode_error reason ->
+        restore t after_nonce;
+        { tx_hash; status = Failed ("decode: " ^ reason); gas_used = !gas; logs = [] }
+      | e ->
+        (* Defensive: a behaviour bug must not fork the simulated network. *)
+        restore t snap;
+        { tx_hash; status = Failed ("exception: " ^ Printexc.to_string e); gas_used = !gas; logs = [] }
+    end
+  end
+
+let root t =
+  let w = Codec.writer () in
+  let sorted tbl = List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []) in
+  List.iter
+    (fun (k, (a : account)) ->
+      Codec.string w k;
+      Codec.u64 w a.balance;
+      Codec.u64 w a.nonce)
+    (sorted t.accounts);
+  List.iter
+    (fun (k, (c : contract_info)) ->
+      Codec.string w k;
+      Codec.string w c.behavior;
+      Codec.bytes w c.storage)
+    (sorted t.contracts);
+  Sha256.digest (Codec.to_bytes w)
+
+let total_supply t = Hashtbl.fold (fun _ (a : account) acc -> acc + a.balance) t.accounts 0

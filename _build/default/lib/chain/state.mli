@@ -1,0 +1,43 @@
+(** The replicated ledger state of one node: externally-owned accounts,
+    contract accounts with their serialised storage, and deterministic
+    transaction application.
+
+    Failed or reverted transactions are included with a failure receipt and
+    roll back all state changes except the sender's nonce (Ethereum-like
+    semantics, minus gas payments — the simulated chain does not price gas,
+    it only meters it for the benchmarks). *)
+
+type t
+
+type status =
+  | Ok of Address.t option  (** payload: created contract address, if any *)
+  | Failed of string
+
+type receipt = {
+  tx_hash : bytes;
+  status : status;
+  gas_used : int;
+  logs : string list;
+}
+
+(** [create ~genesis] funds the given accounts at height 0. *)
+val create : genesis:(Address.t * int) list -> t
+
+val balance : t -> Address.t -> int
+val nonce : t -> Address.t -> int
+
+(** [contract_storage t addr] is [None] when [addr] has no code. *)
+val contract_storage : t -> Address.t -> bytes option
+
+val is_contract : t -> Address.t -> bool
+
+(** [apply_tx t ~height tx] executes one transaction.  Never raises on bad
+    transactions — every outcome is a receipt. *)
+val apply_tx : t -> height:int -> Tx.t -> receipt
+
+(** Canonical state root (SHA-256 over the sorted serialised state);
+    compared across nodes after every block. *)
+val root : t -> bytes
+
+(** Total of all balances (conservation-of-money invariant in tests). *)
+val total_supply : t -> int

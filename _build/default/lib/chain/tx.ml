@@ -1,0 +1,107 @@
+module Codec = Zebra_codec.Codec
+module Rsa = Zebra_rsa.Rsa
+module Pkcs1 = Zebra_rsa.Pkcs1
+module Sha256 = Zebra_hashing.Sha256
+
+type dst =
+  | Create of { behavior : string; args : bytes }
+  | Call of Address.t
+
+type t = {
+  sender : Address.t;
+  sender_pk : Rsa.public_key;
+  nonce : int;
+  dst : dst;
+  value : int;
+  payload : bytes;
+  signature : bytes;
+}
+
+let write_unsigned w (tx : t) =
+  Codec.bytes w (Address.to_bytes tx.sender);
+  Codec.bytes w (Rsa.public_key_to_bytes tx.sender_pk);
+  Codec.u64 w tx.nonce;
+  (match tx.dst with
+  | Create { behavior; args } ->
+    Codec.u8 w 0;
+    Codec.string w behavior;
+    Codec.bytes w args
+  | Call addr ->
+    Codec.u8 w 1;
+    Codec.bytes w (Address.to_bytes addr));
+  Codec.u64 w tx.value;
+  Codec.bytes w tx.payload
+
+let signing_bytes tx = Codec.encode write_unsigned tx
+
+let make ~wallet ~nonce ~dst ~value ~payload =
+  if value < 0 then invalid_arg "Tx.make: negative value";
+  let unsigned =
+    {
+      sender = Wallet.address wallet;
+      sender_pk = Wallet.public_key wallet;
+      nonce;
+      dst;
+      value;
+      payload;
+      signature = Bytes.empty;
+    }
+  in
+  { unsigned with signature = Wallet.sign wallet (signing_bytes unsigned) }
+
+let validate tx =
+  Address.equal tx.sender (Address.of_public_key tx.sender_pk)
+  && Pkcs1.verify tx.sender_pk ~msg:(signing_bytes tx) ~signature:tx.signature
+
+let to_bytes tx =
+  Codec.encode
+    (fun w tx ->
+      write_unsigned w tx;
+      Codec.bytes w tx.signature)
+    tx
+
+let of_bytes b =
+  Codec.decode
+    (fun r ->
+      let sender = Address.of_bytes (Codec.read_bytes r) in
+      let sender_pk = Rsa.public_key_of_bytes (Codec.read_bytes r) in
+      let nonce = Codec.read_u64 r in
+      let dst =
+        match Codec.read_u8 r with
+        | 0 ->
+          let behavior = Codec.read_string r in
+          let args = Codec.read_bytes r in
+          Create { behavior; args }
+        | 1 -> Call (Address.of_bytes (Codec.read_bytes r))
+        | _ -> raise (Codec.Decode_error "tx: bad dst tag")
+      in
+      let value = Codec.read_u64 r in
+      let payload = Codec.read_bytes r in
+      let signature = Codec.read_bytes r in
+      { sender; sender_pk; nonce; dst; value; payload; signature })
+    b
+
+let hash tx = Sha256.digest (to_bytes tx)
+
+let size_bytes tx = Bytes.length (to_bytes tx)
+
+let pp fmt tx =
+  let dst_str =
+    match tx.dst with
+    | Create { behavior; _ } -> Printf.sprintf "create:%s" behavior
+    | Call a -> Printf.sprintf "call:%s" (Address.to_hex a)
+  in
+  Format.fprintf fmt "tx{%a -> %s, nonce=%d, value=%d, %dB}" Address.pp tx.sender dst_str
+    tx.nonce tx.value (size_bytes tx)
+
+let resend_as ~wallet ~nonce tx =
+  let unsigned =
+    {
+      tx with
+      sender = Wallet.address wallet;
+      sender_pk = Wallet.public_key wallet;
+      nonce;
+      signature = Bytes.empty;
+    }
+  in
+  { unsigned with signature = Wallet.sign wallet (signing_bytes unsigned) }

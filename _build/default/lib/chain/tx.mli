@@ -1,0 +1,44 @@
+(** Signed blockchain transactions.
+
+    A transaction either creates a contract (naming a registered behaviour
+    and its init arguments — the simulator's stand-in for EVM bytecode, see
+    {!Contract}) or calls an existing contract/account with a payload.
+    Transactions are signed over their canonical encoding; the sender
+    address must be the hash of the embedded public key. *)
+
+type dst =
+  | Create of { behavior : string; args : bytes }
+  | Call of Address.t
+
+type t = private {
+  sender : Address.t;
+  sender_pk : Zebra_rsa.Rsa.public_key;
+  nonce : int;
+  dst : dst;
+  value : int;
+  payload : bytes;
+  signature : bytes;
+}
+
+(** [make ~wallet ~nonce ~dst ~value ~payload] builds and signs. *)
+val make : wallet:Wallet.t -> nonce:int -> dst:dst -> value:int -> payload:bytes -> t
+
+(** Signature valid and sender address consistent with the embedded key. *)
+val validate : t -> bool
+
+(** Transaction hash (of the signed encoding). *)
+val hash : t -> bytes
+
+val to_bytes : t -> bytes
+val of_bytes : bytes -> t
+
+(** Total serialised size (the paper's on-chain byte cost). *)
+val size_bytes : t -> int
+
+val pp : Format.formatter -> t -> unit
+
+(**/**)
+
+(** Test-only: forge a copy of [t] re-signed by [wallet] with a different
+    sender (used by free-riding attack tests). *)
+val resend_as : wallet:Wallet.t -> nonce:int -> t -> t

@@ -1,0 +1,9 @@
+type t = { priv : Zebra_rsa.Rsa.private_key; addr : Address.t }
+
+let generate ?(bits = 512) ~random_bytes () =
+  let priv = Zebra_rsa.Rsa.generate ~bits ~random_bytes in
+  { priv; addr = Address.of_public_key priv.Zebra_rsa.Rsa.pub }
+
+let address w = w.addr
+let public_key w = w.priv.Zebra_rsa.Rsa.pub
+let sign w msg = Zebra_rsa.Pkcs1.sign w.priv msg

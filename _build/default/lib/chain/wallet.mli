@@ -1,0 +1,18 @@
+(** A wallet: an RSA signing keypair plus its derived blockchain address.
+
+    The protocol layer creates a {e fresh one-task-only} wallet per task and
+    per participation (the paper's footnote-8 countermeasure against
+    de-anonymisation through address reuse). *)
+
+type t
+
+(** [generate ?bits ~random_bytes ()] — default 512-bit keys (the simulated
+    chain's signature security is not the experiment under test; benches
+    use 2048 where the paper does). *)
+val generate : ?bits:int -> random_bytes:(int -> bytes) -> unit -> t
+
+val address : t -> Address.t
+val public_key : t -> Zebra_rsa.Rsa.public_key
+
+(** [sign w msg] — RSASSA-PKCS1-v1_5/SHA-256. *)
+val sign : t -> bytes -> bytes

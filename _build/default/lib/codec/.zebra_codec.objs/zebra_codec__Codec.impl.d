@@ -1,0 +1,1 @@
+lib/codec/codec.ml: Array Buffer Bytes Char List String

@@ -1,0 +1,1 @@
+lib/core/plain_auth.ml: Bytes Fp Zebra_codec Zebra_mimc Zebra_rsa

@@ -1,0 +1,1 @@
+lib/core/plain_auth.mli: Fp Zebra_rsa

@@ -1,0 +1,1 @@
+lib/core/protocol.ml: Bytes List Plain_auth Printf Ra_contract Requester Reward_circuit Task_contract Worker Zebra_anonauth Zebra_chain Zebra_rng Zebra_rsa

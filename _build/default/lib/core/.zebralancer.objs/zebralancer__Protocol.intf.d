@@ -1,0 +1,1 @@
+lib/core/protocol.mli: Plain_auth Policy Requester Reward_circuit Task_contract Zebra_anonauth Zebra_chain Zebra_rng Zebra_rsa

@@ -1,0 +1,1 @@
+lib/core/ra_contract.ml: Fp Zebra_chain Zebra_codec

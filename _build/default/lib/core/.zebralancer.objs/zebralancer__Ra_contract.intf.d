@@ -1,0 +1,1 @@
+lib/core/ra_contract.mli: Fp Zebra_chain

@@ -1,0 +1,1 @@
+lib/core/reputation.ml: Cs Fp Gadgets Zebra_anonauth Zebra_codec Zebra_mimc Zebra_r1cs Zebra_snark

@@ -1,0 +1,1 @@
+lib/core/reputation.mli: Fp Zebra_anonauth Zebra_snark

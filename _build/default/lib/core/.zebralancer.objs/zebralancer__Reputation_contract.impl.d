@@ -1,0 +1,1 @@
+lib/core/reputation_contract.ml: Format Fp List Printf Reputation Zebra_chain Zebra_codec Zebra_hashing Zebra_snark

@@ -1,0 +1,1 @@
+lib/core/reputation_contract.mli: Fp Zebra_chain

@@ -1,0 +1,1 @@
+lib/core/requester.ml: Array Bytes List Policy Reward_circuit Task_contract Zebra_anonauth Zebra_chain Zebra_elgamal Zebra_snark

@@ -1,0 +1,1 @@
+lib/core/requester.mli: Fp Policy Reward_circuit Task_contract Zebra_anonauth Zebra_chain Zebra_elgamal

@@ -1,0 +1,1 @@
+lib/core/reward_circuit.ml: Array Cs Fp Gadgets List Policy Printf Zebra_codec Zebra_elgamal Zebra_r1cs Zebra_snark

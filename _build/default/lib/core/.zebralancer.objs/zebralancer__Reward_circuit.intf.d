@@ -1,0 +1,1 @@
+lib/core/reward_circuit.mli: Fp Policy Zebra_elgamal Zebra_snark

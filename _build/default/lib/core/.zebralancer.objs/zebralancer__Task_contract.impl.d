@@ -1,0 +1,1 @@
+lib/core/task_contract.ml: Array Bytes Format Fp List Plain_auth Policy Printf Reward_circuit Zebra_anonauth Zebra_chain Zebra_codec Zebra_elgamal Zebra_hashing Zebra_rsa Zebra_snark

@@ -1,0 +1,1 @@
+lib/core/task_contract.mli: Fp Policy Zebra_chain Zebra_elgamal

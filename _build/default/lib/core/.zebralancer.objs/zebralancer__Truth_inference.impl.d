@@ -1,0 +1,1 @@
+lib/core/truth_inference.ml: Array Bytes Char

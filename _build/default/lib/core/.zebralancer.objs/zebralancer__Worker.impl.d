@@ -1,0 +1,1 @@
+lib/core/worker.ml: Fp List Plain_auth Policy Task_contract Zebra_anonauth Zebra_chain Zebra_codec Zebra_elgamal

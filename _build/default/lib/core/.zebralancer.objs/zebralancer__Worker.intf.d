@@ -1,0 +1,1 @@
+lib/core/worker.mli: Fp Plain_auth Task_contract Zebra_anonauth Zebra_chain Zebra_rsa

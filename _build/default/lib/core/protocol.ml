@@ -1,0 +1,222 @@
+module Network = Zebra_chain.Network
+module Wallet = Zebra_chain.Wallet
+module Address = Zebra_chain.Address
+module Tx = Zebra_chain.Tx
+module State = Zebra_chain.State
+module Cpla = Zebra_anonauth.Cpla
+module Ra = Zebra_anonauth.Ra
+module Chacha20 = Zebra_rng.Chacha20
+
+type system = {
+  net : Network.t;
+  cpla : Cpla.params;
+  ra : Ra.t;
+  ra_contract : Address.t;
+  faucet : Wallet.t;
+  ra_rsa : Zebra_rsa.Rsa.private_key;
+  rng : Chacha20.t;
+}
+
+type identity = { key : Cpla.user_key; cert_index : int }
+
+let random_bytes sys n = Chacha20.bytes sys.rng n
+
+let faucet_supply = 1_000_000_000
+
+(* Mines the pending block and returns the receipt of [tx]. *)
+let mine_for sys tx =
+  ignore (Network.mine sys.net);
+  match Network.receipt sys.net (Tx.hash tx) with
+  | Some r -> r
+  | None -> failwith "Protocol: transaction was not mined"
+
+let expect_ok what (r : State.receipt) =
+  match r.State.status with
+  | State.Ok addr -> addr
+  | State.Failed e -> failwith (Printf.sprintf "Protocol: %s failed: %s" what e)
+
+let create_system ?(num_nodes = 3) ?(tree_depth = 6) ?(wallet_bits = 512) ~seed () =
+  Task_contract.register ();
+  Ra_contract.register ();
+  let rng = Chacha20.create ~seed in
+  let rb n = Chacha20.bytes rng n in
+  let faucet = Wallet.generate ~bits:wallet_bits ~random_bytes:rb () in
+  let net =
+    Network.create ~num_nodes ~genesis:[ (Wallet.address faucet, faucet_supply) ] ()
+  in
+  let cpla = Cpla.setup ~random_bytes:rb ~depth:tree_depth in
+  let ra = Ra.create ~depth:tree_depth in
+  let deploy =
+    Tx.make ~wallet:faucet ~nonce:0
+      ~dst:
+        (Tx.Create
+           {
+             behavior = Ra_contract.behavior_name;
+             args = Ra_contract.init_args ~auth_vk:(Cpla.vk_to_bytes cpla) ~root:(Ra.root ra);
+           })
+      ~value:0 ~payload:Bytes.empty
+  in
+  Network.submit net deploy;
+  let ra_rsa = Zebra_rsa.Rsa.generate ~bits:wallet_bits ~random_bytes:rb in
+  let sys =
+    {
+      net;
+      cpla;
+      ra;
+      ra_contract = Address.of_creator (Wallet.address faucet) 0;
+      faucet;
+      ra_rsa;
+      rng;
+    }
+  in
+  (match expect_ok "RA contract deployment" (mine_for sys deploy) with
+  | Some _ -> ()
+  | None -> failwith "Protocol: RA deployment returned no address");
+  sys
+
+(* The RA operator (we reuse the faucet wallet as the operator) posts the
+   new root after each registration. *)
+let post_root sys =
+  let tx =
+    Tx.make ~wallet:sys.faucet
+      ~nonce:(Network.nonce sys.net (Wallet.address sys.faucet))
+      ~dst:(Tx.Call sys.ra_contract) ~value:0
+      ~payload:(Ra_contract.set_root_msg (Ra.root sys.ra))
+  in
+  Network.submit sys.net tx;
+  ignore (expect_ok "RA root update" (mine_for sys tx))
+
+let enroll sys =
+  let key = Cpla.keygen ~random_bytes:(random_bytes sys) in
+  let cert_index = Ra.register sys.ra key.Cpla.pk in
+  post_root sys;
+  { key; cert_index }
+
+let enroll_plain sys =
+  let priv = Zebra_rsa.Rsa.generate ~bits:512 ~random_bytes:(random_bytes sys) in
+  let cert = Plain_auth.issue ~ra_priv:sys.ra_rsa priv.Zebra_rsa.Rsa.pub in
+  (priv, cert)
+
+let ra_rsa_pub_bytes sys = Zebra_rsa.Rsa.public_key_to_bytes sys.ra_rsa.Zebra_rsa.Rsa.pub
+
+let fresh_funded_wallet sys ~amount =
+  let wallet = Wallet.generate ~random_bytes:(random_bytes sys) () in
+  let tx =
+    Tx.make ~wallet:sys.faucet
+      ~nonce:(Network.nonce sys.net (Wallet.address sys.faucet))
+      ~dst:(Tx.Call (Wallet.address wallet))
+      ~value:amount ~payload:Bytes.empty
+  in
+  Network.submit sys.net tx;
+  ignore (expect_ok "faucet funding" (mine_for sys tx));
+  wallet
+
+let task_storage sys contract =
+  match Network.contract_storage sys.net contract with
+  | Some bytes -> Task_contract.storage_of_bytes bytes
+  | None -> failwith "Protocol: no such task contract"
+
+let publish_task sys ~requester ~policy ~n ~budget ?(answer_window = 20)
+    ?(instruct_window = 40) ?(max_per_worker = 1) ?(ra_rsa_pub = Bytes.empty)
+    ?(data_digest = Bytes.empty) ?circuit () =
+  let wallet = fresh_funded_wallet sys ~amount:(budget + 1) in
+  let height = Network.height sys.net in
+  let task, tx =
+    Requester.create_task ?circuit ~max_per_worker ~ra_rsa_pub ~data_digest
+      ~random_bytes:(random_bytes sys) ~cpla:sys.cpla
+      ~key:requester.key ~cert_index:requester.cert_index
+      ~ra_path:(Ra.path sys.ra requester.cert_index)
+      ~ra_root:(Ra.root sys.ra) ~wallet ~nonce:0 ~policy ~n ~budget
+      ~answer_deadline:(height + answer_window)
+      ~instruct_deadline:(height + answer_window + instruct_window)
+      ()
+  in
+  Network.submit sys.net tx;
+  (match expect_ok "task deployment" (mine_for sys tx) with
+  | Some addr when Address.equal addr task.Requester.contract -> ()
+  | Some _ -> failwith "Protocol: contract address prediction failed"
+  | None -> failwith "Protocol: deployment returned no address");
+  task
+
+let submit_answers sys ~task ~workers =
+  let storage = task_storage sys task in
+  let root = storage.Task_contract.params.Task_contract.ra_root in
+  let txs_wallets =
+    List.map
+      (fun (identity, answer) ->
+        let wallet = fresh_funded_wallet sys ~amount:10 in
+        (match
+           Worker.validate_task ~storage ~contract:task ~balance:(Network.balance sys.net task)
+             ~height:(Network.height sys.net) ~expected_root:root
+         with
+        | Ok () -> ()
+        | Error e -> failwith ("Protocol: task validation failed: " ^ Worker.validation_error_to_string e));
+        let tx =
+          Worker.submit_tx ~random_bytes:(random_bytes sys) ~cpla:sys.cpla ~storage
+            ~contract:task ~wallet ~key:identity.key ~cert_index:identity.cert_index
+            ~ra_path:(Ra.path sys.ra identity.cert_index)
+            ~answer ~nonce:0
+        in
+        Network.submit sys.net tx;
+        (tx, wallet))
+      workers
+  in
+  ignore (Network.mine sys.net);
+  List.map
+    (fun (tx, wallet) ->
+      (match Network.receipt sys.net (Tx.hash tx) with
+      | Some { State.status = State.Ok _; _ } -> ()
+      | Some { State.status = State.Failed e; _ } ->
+        failwith ("Protocol: submission rejected: " ^ e)
+      | None -> failwith "Protocol: submission not mined");
+      wallet)
+    txs_wallets
+
+let reward sys (task : Requester.task) =
+  let storage = task_storage sys task.Requester.contract in
+  let rewards, tx =
+    Requester.instruct ~random_bytes:(random_bytes sys) task ~storage
+      ~nonce:(Network.nonce sys.net (Wallet.address task.Requester.wallet))
+  in
+  Network.submit sys.net tx;
+  ignore (expect_ok "reward instruction" (mine_for sys tx));
+  rewards
+
+let finalize sys (task : Requester.task) =
+  Network.mine_until sys.net
+    ~height:(task.Requester.params.Task_contract.instruct_deadline + 1);
+  let caller = fresh_funded_wallet sys ~amount:10 in
+  let tx =
+    Tx.make ~wallet:caller ~nonce:0 ~dst:(Tx.Call task.Requester.contract) ~value:0
+      ~payload:(Task_contract.message_to_bytes Task_contract.Finalize)
+  in
+  Network.submit sys.net tx;
+  ignore (expect_ok "finalize" (mine_for sys tx))
+
+let run_batch sys ~policy ~budget_per_task ~answer_sets =
+  (match answer_sets with
+  | [] -> invalid_arg "Protocol.run_batch: empty batch"
+  | first :: rest ->
+    let n = List.length first in
+    if n = 0 || List.exists (fun a -> List.length a <> n) rest then
+      invalid_arg "Protocol.run_batch: ragged answer sets");
+  let n = List.length (List.hd answer_sets) in
+  let circuit = Reward_circuit.setup ~random_bytes:(random_bytes sys) ~policy ~n in
+  let requester = enroll sys in
+  let workers = List.init n (fun _ -> enroll sys) in
+  List.map
+    (fun answers ->
+      let task = publish_task sys ~requester ~policy ~n ~budget:budget_per_task ~circuit () in
+      let pairs = List.map2 (fun w a -> (w, a)) workers answers in
+      let _ = submit_answers sys ~task:task.Requester.contract ~workers:pairs in
+      reward sys task)
+    answer_sets
+
+let run_task sys ~policy ~budget ~answers =
+  let requester = enroll sys in
+  let workers = List.map (fun a -> (enroll sys, a)) answers in
+  let n = List.length answers in
+  let task = publish_task sys ~requester ~policy ~n ~budget () in
+  let wallets = submit_answers sys ~task:task.Requester.contract ~workers in
+  let rewards = reward sys task in
+  (task, wallets, rewards)

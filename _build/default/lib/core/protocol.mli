@@ -1,0 +1,105 @@
+(** End-to-end protocol orchestration over the simulated network.
+
+    This module wires the pieces into the four phases of Section V-B —
+    Register, TaskPublish, AnswerCollection, Reward — plus the timeout
+    fallback, and is what the examples, integration tests and benchmarks
+    drive.  Lower-level steps are exposed so adversarial scenarios can
+    deviate at any point. *)
+
+type system = {
+  net : Zebra_chain.Network.t;
+  cpla : Zebra_anonauth.Cpla.params;
+  ra : Zebra_anonauth.Ra.t;
+  ra_contract : Zebra_chain.Address.t;
+  faucet : Zebra_chain.Wallet.t;
+  ra_rsa : Zebra_rsa.Rsa.private_key;
+      (** the RA's classical signing key for the non-anonymous mode *)
+  rng : Zebra_rng.Chacha20.t;
+}
+
+(** A registered participant: long-term CPLA identity plus certificate. *)
+type identity = { key : Zebra_anonauth.Cpla.user_key; cert_index : int }
+
+(** [create_system ~seed ()] boots a fresh chain (default 3 nodes), runs the
+    CPLA trusted setup (default RA tree depth 6), deploys the RA interface
+    contract, and funds a faucet. *)
+val create_system :
+  ?num_nodes:int -> ?tree_depth:int -> ?wallet_bits:int -> seed:string -> unit -> system
+
+val random_bytes : system -> int -> bytes
+
+(** Register phase: one-off identity creation at the RA (off-chain), with
+    the new tree root posted to the RA contract. *)
+val enroll : system -> identity
+
+(** Register for the non-anonymous mode: an RSA keypair plus the RA's
+    classical certificate over it. *)
+val enroll_plain : system -> Zebra_rsa.Rsa.private_key * Plain_auth.cert
+
+(** Serialised RA key to put in task params to enable plain submissions. *)
+val ra_rsa_pub_bytes : system -> bytes
+
+(** [fresh_funded_wallet sys ~amount] — a new one-task-only address funded
+    from the faucet (one block is mined). *)
+val fresh_funded_wallet : system -> amount:int -> Zebra_chain.Wallet.t
+
+(** Read and decode a task contract's storage from the chain. *)
+val task_storage : system -> Zebra_chain.Address.t -> Task_contract.storage
+
+(** TaskPublish: returns the requester's task handle after the deployment
+    transaction is mined.  Deadlines are windows in blocks from now.
+    @raise Failure if deployment fails. *)
+val publish_task :
+  system ->
+  requester:identity ->
+  policy:Policy.t ->
+  n:int ->
+  budget:int ->
+  ?answer_window:int ->
+  ?instruct_window:int ->
+  ?max_per_worker:int ->
+  ?ra_rsa_pub:bytes ->
+  ?data_digest:bytes ->
+  ?circuit:Reward_circuit.t ->
+  unit ->
+  Requester.task
+
+(** AnswerCollection: each worker validates the task and submits one
+    encrypted answer from a fresh address; everything is mined into the
+    next block(s).  Returns each worker's one-task wallet (to observe the
+    payment).  @raise Failure if a submission is rejected. *)
+val submit_answers :
+  system ->
+  task:Zebra_chain.Address.t ->
+  workers:(identity * int) list ->
+  Zebra_chain.Wallet.t list
+
+(** Reward: the requester decrypts, computes rewards, proves and instructs;
+    mined immediately.  Returns the reward vector.
+    @raise Failure if the contract rejects the instruction. *)
+val reward : system -> Requester.task -> int array
+
+(** Fallback: mine past the instruction deadline and have anyone call
+    Finalize. *)
+val finalize : system -> Requester.task -> unit
+
+(** Batch driver for same-shape tasks: one requester, one worker pool, one
+    reward-circuit setup shared across the whole batch (the amortisation a
+    data-set-scale deployment needs).  Each inner list is one task's
+    answers; all must have the same length. *)
+val run_batch :
+  system ->
+  policy:Policy.t ->
+  budget_per_task:int ->
+  answer_sets:int list list ->
+  int array list
+
+(** One-call driver used by examples and benches: publish, collect the
+    given answers, reward.  Returns the task, the worker wallets (in
+    submission order) and the reward vector. *)
+val run_task :
+  system ->
+  policy:Policy.t ->
+  budget:int ->
+  answers:int list ->
+  Requester.task * Zebra_chain.Wallet.t list * int array

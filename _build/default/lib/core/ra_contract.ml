@@ -1,0 +1,69 @@
+module Codec = Zebra_codec.Codec
+module Contract = Zebra_chain.Contract
+module Address = Zebra_chain.Address
+
+type storage = {
+  operator : Address.t;
+  auth_vk : bytes;
+  root : Fp.t;
+  history : Fp.t list;
+}
+
+let behavior_name = "zebralancer-ra"
+
+let write_fp w x = Codec.bytes w (Fp.to_bytes_be x)
+let read_fp r = Fp.of_bytes_be_exn (Codec.read_bytes r)
+
+let write_storage w st =
+  Codec.bytes w (Address.to_bytes st.operator);
+  Codec.bytes w st.auth_vk;
+  write_fp w st.root;
+  Codec.list w write_fp st.history
+
+let read_storage r =
+  let operator = Address.of_bytes (Codec.read_bytes r) in
+  let auth_vk = Codec.read_bytes r in
+  let root = read_fp r in
+  let history = Codec.read_list r read_fp in
+  { operator; auth_vk; root; history }
+
+let storage_of_bytes = Codec.decode read_storage
+
+let init_args ~auth_vk ~root =
+  Codec.encode
+    (fun w () ->
+      Codec.bytes w auth_vk;
+      write_fp w root)
+    ()
+
+let set_root_msg root = Codec.encode write_fp root
+
+module Behavior = struct
+  type nonrec storage = storage
+
+  let name = behavior_name
+  let encode = Codec.encode write_storage
+  let decode = Codec.decode read_storage
+
+  let init (ctx : Contract.context) args =
+    Codec.decode
+      (fun r ->
+        let auth_vk = Codec.read_bytes r in
+        let root = read_fp r in
+        { operator = ctx.Contract.sender; auth_vk; root; history = [] })
+      args
+
+  let receive (ctx : Contract.context) st payload =
+    if not (Address.equal ctx.Contract.sender st.operator) then
+      raise (Contract.Revert "only the RA operator updates the root");
+    let root = Codec.decode read_fp payload in
+    ({ st with root; history = st.root :: st.history }, [ Contract.Log "ra root updated" ])
+end
+
+let registered = ref false
+
+let register () =
+  if not !registered then begin
+    Contract.register (module Behavior);
+    registered := true
+  end

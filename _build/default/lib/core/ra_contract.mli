@@ -1,0 +1,26 @@
+(** The registration authority's interface contract (paper Fig. 3): posts
+    the system's master public key — the CPLA verification key and the
+    current certificate-tree root — as common knowledge on the blockchain.
+
+    Only the RA operator address may update the root (registrations change
+    it); everyone reads it.  Task contracts snapshot the root at publication
+    time, so in-flight tasks are unaffected by later registrations. *)
+
+type storage = {
+  operator : Zebra_chain.Address.t;
+  auth_vk : bytes;
+  root : Fp.t;
+  history : Fp.t list;  (** previous roots, newest first *)
+}
+
+val behavior_name : string
+
+val register : unit -> unit
+
+(** Init args: the CPLA vk and initial root. *)
+val init_args : auth_vk:bytes -> root:Fp.t -> bytes
+
+(** Payload for a root update (operator only). *)
+val set_root_msg : Fp.t -> bytes
+
+val storage_of_bytes : bytes -> storage

@@ -1,0 +1,55 @@
+module Snark = Zebra_snark.Snark
+module Mimc = Zebra_mimc.Mimc
+module Cpla = Zebra_anonauth.Cpla
+open Zebra_r1cs
+
+type params = { keys : Snark.keypair; n_constraints : int }
+
+type claim_proof = Snark.proof
+
+(* Public inputs (in order): task_tag, pseudonym, task_prefix, epoch. *)
+let synthesize ~task_tag ~pseudonym ~task_prefix ~epoch ~sk =
+  let cs = Cs.create () in
+  let open Gadgets in
+  let v_tag = Cs.alloc_input cs task_tag in
+  let v_pseudo = Cs.alloc_input cs pseudonym in
+  let v_prefix = Cs.alloc_input cs task_prefix in
+  let v_epoch = Cs.alloc_input cs epoch in
+  let v_sk = Cs.alloc cs sk in
+  enforce_eq cs ~label:"task tag" (mimc_hash cs [ v v_prefix; v v_sk ]) (v v_tag);
+  enforce_eq cs ~label:"epoch pseudonym" (mimc_hash cs [ v v_epoch; v v_sk ]) (v v_pseudo);
+  cs
+
+let setup ~random_bytes =
+  let z = Fp.zero in
+  let cs = synthesize ~task_tag:z ~pseudonym:z ~task_prefix:z ~epoch:z ~sk:z in
+  { keys = Snark.setup ~random_bytes cs; n_constraints = Cs.num_constraints cs }
+
+let circuit_size p = p.n_constraints
+let vk_bytes p = Snark.vk_to_bytes p.keys.Snark.vk
+
+let epoch_field e =
+  if e < 0 then invalid_arg "Reputation: negative epoch";
+  Fp.of_int e
+
+let task_tag (key : Cpla.user_key) ~task_prefix = Mimc.hash_list [ task_prefix; key.Cpla.sk ]
+
+let epoch_pseudonym (key : Cpla.user_key) ~epoch =
+  Mimc.hash_list [ epoch_field epoch; key.Cpla.sk ]
+
+let prove_link ~random_bytes p ~key ~task_prefix ~epoch =
+  let cs =
+    synthesize
+      ~task_tag:(task_tag key ~task_prefix)
+      ~pseudonym:(epoch_pseudonym key ~epoch)
+      ~task_prefix ~epoch:(epoch_field epoch) ~sk:key.Cpla.sk
+  in
+  Snark.prove ~random_bytes p.keys.Snark.pk cs
+
+let verify_link ~vk_bytes ~task_tag ~pseudonym ~task_prefix ~epoch proof =
+  match Snark.vk_of_bytes vk_bytes with
+  | vk ->
+    Snark.verify vk
+      ~public_inputs:[| task_tag; pseudonym; task_prefix; epoch_field epoch |]
+      proof
+  | exception Zebra_codec.Codec.Decode_error _ -> false

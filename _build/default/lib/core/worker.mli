@@ -1,0 +1,55 @@
+(** Worker client (off-chain): task validation and anonymous submission. *)
+
+(** Why a worker declines a task. *)
+type validation_error =
+  | Budget_not_deposited
+  | Bad_requester_attestation
+  | Deadline_passed
+  | Task_closed
+  | Invalid_parameters of string
+
+val validation_error_to_string : validation_error -> string
+
+(** [validate_task ~storage ~contract ~balance ~height ~expected_root] — the
+    due-diligence checks the paper prescribes before contributing: the
+    budget really sits at alpha_C, the requester's attestation verifies for
+    this very contract address (so the task is not a copy of someone
+    else's), the RA root matches the one the worker trusts, and collection
+    is still open. *)
+val validate_task :
+  storage:Task_contract.storage ->
+  contract:Zebra_chain.Address.t ->
+  balance:int ->
+  height:int ->
+  expected_root:Fp.t ->
+  (unit, validation_error) result
+
+(** [submit_tx ~random_bytes ~cpla ~storage ~contract ~wallet ~key
+     ~cert_index ~ra_path ~answer ~nonce] encrypts the answer under the
+    task key, authenticates [alpha_C || alpha_i || C_i], and returns the
+    signed submission transaction from the one-task address alpha_i. *)
+val submit_tx :
+  random_bytes:(int -> bytes) ->
+  cpla:Zebra_anonauth.Cpla.params ->
+  storage:Task_contract.storage ->
+  contract:Zebra_chain.Address.t ->
+  wallet:Zebra_chain.Wallet.t ->
+  key:Zebra_anonauth.Cpla.user_key ->
+  cert_index:int ->
+  ra_path:Fp.t array ->
+  answer:int ->
+  nonce:int ->
+  Zebra_chain.Tx.t
+
+(** Non-anonymous submission (paper Section VI): a plain RSA signature under
+    a classical RA certificate instead of a CPLA attestation. *)
+val submit_plain_tx :
+  random_bytes:(int -> bytes) ->
+  storage:Task_contract.storage ->
+  contract:Zebra_chain.Address.t ->
+  wallet:Zebra_chain.Wallet.t ->
+  priv:Zebra_rsa.Rsa.private_key ->
+  cert:Plain_auth.cert ->
+  answer:int ->
+  nonce:int ->
+  Zebra_chain.Tx.t

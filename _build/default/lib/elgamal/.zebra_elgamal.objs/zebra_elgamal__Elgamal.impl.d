@@ -1,0 +1,1 @@
+lib/elgamal/elgamal.ml: Array Fp Nat Prime Zebra_codec

@@ -1,0 +1,1 @@
+lib/field/fft.mli: Fp

@@ -1,0 +1,1 @@
+lib/field/fp.ml: Array Bytes Format Modular Nat Prime

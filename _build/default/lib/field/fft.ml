@@ -1,0 +1,120 @@
+type domain = {
+  log_size : int;
+  size : int;
+  omega : Fp.t;
+  omega_inv : Fp.t;
+  size_inv : Fp.t;
+}
+
+let domain n =
+  if n <= 0 then invalid_arg "Fft.domain: need positive size";
+  let rec log2_ceil k acc = if 1 lsl acc >= k then acc else log2_ceil k (acc + 1) in
+  let log_size = log2_ceil n 0 in
+  if log_size > Fp.two_adicity then invalid_arg "Fft.domain: exceeds field 2-adicity";
+  let size = 1 lsl log_size in
+  let omega = Fp.root_of_unity log_size in
+  { log_size; size; omega; omega_inv = Fp.inv omega; size_inv = Fp.inv (Fp.of_int size) }
+
+let size d = d.size
+let omega d = d.omega
+let element d i = Fp.pow_int d.omega i
+
+let bit_reverse_permute a =
+  let n = Array.length a in
+  let log_n =
+    let rec go k acc = if 1 lsl acc = k then acc else go k (acc + 1) in
+    go n 0
+  in
+  for i = 0 to n - 1 do
+    let j =
+      let r = ref 0 in
+      for b = 0 to log_n - 1 do
+        if i land (1 lsl b) <> 0 then r := !r lor (1 lsl (log_n - 1 - b))
+      done;
+      !r
+    in
+    if j > i then begin
+      let tmp = a.(i) in
+      a.(i) <- a.(j);
+      a.(j) <- tmp
+    end
+  done
+
+let ntt_in_place a root =
+  let n = Array.length a in
+  bit_reverse_permute a;
+  let len = ref 2 in
+  while !len <= n do
+    let w_len = Fp.pow_int root (n / !len) in
+    let half = !len / 2 in
+    let i = ref 0 in
+    while !i < n do
+      let w = ref Fp.one in
+      for j = 0 to half - 1 do
+        let u = a.(!i + j) in
+        let v = Fp.mul a.(!i + j + half) !w in
+        a.(!i + j) <- Fp.add u v;
+        a.(!i + j + half) <- Fp.sub u v;
+        w := Fp.mul !w w_len
+      done;
+      i := !i + !len
+    done;
+    len := !len * 2
+  done
+
+let check_len d a =
+  if Array.length a <> d.size then invalid_arg "Fft: array length must equal domain size"
+
+let fft d a =
+  check_len d a;
+  ntt_in_place a d.omega
+
+let ifft d a =
+  check_len d a;
+  ntt_in_place a d.omega_inv;
+  for i = 0 to d.size - 1 do
+    a.(i) <- Fp.mul a.(i) d.size_inv
+  done
+
+let coset_shift = Fp.generator
+
+let coset_fft d a =
+  check_len d a;
+  let g = ref Fp.one in
+  for i = 0 to d.size - 1 do
+    a.(i) <- Fp.mul a.(i) !g;
+    g := Fp.mul !g coset_shift
+  done;
+  fft d a
+
+let coset_ifft d a =
+  ifft d a;
+  let ginv = Fp.inv coset_shift in
+  let g = ref Fp.one in
+  for i = 0 to d.size - 1 do
+    a.(i) <- Fp.mul a.(i) !g;
+    g := Fp.mul !g ginv
+  done
+
+let vanishing_on_coset d = Fp.sub (Fp.pow_int coset_shift d.size) Fp.one
+let vanishing_at d x = Fp.sub (Fp.pow_int x d.size) Fp.one
+
+(* L_i(x) = Z(x) * omega^i / (size * (x - omega^i)) for x off-domain. *)
+let lagrange_at d x =
+  let n = d.size in
+  let z = vanishing_at d x in
+  if Fp.is_zero z then raise Division_by_zero;
+  let denoms = Array.make n Fp.one in
+  let wi = ref Fp.one in
+  for i = 0 to n - 1 do
+    denoms.(i) <- Fp.mul (Fp.of_int n) (Fp.sub x !wi);
+    wi := Fp.mul !wi d.omega
+  done;
+  let inv_denoms = Fp.batch_inv denoms in
+  let out = Array.make n Fp.zero in
+  let wi = ref Fp.one in
+  for i = 0 to n - 1 do
+    out.(i) <- Fp.mul (Fp.mul z !wi) inv_denoms.(i);
+    wi := Fp.mul !wi d.omega
+  done;
+  out

@@ -1,0 +1,46 @@
+(** Radix-2 number-theoretic transforms over {!Fp}.
+
+    An evaluation {!domain} of size [2^k] carries the primitive root and the
+    precomputations needed by the QAP reduction: forward/inverse FFT and
+    coset (shifted) variants used to divide by the vanishing polynomial. *)
+
+type domain
+
+(** [domain n] builds the smallest power-of-two domain of size [>= n].
+    @raise Invalid_argument if that exceeds the field's 2-adicity. *)
+val domain : int -> domain
+
+val size : domain -> int
+
+(** The domain generator omega (primitive [size]-th root of unity). *)
+val omega : domain -> Fp.t
+
+(** [element d i] is omega^i. *)
+val element : domain -> int -> Fp.t
+
+(** In-place forward FFT: coefficients -> evaluations on the domain.
+    The array length must equal [size d]. *)
+val fft : domain -> Fp.t array -> unit
+
+(** In-place inverse FFT: evaluations -> coefficients. *)
+val ifft : domain -> Fp.t array -> unit
+
+(** Coset transforms over the shifted domain [g * <omega>] where [g] is the
+    field's multiplicative generator; the vanishing polynomial
+    [Z(x) = x^size - 1] is the nonzero constant [g^size - 1] there, which is
+    how the QAP prover divides by [Z] exactly. *)
+val coset_fft : domain -> Fp.t array -> unit
+
+val coset_ifft : domain -> Fp.t array -> unit
+
+(** [vanishing_on_coset d] is [g^size - 1]. *)
+val vanishing_on_coset : domain -> Fp.t
+
+(** [vanishing_at d x] evaluates [Z(x) = x^size - 1]. *)
+val vanishing_at : domain -> Fp.t -> Fp.t
+
+(** [lagrange_at d x] evaluates every Lagrange basis polynomial of the
+    domain at the point [x] (off-domain), in O(size) field operations.
+    Used by the SNARK setup.  @raise Division_by_zero when [x] is in the
+    domain. *)
+val lagrange_at : domain -> Fp.t -> Fp.t array

@@ -1,0 +1,88 @@
+let modulus =
+  Nat.of_decimal_string
+    "21888242871839275222246405745257275088548364400416034343698204186575808495617"
+
+let ctx = Modular.create modulus
+
+type t = Modular.mont
+
+let zero = Modular.mont_zero ctx
+let one = Modular.mont_one ctx
+
+let of_nat n = Modular.to_mont ctx n
+let to_nat x = Modular.of_mont ctx x
+
+let of_int n =
+  if n >= 0 then of_nat (Nat.of_int n)
+  else Modular.mont_neg ctx (of_nat (Nat.of_int (-n)))
+
+let two = of_int 2
+
+let of_bytes_be b = of_nat (Nat.of_bytes_be b)
+
+let to_bytes_be x = Nat.to_bytes_be ~len:32 (to_nat x)
+
+let of_bytes_be_exn b =
+  if Bytes.length b <> 32 then invalid_arg "Fp.of_bytes_be_exn: need 32 bytes";
+  let n = Nat.of_bytes_be b in
+  if Nat.compare n modulus >= 0 then invalid_arg "Fp.of_bytes_be_exn: not canonical";
+  of_nat n
+
+let of_decimal_string s = of_nat (Nat.of_decimal_string s)
+let to_decimal_string x = Nat.to_decimal_string (to_nat x)
+
+let equal = Modular.mont_equal
+let is_zero x = Modular.mont_equal x zero
+let compare a b = Nat.compare (to_nat a) (to_nat b)
+
+let add = Modular.mont_add ctx
+let sub = Modular.mont_sub ctx
+let neg = Modular.mont_neg ctx
+let mul = Modular.mont_mul ctx
+let sqr = Modular.mont_sqr ctx
+let inv x = if is_zero x then raise Division_by_zero else Modular.mont_inv ctx x
+let div a b = mul a (inv b)
+let pow b e = Modular.mont_pow ctx b e
+let pow_int b e =
+  if e >= 0 then pow b (Nat.of_int e) else inv (pow b (Nat.of_int (-e)))
+
+let generator = of_int 5
+let two_adicity = 28
+
+(* 5^((r-1)/2^28) generates the 2^28-torsion; square down for smaller k. *)
+let max_root =
+  let odd_part = Nat.shift_right (Nat.sub modulus Nat.one) two_adicity in
+  pow generator odd_part
+
+let root_of_unity k =
+  if k < 0 || k > two_adicity then invalid_arg "Fp.root_of_unity: k out of range";
+  let r = ref max_root in
+  for _ = 1 to two_adicity - k do
+    r := sqr !r
+  done;
+  !r
+
+let random random_bytes =
+  of_nat (Prime.random_below ~random_bytes:(fun n -> random_bytes n) modulus)
+
+let batch_inv a =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else begin
+    let prefix = Array.make n one in
+    let acc = ref one in
+    for i = 0 to n - 1 do
+      prefix.(i) <- !acc;
+      if is_zero a.(i) then raise Division_by_zero;
+      acc := mul !acc a.(i)
+    done;
+    let inv_acc = ref (inv !acc) in
+    let out = Array.make n one in
+    for i = n - 1 downto 0 do
+      out.(i) <- mul !inv_acc prefix.(i);
+      inv_acc := mul !inv_acc a.(i)
+    done;
+    out
+  end
+
+let pp fmt x = Format.pp_print_string fmt (to_decimal_string x)

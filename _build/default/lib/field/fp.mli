@@ -1,0 +1,72 @@
+(** The SNARK scalar field: integers modulo the BN254 group order
+
+    r = 21888242871839275222246405745257275088548364400416034343698204186575808495617
+
+    chosen for its high 2-adicity (r - 1 is divisible by 2^28), which enables
+    radix-2 FFTs over evaluation domains of up to 2^28 points.  Elements are
+    kept in Montgomery form internally. *)
+
+type t
+
+val modulus : Nat.t
+
+val zero : t
+val one : t
+val two : t
+
+val of_int : int -> t
+
+(** [of_nat n] reduces [n] modulo r. *)
+val of_nat : Nat.t -> t
+
+val to_nat : t -> Nat.t
+
+(** [of_bytes_be b] reduces the big-endian bytes modulo r (used to map
+    SHA-256 digests and addresses into the field). *)
+val of_bytes_be : bytes -> t
+
+(** Canonical 32-byte big-endian encoding. *)
+val to_bytes_be : t -> bytes
+
+val of_bytes_be_exn : bytes -> t
+(** [of_bytes_be_exn] requires a canonical 32-byte encoding strictly below r.
+    @raise Invalid_argument otherwise.  Use for deserialising proofs. *)
+
+val of_decimal_string : string -> t
+val to_decimal_string : t -> string
+
+val equal : t -> t -> bool
+val is_zero : t -> bool
+val compare : t -> t -> int
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mul : t -> t -> t
+val sqr : t -> t
+
+(** @raise Division_by_zero on zero. *)
+val inv : t -> t
+
+val div : t -> t -> t
+
+val pow : t -> Nat.t -> t
+val pow_int : t -> int -> t
+
+(** Multiplicative generator of the full group (5 for this field). *)
+val generator : t
+
+(** r - 1 = 2^28 * odd. *)
+val two_adicity : int
+
+(** [root_of_unity k] is a primitive 2^k-th root of unity, 0 <= k <= 28. *)
+val root_of_unity : int -> t
+
+(** [random random_bytes] samples uniformly. *)
+val random : (int -> bytes) -> t
+
+(** [batch_inv a] inverts every element of [a] with one field inversion
+    (Montgomery's trick).  @raise Division_by_zero if any element is zero. *)
+val batch_inv : t array -> t array
+
+val pp : Format.formatter -> t -> unit

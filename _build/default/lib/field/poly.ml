@@ -1,0 +1,114 @@
+type t = Fp.t array (* little-endian, no trailing zeros *)
+
+let trim a =
+  let n = ref (Array.length a) in
+  while !n > 0 && Fp.is_zero a.(!n - 1) do
+    decr n
+  done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let zero = [||]
+let one = [| Fp.one |]
+
+let of_coeffs a = trim a
+let coeffs p = Array.copy p
+let degree p = Array.length p - 1
+
+let equal a b =
+  Array.length a = Array.length b && Array.for_all2 Fp.equal a b
+
+let add a b =
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make (max la lb) Fp.zero in
+  for i = 0 to Array.length r - 1 do
+    let x = if i < la then a.(i) else Fp.zero in
+    let y = if i < lb then b.(i) else Fp.zero in
+    r.(i) <- Fp.add x y
+  done;
+  trim r
+
+let sub a b =
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make (max la lb) Fp.zero in
+  for i = 0 to Array.length r - 1 do
+    let x = if i < la then a.(i) else Fp.zero in
+    let y = if i < lb then b.(i) else Fp.zero in
+    r.(i) <- Fp.sub x y
+  done;
+  trim r
+
+let scale c a =
+  if Fp.is_zero c then zero else trim (Array.map (Fp.mul c) a)
+
+let mul a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then zero
+  else begin
+    let r = Array.make (la + lb - 1) Fp.zero in
+    for i = 0 to la - 1 do
+      if not (Fp.is_zero a.(i)) then
+        for j = 0 to lb - 1 do
+          r.(i + j) <- Fp.add r.(i + j) (Fp.mul a.(i) b.(j))
+        done
+    done;
+    trim r
+  end
+
+let eval p x =
+  let acc = ref Fp.zero in
+  for i = Array.length p - 1 downto 0 do
+    acc := Fp.add (Fp.mul !acc x) p.(i)
+  done;
+  !acc
+
+let divmod p d =
+  if Array.length d = 0 then raise Division_by_zero;
+  let dd = degree d in
+  let lead_inv = Fp.inv d.(dd) in
+  let r = Array.copy p in
+  let qlen = max 0 (Array.length p - dd) in
+  let q = Array.make qlen Fp.zero in
+  for i = Array.length p - 1 downto dd do
+    let c = Fp.mul r.(i) lead_inv in
+    if not (Fp.is_zero c) then begin
+      q.(i - dd) <- c;
+      for j = 0 to dd do
+        r.(i - dd + j) <- Fp.sub r.(i - dd + j) (Fp.mul c d.(j))
+      done
+    end
+  done;
+  (trim q, trim (if Array.length r > dd then Array.sub r 0 dd else r))
+
+let interpolate pts =
+  let pts = Array.of_list pts in
+  let n = Array.length pts in
+  Array.iteri
+    (fun i (xi, _) ->
+      Array.iteri
+        (fun j (xj, _) -> if i < j && Fp.equal xi xj then invalid_arg "Poly.interpolate: duplicate x")
+        pts)
+    pts;
+  let acc = ref zero in
+  for i = 0 to n - 1 do
+    let xi, yi = pts.(i) in
+    let basis = ref one in
+    for j = 0 to n - 1 do
+      if j <> i then begin
+        let xj, _ = pts.(j) in
+        (* (x - xj) / (xi - xj) *)
+        let denom_inv = Fp.inv (Fp.sub xi xj) in
+        basis := mul !basis [| Fp.mul (Fp.neg xj) denom_inv; denom_inv |]
+      end
+    done;
+    acc := add !acc (scale yi !basis)
+  done;
+  !acc
+
+let pp fmt p =
+  if Array.length p = 0 then Format.pp_print_string fmt "0"
+  else
+    Array.iteri
+      (fun i c ->
+        if i > 0 then Format.fprintf fmt " + ";
+        Format.fprintf fmt "%a*x^%d" Fp.pp c i)
+      p

@@ -1,0 +1,39 @@
+(** Dense univariate polynomials over {!Fp}, little-endian coefficients.
+
+    Only what the SNARK pipeline needs: arithmetic, evaluation, and
+    interpolation (naive Lagrange for tests, FFT-based elsewhere). *)
+
+type t
+
+val zero : t
+val one : t
+
+(** [of_coeffs a] takes ownership of [a] (trailing zeros are trimmed). *)
+val of_coeffs : Fp.t array -> t
+
+val coeffs : t -> Fp.t array
+
+(** Degree of the zero polynomial is -1. *)
+val degree : t -> int
+
+val equal : t -> t -> bool
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : Fp.t -> t -> t
+
+(** Schoolbook product (used for small polynomials and as the FFT oracle). *)
+val mul : t -> t -> t
+
+(** [eval p x] by Horner's rule. *)
+val eval : t -> Fp.t -> Fp.t
+
+(** [divmod p d]: euclidean division.  @raise Division_by_zero if [d = 0]. *)
+val divmod : t -> t -> t * t
+
+(** [interpolate pts] is the unique polynomial of degree < n through the
+    n points (naive O(n^2); test/reference use).
+    @raise Invalid_argument on duplicate abscissae. *)
+val interpolate : (Fp.t * Fp.t) list -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/hashing/merkle.ml: Array Bytes List Sha256

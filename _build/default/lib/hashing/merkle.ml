@@ -1,0 +1,54 @@
+let hash_leaf leaf =
+  let ctx = Sha256.init () in
+  Sha256.update_string ctx "leaf:";
+  Sha256.update ctx leaf;
+  Sha256.finalize ctx
+
+let hash_node l r =
+  let ctx = Sha256.init () in
+  Sha256.update_string ctx "node:";
+  Sha256.update ctx l;
+  Sha256.update ctx r;
+  Sha256.finalize ctx
+
+let level_up nodes =
+  let rec go = function
+    | [] -> []
+    | [ x ] -> [ hash_node x x ]
+    | x :: y :: rest -> hash_node x y :: go rest
+  in
+  go nodes
+
+let root leaves =
+  match List.map hash_leaf leaves with
+  | [] -> Sha256.digest_string ""
+  | nodes ->
+    let rec go = function
+      | [ r ] -> r
+      | nodes -> go (level_up nodes)
+    in
+    go nodes
+
+let proof leaves i =
+  let n = List.length leaves in
+  if i < 0 || i >= n then invalid_arg "Merkle.proof: index out of range";
+  let rec go nodes i acc =
+    match nodes with
+    | [ _ ] -> List.rev acc
+    | _ ->
+      let arr = Array.of_list nodes in
+      let len = Array.length arr in
+      let sib_idx = if i land 1 = 0 then i + 1 else i - 1 in
+      let sib = if sib_idx < len then arr.(sib_idx) else arr.(i) in
+      let entry = (sib, i land 1 = 0) in
+      go (level_up nodes) (i / 2) (entry :: acc)
+  in
+  go (List.map hash_leaf leaves) i []
+
+let verify ~root:expected ~leaf path =
+  let h =
+    List.fold_left
+      (fun h (sib, sib_is_right) -> if sib_is_right then hash_node h sib else hash_node sib h)
+      (hash_leaf leaf) path
+  in
+  Bytes.equal h expected

@@ -1,0 +1,17 @@
+(** Binary SHA-256 Merkle trees over byte strings.
+
+    Used for the transaction root inside block headers.  (The registration
+    authority's certificate tree lives in {!Zebra_anonauth.Ra} and hashes
+    with MiMC instead, because it must be verified inside a SNARK.) *)
+
+(** [root leaves] is the Merkle root; leaves are first hashed with a leaf
+    domain separator, and odd levels duplicate the last node (Bitcoin
+    style).  The root of an empty list is the hash of the empty string. *)
+val root : bytes list -> bytes
+
+(** [proof leaves i] is the authentication path for leaf [i] as a list of
+    [(sibling_hash, sibling_is_right)] pairs from leaf level upward. *)
+val proof : bytes list -> int -> (bytes * bool) list
+
+(** [verify ~root ~leaf proof] checks an authentication path. *)
+val verify : root:bytes -> leaf:bytes -> (bytes * bool) list -> bool

@@ -1,0 +1,1 @@
+lib/mimc/mimc.ml: Array Fp List Modular Nat Printf Zebra_hashing

@@ -1,0 +1,1 @@
+lib/mimc/mimc.mli: Fp

@@ -1,0 +1,1 @@
+lib/numeric/nat.ml: Array Buffer Bytes Char Format Stdlib String

@@ -1,0 +1,1 @@
+lib/numeric/nat.mli: Format

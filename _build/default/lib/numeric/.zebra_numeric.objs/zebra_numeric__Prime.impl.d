@@ -1,0 +1,1 @@
+lib/numeric/prime.ml: Array Bytes Char Modular Nat

@@ -1,0 +1,1 @@
+lib/numeric/prime.mli: Nat

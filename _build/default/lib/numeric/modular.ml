@@ -1,0 +1,259 @@
+let limb_bits = Nat.limb_bits
+let base = 1 lsl limb_bits
+let mask = base - 1
+
+type ctx = {
+  m : Nat.t;
+  m_limbs : int array; (* fixed width n *)
+  n : int; (* limb count *)
+  m0' : int; (* -m^{-1} mod 2^31 *)
+  r2 : int array; (* (2^31)^(2n) mod m, Montgomery form of R *)
+  one_m : int array; (* Montgomery form of 1 *)
+}
+
+type mont = int array (* fixed width ctx.n, value < m *)
+
+(* Inverse of odd [v] modulo 2^31 by Newton iteration. *)
+let inv_limb v =
+  let x = ref v in
+  for _ = 1 to 5 do
+    x := (!x * (2 - (v * !x))) land mask
+  done;
+  !x
+
+let fixed_width n a =
+  let la = Array.length a in
+  if la > n then invalid_arg "Modular: operand wider than modulus";
+  let r = Array.make n 0 in
+  Array.blit a 0 r 0 la;
+  r
+
+let create m =
+  if Nat.is_even m then invalid_arg "Modular.create: even modulus";
+  if Nat.compare m Nat.two <= 0 then invalid_arg "Modular.create: modulus < 3";
+  let ml = Nat.limbs m in
+  let n = Array.length ml in
+  let m0' = (base - inv_limb ml.(0)) land mask in
+  let r2_nat = Nat.rem (Nat.shift_left Nat.one (2 * n * limb_bits)) m in
+  let r1_nat = Nat.rem (Nat.shift_left Nat.one (n * limb_bits)) m in
+  {
+    m;
+    m_limbs = fixed_width n ml;
+    n;
+    m0';
+    r2 = fixed_width n (Nat.limbs r2_nat);
+    one_m = fixed_width n (Nat.limbs r1_nat);
+  }
+
+let modulus ctx = ctx.m
+let num_limbs ctx = ctx.n
+
+(* Compare fixed-width little-endian arrays. *)
+let cmp_fixed a b n =
+  let rec go i =
+    if i < 0 then 0
+    else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
+    else go (i - 1)
+  in
+  go (n - 1)
+
+(* r <- a - m (in place allowed when r == a); assumes a >= m. *)
+let sub_m ctx a r =
+  let borrow = ref 0 in
+  for i = 0 to ctx.n - 1 do
+    let d = a.(i) - ctx.m_limbs.(i) - !borrow in
+    if d < 0 then begin
+      r.(i) <- d + base;
+      borrow := 1
+    end
+    else begin
+      r.(i) <- d;
+      borrow := 0
+    end
+  done
+
+(* CIOS Montgomery multiplication: returns a*b*R^{-1} mod m. *)
+let mont_mul ctx a b =
+  let n = ctx.n in
+  let t = Array.make (n + 2) 0 in
+  for i = 0 to n - 1 do
+    let ai = a.(i) in
+    let c = ref 0 in
+    for j = 0 to n - 1 do
+      let acc = t.(j) + (ai * b.(j)) + !c in
+      t.(j) <- acc land mask;
+      c := acc lsr limb_bits
+    done;
+    let acc = t.(n) + !c in
+    t.(n) <- acc land mask;
+    t.(n + 1) <- t.(n + 1) + (acc lsr limb_bits);
+    let mi = (t.(0) * ctx.m0') land mask in
+    let c = ref ((t.(0) + (mi * ctx.m_limbs.(0))) lsr limb_bits) in
+    for j = 1 to n - 1 do
+      let acc = t.(j) + (mi * ctx.m_limbs.(j)) + !c in
+      t.(j - 1) <- acc land mask;
+      c := acc lsr limb_bits
+    done;
+    let acc = t.(n) + !c in
+    t.(n - 1) <- acc land mask;
+    t.(n) <- t.(n + 1) + (acc lsr limb_bits);
+    t.(n + 1) <- 0
+  done;
+  let r = Array.sub t 0 n in
+  if t.(n) <> 0 || cmp_fixed r ctx.m_limbs n >= 0 then sub_m ctx r r;
+  r
+
+let mont_sqr ctx a = mont_mul ctx a a
+
+let mont_add ctx a b =
+  let n = ctx.n in
+  let r = Array.make n 0 in
+  let carry = ref 0 in
+  for i = 0 to n - 1 do
+    let s = a.(i) + b.(i) + !carry in
+    r.(i) <- s land mask;
+    carry := s lsr limb_bits
+  done;
+  if !carry <> 0 || cmp_fixed r ctx.m_limbs n >= 0 then sub_m ctx r r;
+  r
+
+let mont_sub ctx a b =
+  let n = ctx.n in
+  let r = Array.make n 0 in
+  let borrow = ref 0 in
+  for i = 0 to n - 1 do
+    let d = a.(i) - b.(i) - !borrow in
+    if d < 0 then begin
+      r.(i) <- d + base;
+      borrow := 1
+    end
+    else begin
+      r.(i) <- d;
+      borrow := 0
+    end
+  done;
+  if !borrow <> 0 then begin
+    (* add modulus back *)
+    let carry = ref 0 in
+    for i = 0 to n - 1 do
+      let s = r.(i) + ctx.m_limbs.(i) + !carry in
+      r.(i) <- s land mask;
+      carry := s lsr limb_bits
+    done
+  end;
+  r
+
+let mont_zero ctx = Array.make ctx.n 0
+let mont_one ctx = Array.copy ctx.one_m
+
+let mont_neg ctx a =
+  if Array.for_all (fun x -> x = 0) a then Array.copy a
+  else begin
+    let r = Array.make ctx.n 0 in
+    let borrow = ref 0 in
+    for i = 0 to ctx.n - 1 do
+      let d = ctx.m_limbs.(i) - a.(i) - !borrow in
+      if d < 0 then begin
+        r.(i) <- d + base;
+        borrow := 1
+      end
+      else begin
+        r.(i) <- d;
+        borrow := 0
+      end
+    done;
+    r
+  end
+
+let mont_equal a b = cmp_fixed a b (Array.length a) = 0
+
+let to_mont ctx x =
+  let x = if Nat.compare x ctx.m >= 0 then Nat.rem x ctx.m else x in
+  mont_mul ctx (fixed_width ctx.n (Nat.limbs x)) ctx.r2
+
+let of_mont ctx a = Nat.of_limbs (mont_mul ctx a (fixed_width ctx.n [| 1 |]))
+
+let mont_pow ctx b e =
+  let nb = Nat.num_bits e in
+  if nb = 0 then mont_one ctx
+  else begin
+    let acc = ref (Array.copy b) in
+    for i = nb - 2 downto 0 do
+      acc := mont_sqr ctx !acc;
+      if Nat.testbit e i then acc := mont_mul ctx !acc b
+    done;
+    !acc
+  end
+
+(* Binary inverse for odd modulus (HAC 14.61 specialisation). *)
+let inv_nat_odd a m =
+  let a = Nat.rem a m in
+  if Nat.is_zero a then raise Division_by_zero;
+  let half x =
+    (* x/2 mod m for odd m *)
+    if Nat.is_even x then Nat.shift_right x 1
+    else Nat.shift_right (Nat.add x m) 1
+  in
+  let u = ref a and v = ref m in
+  let x1 = ref Nat.one and x2 = ref Nat.zero in
+  let sub_mod a b = if Nat.compare a b >= 0 then Nat.sub a b else Nat.sub (Nat.add a m) b in
+  while (not (Nat.equal !u Nat.one)) && not (Nat.equal !v Nat.one) do
+    while Nat.is_even !u && not (Nat.is_zero !u) do
+      u := Nat.shift_right !u 1;
+      x1 := half !x1
+    done;
+    while Nat.is_even !v && not (Nat.is_zero !v) do
+      v := Nat.shift_right !v 1;
+      x2 := half !x2
+    done;
+    if Nat.is_zero !u || Nat.is_zero !v then raise Division_by_zero;
+    if Nat.compare !u !v >= 0 then begin
+      u := Nat.sub !u !v;
+      x1 := sub_mod !x1 !x2
+    end
+    else begin
+      v := Nat.sub !v !u;
+      x2 := sub_mod !x2 !x1
+    end
+  done;
+  if Nat.equal !u Nat.one then !x1 else !x2
+
+(* Signed extended Euclid for arbitrary modulus (RSA keygen needs even
+   moduli).  Signed values are (negative flag, magnitude). *)
+let inverse a m =
+  if Nat.compare m Nat.two < 0 then invalid_arg "Modular.inverse: modulus < 2";
+  let s_sub (na, a) (nb, b) =
+    (* a - b with signs *)
+    match (na, nb) with
+    | false, true -> (false, Nat.add a b)
+    | true, false -> (true, Nat.add a b)
+    | false, false -> if Nat.compare a b >= 0 then (false, Nat.sub a b) else (true, Nat.sub b a)
+    | true, true -> if Nat.compare b a >= 0 then (false, Nat.sub b a) else (true, Nat.sub a b)
+  in
+  let s_mul_nat (na, a) q = (na, Nat.mul a q) in
+  let a = Nat.rem a m in
+  if Nat.is_zero a then raise Division_by_zero;
+  let r0 = ref m and r1 = ref a in
+  let t0 = ref (false, Nat.zero) and t1 = ref (false, Nat.one) in
+  while not (Nat.is_zero !r1) do
+    let q, r = Nat.divmod !r0 !r1 in
+    r0 := !r1;
+    r1 := r;
+    let t = s_sub !t0 (s_mul_nat !t1 q) in
+    t0 := !t1;
+    t1 := t
+  done;
+  if not (Nat.equal !r0 Nat.one) then raise Division_by_zero;
+  let neg, mag = !t0 in
+  let mag = Nat.rem mag m in
+  if neg && not (Nat.is_zero mag) then Nat.sub m mag else mag
+
+let mont_inv ctx a =
+  let x = of_mont ctx a in
+  to_mont ctx (inv_nat_odd x ctx.m)
+
+let add ctx a b = of_mont ctx (mont_add ctx (to_mont ctx a) (to_mont ctx b))
+let sub ctx a b = of_mont ctx (mont_sub ctx (to_mont ctx a) (to_mont ctx b))
+let mul ctx a b = of_mont ctx (mont_mul ctx (to_mont ctx a) (to_mont ctx b))
+let pow ctx b e = of_mont ctx (mont_pow ctx (to_mont ctx b) e)
+let inv ctx a = inv_nat_odd a ctx.m

@@ -1,0 +1,56 @@
+(** Modular arithmetic over odd moduli, built on {!Nat}.
+
+    A {!ctx} caches the Montgomery constants for one modulus so repeated
+    multiplications and exponentiations avoid long division.  This engine
+    backs both the RSA layer and the SNARK prime field ({!Zebra_field.Fp}). *)
+
+type ctx
+
+(** [create m] precomputes Montgomery constants for modulus [m].
+    @raise Invalid_argument if [m] is even or [< 3]. *)
+val create : Nat.t -> ctx
+
+val modulus : ctx -> Nat.t
+
+(** Number of limbs in the Montgomery representation. *)
+val num_limbs : ctx -> int
+
+(** Montgomery-form values, abstract.  Conversions are explicit so callers
+    can stay in Montgomery form across long computations. *)
+type mont
+
+val to_mont : ctx -> Nat.t -> mont
+val of_mont : ctx -> mont -> Nat.t
+
+val mont_zero : ctx -> mont
+val mont_one : ctx -> mont
+
+val mont_equal : mont -> mont -> bool
+
+val mont_add : ctx -> mont -> mont -> mont
+val mont_sub : ctx -> mont -> mont -> mont
+val mont_neg : ctx -> mont -> mont
+val mont_mul : ctx -> mont -> mont -> mont
+val mont_sqr : ctx -> mont -> mont
+
+(** [mont_pow ctx b e] is [b^e] in Montgomery form ([e] a plain {!Nat.t}). *)
+val mont_pow : ctx -> mont -> Nat.t -> mont
+
+(** [mont_inv ctx a] for [a] invertible. @raise Division_by_zero otherwise. *)
+val mont_inv : ctx -> mont -> mont
+
+(** Convenience wrappers on plain naturals (inputs reduced mod m first). *)
+
+val add : ctx -> Nat.t -> Nat.t -> Nat.t
+
+val sub : ctx -> Nat.t -> Nat.t -> Nat.t
+val mul : ctx -> Nat.t -> Nat.t -> Nat.t
+val pow : ctx -> Nat.t -> Nat.t -> Nat.t
+
+(** [inv ctx a]: modular inverse via extended binary GCD.
+    @raise Division_by_zero if [gcd a m <> 1]. *)
+val inv : ctx -> Nat.t -> Nat.t
+
+(** [inverse a m] without a context (used by RSA keygen for even [m] too,
+    as long as [a] is odd or [gcd a m = 1]). *)
+val inverse : Nat.t -> Nat.t -> Nat.t

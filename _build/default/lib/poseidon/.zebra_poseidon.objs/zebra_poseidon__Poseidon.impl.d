@@ -1,0 +1,1 @@
+lib/poseidon/poseidon.ml: Array Fp List Printf Zebra_hashing Zebra_r1cs

@@ -1,0 +1,1 @@
+lib/poseidon/poseidon.mli: Fp Zebra_r1cs

@@ -1,0 +1,109 @@
+module Cs = Zebra_r1cs.Cs
+module G = Zebra_r1cs.Gadgets
+
+let width = 3
+let full_rounds = 8
+let partial_rounds = 57
+let rounds = full_rounds + partial_rounds
+
+let round_constants =
+  Array.init rounds (fun r ->
+      Array.init width (fun lane ->
+          let d =
+            Zebra_hashing.Sha256.digest_string (Printf.sprintf "ZebraLancer.Poseidon.%d.%d" r lane)
+          in
+          Fp.of_bytes_be d))
+
+(* Cauchy matrix m[i][j] = 1 / (x_i + y_j), x = 0..2, y = 3..5: all sums
+   nonzero and distinct, hence invertible and MDS. *)
+let mds =
+  Array.init width (fun i -> Array.init width (fun j -> Fp.inv (Fp.of_int (i + j + width))))
+
+let pow5 x =
+  let x2 = Fp.sqr x in
+  let x4 = Fp.sqr x2 in
+  Fp.mul x4 x
+
+let mix state =
+  let out = Array.make width Fp.zero in
+  for i = 0 to width - 1 do
+    let acc = ref Fp.zero in
+    for j = 0 to width - 1 do
+      acc := Fp.add !acc (Fp.mul mds.(i).(j) state.(j))
+    done;
+    out.(i) <- !acc
+  done;
+  Array.blit out 0 state 0 width
+
+let permute state =
+  if Array.length state <> width then invalid_arg "Poseidon.permute: bad state width";
+  let half_full = full_rounds / 2 in
+  for r = 0 to rounds - 1 do
+    for i = 0 to width - 1 do
+      state.(i) <- Fp.add state.(i) round_constants.(r).(i)
+    done;
+    let full = r < half_full || r >= rounds - half_full in
+    if full then
+      for i = 0 to width - 1 do
+        state.(i) <- pow5 state.(i)
+      done
+    else state.(0) <- pow5 state.(0);
+    mix state
+  done
+
+let hash2 a b =
+  let state = [| Fp.zero; a; b |] in
+  permute state;
+  state.(0)
+
+let hash_list ms =
+  let len = Fp.of_int (List.length ms) in
+  List.fold_left (fun h m -> hash2 h m) (hash2 Fp.zero len) ms
+
+(* --- gadget --- *)
+
+let pow5_gadget cs x =
+  let x2 = G.square cs x in
+  let x4 = G.square cs (G.v x2) in
+  G.v (G.mul cs (G.v x4) x)
+
+(* Canonicalise after every mix: without it the un-S-boxed lanes of the
+   partial rounds would accumulate 3^57 terms. *)
+let mix_exprs state =
+  Array.init width (fun i ->
+      let acc = ref [] in
+      for j = 0 to width - 1 do
+        acc := G.( +: ) !acc (G.scale mds.(i).(j) state.(j))
+      done;
+      G.simplify !acc)
+
+let permute_gadget cs state =
+  let state = ref state in
+  let half_full = full_rounds / 2 in
+  for r = 0 to rounds - 1 do
+    let st = Array.mapi (fun i e -> G.( +: ) e (G.c round_constants.(r).(i))) !state in
+    let full = r < half_full || r >= rounds - half_full in
+    let st =
+      if full then Array.map (pow5_gadget cs) st
+      else Array.mapi (fun i e -> if i = 0 then pow5_gadget cs e else e) st
+    in
+    state := mix_exprs st
+  done;
+  !state
+
+let hash2_gadget cs a b =
+  let out = permute_gadget cs [| G.c Fp.zero; a; b |] in
+  out.(0)
+
+let merkle_root_gadget cs ~leaf ~path_bits ~siblings =
+  let depth = Array.length path_bits in
+  if Array.length siblings <> depth then
+    invalid_arg "Poseidon.merkle_root_gadget: length mismatch";
+  let cur = ref leaf in
+  for i = 0 to depth - 1 do
+    let bit = path_bits.(i) and sib = G.v siblings.(i) in
+    let left = G.v (G.select cs ~cond:bit sib !cur) in
+    let right = G.( -: ) (G.( +: ) sib !cur) left in
+    cur := hash2_gadget cs left right
+  done;
+  !cur

@@ -1,0 +1,1 @@
+lib/r1cs/cs.ml: Array Fp List Printf

@@ -1,0 +1,1 @@
+lib/r1cs/cs.mli: Fp

@@ -1,0 +1,1 @@
+lib/r1cs/gadgets.ml: Array Cs Fp Hashtbl List Nat Zebra_mimc

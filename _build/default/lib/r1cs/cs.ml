@@ -1,0 +1,96 @@
+type var = int
+
+type lc = (Fp.t * var) list
+
+type cstr = { a : lc; b : lc; c : lc; label : string option }
+
+type t = {
+  mutable values : Fp.t array;
+  mutable num_vars : int; (* includes the constant wire *)
+  mutable num_inputs : int;
+  mutable has_aux : bool;
+  mutable constrs : cstr list; (* reversed *)
+  mutable n_constrs : int;
+}
+
+let one_var = 0
+
+let create () =
+  {
+    values = Array.make 64 Fp.zero;
+    num_vars = 1;
+    num_inputs = 0;
+    has_aux = false;
+    constrs = [];
+    n_constrs = 0;
+  }
+
+let grow cs =
+  if cs.num_vars >= Array.length cs.values then begin
+    let bigger = Array.make (2 * Array.length cs.values) Fp.zero in
+    Array.blit cs.values 0 bigger 0 cs.num_vars;
+    cs.values <- bigger
+  end
+
+let alloc cs v =
+  grow cs;
+  let idx = cs.num_vars in
+  cs.values.(idx) <- v;
+  cs.num_vars <- idx + 1;
+  cs.has_aux <- true;
+  idx
+
+let alloc_input cs v =
+  if cs.has_aux then invalid_arg "Cs.alloc_input: auxiliary wires already allocated";
+  grow cs;
+  let idx = cs.num_vars in
+  cs.values.(idx) <- v;
+  cs.num_vars <- idx + 1;
+  cs.num_inputs <- cs.num_inputs + 1;
+  idx
+
+let enforce cs ?label a b c =
+  cs.constrs <- { a; b; c; label } :: cs.constrs;
+  cs.n_constrs <- cs.n_constrs + 1
+
+let value cs v = if v = 0 then Fp.one else cs.values.(v)
+
+let lc_value cs lc =
+  List.fold_left (fun acc (coeff, v) -> Fp.add acc (Fp.mul coeff (value cs v))) Fp.zero lc
+
+let set_value cs v x =
+  if v = 0 then invalid_arg "Cs.set_value: constant wire";
+  cs.values.(v) <- x
+
+let num_vars cs = cs.num_vars
+let num_inputs cs = cs.num_inputs
+let num_constraints cs = cs.n_constrs
+
+let constraints cs =
+  let arr = Array.of_list (List.rev_map (fun c -> (c.a, c.b, c.c)) cs.constrs) in
+  arr
+
+let assignment cs =
+  let a = Array.sub cs.values 0 cs.num_vars in
+  a.(0) <- Fp.one;
+  a
+
+let public_inputs cs = Array.init cs.num_inputs (fun i -> cs.values.(i + 1))
+
+let check cs c =
+  Fp.equal (Fp.mul (lc_value cs c.a) (lc_value cs c.b)) (lc_value cs c.c)
+
+let is_satisfied cs = List.for_all (check cs) cs.constrs
+
+let find_unsatisfied cs =
+  let indexed = List.rev cs.constrs in
+  let rec go i = function
+    | [] -> None
+    | c :: rest ->
+      if check cs c then go (i + 1) rest
+      else Some (match c.label with Some l -> l | None -> Printf.sprintf "constraint #%d" i)
+  in
+  go 0 indexed
+
+let var_of_int i = i
+let int_of_var v = v

@@ -1,0 +1,67 @@
+(** Rank-1 constraint systems (R1CS) in the libsnark "protoboard" style.
+
+    A system is a list of constraints [<A,w> * <B,w> = <C,w>] over a witness
+    vector [w] whose index 0 is pinned to the constant 1, indices
+    [1..num_inputs] are the public inputs, and the rest are auxiliary
+    (private) wires.  The board always carries a concrete assignment: gadget
+    code computes witness values while emitting constraints, so the same
+    synthesis code serves key generation (dummy inputs), proving (real
+    inputs) and satisfaction checks. *)
+
+type var = private int
+
+type t
+
+(** Linear combination: sum of [coeff * var] terms. *)
+type lc = (Fp.t * var) list
+
+val create : unit -> t
+
+(** The constant-1 wire. *)
+val one_var : var
+
+(** [alloc_input cs v] allocates the next public-input wire with value [v].
+    All public inputs must be allocated before any auxiliary wire (this
+    convention is what lets the verifier reconstruct the input part).
+    @raise Invalid_argument if an auxiliary wire exists already. *)
+val alloc_input : t -> Fp.t -> var
+
+(** [alloc cs v] allocates an auxiliary wire with value [v]. *)
+val alloc : t -> Fp.t -> var
+
+(** [enforce cs ?label a b c] adds the constraint [a * b = c]. *)
+val enforce : t -> ?label:string -> lc -> lc -> lc -> unit
+
+val value : t -> var -> Fp.t
+val lc_value : t -> lc -> Fp.t
+
+(** [set_value cs v x] overwrites a wire's witness value — used only by
+    tests that deliberately corrupt a witness. *)
+val set_value : t -> var -> Fp.t -> unit
+
+val num_vars : t -> int
+
+(** Number of public input wires (excluding the constant wire). *)
+val num_inputs : t -> int
+
+val num_constraints : t -> int
+
+(** [constraints cs] in insertion order. *)
+val constraints : t -> (lc * lc * lc) array
+
+(** Full assignment, indexed by wire; entry 0 is 1. *)
+val assignment : t -> Fp.t array
+
+(** Values of the public input wires [1..num_inputs]. *)
+val public_inputs : t -> Fp.t array
+
+val is_satisfied : t -> bool
+
+(** First violated constraint's label (or its index as a string). *)
+val find_unsatisfied : t -> string option
+
+(** [var_of_int i] — unsafe escape hatch for (de)serialisation in the SNARK
+    layer. *)
+val var_of_int : int -> var
+
+val int_of_var : var -> int

@@ -1,0 +1,96 @@
+(** Gadget library: reusable circuit fragments over {!Cs}.
+
+    Every gadget simultaneously (i) emits constraints and (ii) computes the
+    witness values of the wires it allocates from the values already on the
+    board, so one synthesis function serves setup, proving and testing.
+
+    Expressions ({!expr}) are linear combinations; building them costs no
+    constraints — only multiplications do. *)
+
+type expr = Cs.lc
+
+(** {1 Expression building} *)
+
+val v : Cs.var -> expr
+
+(** Constant expression. *)
+val c : Fp.t -> expr
+
+val ci : int -> expr
+val ( +: ) : expr -> expr -> expr
+val ( -: ) : expr -> expr -> expr
+val scale : Fp.t -> expr -> expr
+val eval : Cs.t -> expr -> Fp.t
+
+(** [simplify e] merges duplicate-variable terms and drops zero
+    coefficients.  Expression building is pure list concatenation, so
+    iterated linear mixing (e.g. Poseidon's MDS layers) must canonicalise
+    between rounds or term counts grow exponentially. *)
+val simplify : expr -> expr
+
+(** {1 Core gadgets} *)
+
+(** [mul cs a b] allocates and returns the product wire. *)
+val mul : Cs.t -> ?label:string -> expr -> expr -> Cs.var
+
+(** [square cs a]. *)
+val square : Cs.t -> expr -> Cs.var
+
+(** [inverse cs a] allocates [a^-1] and enforces [a * inv = 1] (so it also
+    proves [a <> 0]). The witness for a zero input is 0, which makes the
+    constraint unsatisfiable rather than the synthesis raise. *)
+val inverse : Cs.t -> expr -> Cs.var
+
+(** [enforce_eq cs a b] adds [a = b] (one constraint). *)
+val enforce_eq : Cs.t -> ?label:string -> expr -> expr -> unit
+
+(** [enforce_bit cs x]: [x * (x - 1) = 0]. *)
+val enforce_bit : Cs.t -> expr -> unit
+
+(** [alloc_bit cs b] allocates a wire constrained to {0,1}. *)
+val alloc_bit : Cs.t -> bool -> Cs.var
+
+(** [is_zero cs a] is a bit wire: 1 iff [a = 0] (2 constraints). *)
+val is_zero : Cs.t -> expr -> Cs.var
+
+(** [eq cs a b] is a bit wire: 1 iff [a = b]. *)
+val eq : Cs.t -> expr -> expr -> Cs.var
+
+(** [select cs ~cond a b] is [cond ? a : b]; [cond] must be boolean. *)
+val select : Cs.t -> cond:Cs.var -> expr -> expr -> Cs.var
+
+(** [bits_of_expr cs a n] decomposes [a] into [n] little-endian boolean
+    wires and enforces the recomposition (completeness requires
+    [a < 2^n]; soundness additionally requires [n] small enough that the
+    recomposition cannot wrap, i.e. [n <= 253] for this field). *)
+val bits_of_expr : Cs.t -> expr -> int -> Cs.var array
+
+(** [pack_bits cs bits] is the linear expression [sum b_i 2^i]. *)
+val pack_bits : Cs.var array -> expr
+
+(** [less_than cs a b ~bits] is a bit wire: 1 iff [a < b], for values
+    already known to fit in [bits] bits ([bits <= 250]). *)
+val less_than : Cs.t -> expr -> expr -> bits:int -> Cs.var
+
+(** [exp cs ~base ~bits] computes [base ^ (sum bits_i 2^i)] by
+    square-and-multiply, msb first.  [bits] must be boolean wires.
+    3 constraints per bit. *)
+val exp : Cs.t -> base:expr -> bits:Cs.var array -> Cs.var
+
+(** {1 MiMC gadgets} — mirror {!Zebra_mimc.Mimc} exactly. *)
+
+(** [mimc_encrypt cs ~key x]: 4 constraints per round. *)
+val mimc_encrypt : Cs.t -> key:expr -> expr -> expr
+
+val mimc_compress : Cs.t -> expr -> expr -> expr
+
+(** [mimc_hash cs ms] = [Mimc.hash_list] over expressions. *)
+val mimc_hash : Cs.t -> expr list -> expr
+
+(** {1 Merkle gadget} *)
+
+(** [merkle_root cs ~leaf ~path_bits ~siblings] recomputes a MiMC Merkle
+    root from the leaf upward.  [path_bits.(i) = 1] means the current node
+    is the right child at level [i].  Bits must be boolean wires.  Arrays
+    must have equal length (the tree depth). *)
+val merkle_root : Cs.t -> leaf:expr -> path_bits:Cs.var array -> siblings:Cs.var array -> expr

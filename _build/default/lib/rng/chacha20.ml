@@ -1,0 +1,98 @@
+(* RFC 8439 ChaCha20 block function on int32 state words. *)
+
+let rotl x n = Int32.logor (Int32.shift_left x n) (Int32.shift_right_logical x (32 - n))
+
+let quarter_round st a b c d =
+  let ( + ) = Int32.add and ( ^ ) = Int32.logxor in
+  st.(a) <- st.(a) + st.(b);
+  st.(d) <- rotl (st.(d) ^ st.(a)) 16;
+  st.(c) <- st.(c) + st.(d);
+  st.(b) <- rotl (st.(b) ^ st.(c)) 12;
+  st.(a) <- st.(a) + st.(b);
+  st.(d) <- rotl (st.(d) ^ st.(a)) 8;
+  st.(c) <- st.(c) + st.(d);
+  st.(b) <- rotl (st.(b) ^ st.(c)) 7
+
+let get32_le b off =
+  let g i = Int32.of_int (Char.code (Bytes.get b (off + i))) in
+  Int32.logor (g 0)
+    (Int32.logor
+       (Int32.shift_left (g 1) 8)
+       (Int32.logor (Int32.shift_left (g 2) 16) (Int32.shift_left (g 3) 24)))
+
+let put32_le b off v =
+  let s i = Bytes.set b (off + i) (Char.chr (Int32.to_int (Int32.shift_right_logical v (8 * i)) land 0xff)) in
+  s 0;
+  s 1;
+  s 2;
+  s 3
+
+let block ~key ~counter ~nonce =
+  if Bytes.length key <> 32 then invalid_arg "Chacha20.block: key must be 32 bytes";
+  if Bytes.length nonce <> 12 then invalid_arg "Chacha20.block: nonce must be 12 bytes";
+  let st = Array.make 16 0l in
+  st.(0) <- 0x61707865l;
+  st.(1) <- 0x3320646el;
+  st.(2) <- 0x79622d32l;
+  st.(3) <- 0x6b206574l;
+  for i = 0 to 7 do
+    st.(4 + i) <- get32_le key (4 * i)
+  done;
+  st.(12) <- counter;
+  for i = 0 to 2 do
+    st.(13 + i) <- get32_le nonce (4 * i)
+  done;
+  let work = Array.copy st in
+  for _ = 1 to 10 do
+    quarter_round work 0 4 8 12;
+    quarter_round work 1 5 9 13;
+    quarter_round work 2 6 10 14;
+    quarter_round work 3 7 11 15;
+    quarter_round work 0 5 10 15;
+    quarter_round work 1 6 11 12;
+    quarter_round work 2 7 8 13;
+    quarter_round work 3 4 9 14
+  done;
+  let out = Bytes.create 64 in
+  for i = 0 to 15 do
+    put32_le out (4 * i) (Int32.add work.(i) st.(i))
+  done;
+  out
+
+type t = {
+  key : bytes;
+  nonce : bytes;
+  mutable counter : int32;
+  mutable buf : bytes;
+  mutable pos : int;
+}
+
+let create ~seed =
+  let key = Bytes.make 32 '\000' in
+  (* Simple seed expansion: xor-fold the seed into the key.  The seed is a
+     test/bench label, not secret material. *)
+  String.iteri
+    (fun i c ->
+      let j = i mod 32 in
+      Bytes.set key j (Char.chr (Char.code (Bytes.get key j) lxor Char.code c lxor (i land 0xff))))
+    seed;
+  { key; nonce = Bytes.make 12 '\000'; counter = 0l; buf = Bytes.create 0; pos = 0 }
+
+let copy t = { t with buf = Bytes.copy t.buf }
+
+let bytes t n =
+  let out = Bytes.create n in
+  let filled = ref 0 in
+  while !filled < n do
+    if t.pos >= Bytes.length t.buf then begin
+      t.buf <- block ~key:t.key ~counter:t.counter ~nonce:t.nonce;
+      t.counter <- Int32.add t.counter 1l;
+      t.pos <- 0
+    end;
+    let avail = Bytes.length t.buf - t.pos in
+    let take = min avail (n - !filled) in
+    Bytes.blit t.buf t.pos out !filled take;
+    t.pos <- t.pos + take;
+    filled := !filled + take
+  done;
+  out

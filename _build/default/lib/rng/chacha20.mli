@@ -1,0 +1,22 @@
+(** ChaCha20 (RFC 8439) used as a deterministic random byte stream.
+
+    The whole reproduction is driven by seeded ChaCha20 streams so every
+    test, example and benchmark is reproducible bit-for-bit. *)
+
+type t
+
+(** [create ~seed] builds a generator keyed by [SHA-like expansion] of the
+    seed string (the seed is truncated/zero-padded to the 32-byte key; the
+    nonce is fixed).  Distinct seeds give independent streams. *)
+val create : seed:string -> t
+
+(** [bytes t n] returns the next [n] bytes of the keystream. *)
+val bytes : t -> int -> bytes
+
+(** [copy t] snapshots the stream position (for repeatable sub-experiments). *)
+val copy : t -> t
+
+(** Raw block function, exposed for tests against RFC 8439 vectors:
+    [block ~key ~counter ~nonce] with 32-byte key and 12-byte nonce
+    returns the 64-byte block. *)
+val block : key:bytes -> counter:int32 -> nonce:bytes -> bytes

@@ -1,0 +1,1 @@
+lib/rsa/oaep.ml: Buffer Bytes Char Nat Rsa Zebra_hashing

@@ -1,0 +1,1 @@
+lib/rsa/oaep.mli: Rsa

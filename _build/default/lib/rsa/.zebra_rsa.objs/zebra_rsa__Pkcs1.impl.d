@@ -1,0 +1,1 @@
+lib/rsa/pkcs1.ml: Bytes Nat Rsa Zebra_hashing

@@ -1,0 +1,1 @@
+lib/rsa/pkcs1.mli: Rsa

@@ -1,0 +1,1 @@
+lib/rsa/rsa.ml: Modular Nat Prime Zebra_codec

@@ -1,0 +1,1 @@
+lib/rsa/rsa.mli: Nat

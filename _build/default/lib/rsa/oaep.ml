@@ -1,0 +1,82 @@
+module Sha256 = Zebra_hashing.Sha256
+
+let h_len = 32
+
+let mgf1 ~seed len =
+  let out = Buffer.create len in
+  let counter = ref 0 in
+  while Buffer.length out < len do
+    let ctx = Sha256.init () in
+    Sha256.update ctx seed;
+    let c = Bytes.create 4 in
+    for i = 0 to 3 do
+      Bytes.set c i (Char.chr ((!counter lsr (8 * (3 - i))) land 0xff))
+    done;
+    Sha256.update ctx c;
+    Buffer.add_bytes out (Sha256.finalize ctx);
+    incr counter
+  done;
+  Bytes.sub (Buffer.to_bytes out) 0 len
+
+let xor_into dst src =
+  for i = 0 to Bytes.length dst - 1 do
+    Bytes.set dst i (Char.chr (Char.code (Bytes.get dst i) lxor Char.code (Bytes.get src i)))
+  done
+
+let l_hash = Sha256.digest_string "" (* empty label *)
+
+let max_message_len pub = Rsa.key_bytes pub - (2 * h_len) - 2
+
+let encrypt ~random_bytes pub msg =
+  let k = Rsa.key_bytes pub in
+  let m_len = Bytes.length msg in
+  if m_len > max_message_len pub then invalid_arg "Oaep.encrypt: message too long";
+  let db = Bytes.make (k - h_len - 1) '\000' in
+  Bytes.blit l_hash 0 db 0 h_len;
+  Bytes.set db (k - h_len - 2 - m_len) '\x01';
+  Bytes.blit msg 0 db (k - h_len - 1 - m_len) m_len;
+  let seed = random_bytes h_len in
+  xor_into db (mgf1 ~seed (Bytes.length db));
+  let seed_masked = Bytes.copy seed in
+  xor_into seed_masked (mgf1 ~seed:db h_len);
+  let em = Bytes.make k '\000' in
+  Bytes.blit seed_masked 0 em 1 h_len;
+  Bytes.blit db 0 em (1 + h_len) (Bytes.length db);
+  let c = Rsa.raw_public pub (Nat.of_bytes_be em) in
+  Nat.to_bytes_be ~len:k c
+
+let decrypt priv ct =
+  let k = Rsa.key_bytes priv.Rsa.pub in
+  if Bytes.length ct <> k then None
+  else begin
+    match
+      let c = Nat.of_bytes_be ct in
+      if Nat.compare c priv.Rsa.pub.Rsa.n >= 0 then None
+      else Some (Nat.to_bytes_be ~len:k (Rsa.raw_private priv c))
+    with
+    | None -> None
+    | Some em ->
+      if Bytes.get em 0 <> '\000' then None
+      else begin
+        let seed_masked = Bytes.sub em 1 h_len in
+        let db = Bytes.sub em (1 + h_len) (k - h_len - 1) in
+        let seed = Bytes.copy seed_masked in
+        xor_into seed (mgf1 ~seed:db h_len);
+        xor_into db (mgf1 ~seed (Bytes.length db));
+        if not (Bytes.equal (Bytes.sub db 0 h_len) l_hash) then None
+        else begin
+          (* find 0x01 separator after the label hash *)
+          let rec find i =
+            if i >= Bytes.length db then None
+            else
+              match Bytes.get db i with
+              | '\000' -> find (i + 1)
+              | '\x01' -> Some (i + 1)
+              | _ -> None
+          in
+          match find h_len with
+          | None -> None
+          | Some start -> Some (Bytes.sub db start (Bytes.length db - start))
+        end
+      end
+  end

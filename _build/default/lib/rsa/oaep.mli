@@ -1,0 +1,20 @@
+(** RSAES-OAEP with SHA-256 and MGF1 (RFC 8017 section 7.1) — the paper's
+    "RSA-OAEP-2048" answer encryption.
+
+    Note the provable (in-circuit) encryption path of this reproduction uses
+    {!Zebra_elgamal.Elgamal} instead (see DESIGN.md substitution 4); OAEP is
+    provided and benchmarked as the paper's original DApp-layer choice. *)
+
+(** Maximum plaintext length for a given key: [k - 2*32 - 2]. *)
+val max_message_len : Rsa.public_key -> int
+
+(** [encrypt ~random_bytes pub msg].
+    @raise Invalid_argument if [msg] exceeds {!max_message_len}. *)
+val encrypt : random_bytes:(int -> bytes) -> Rsa.public_key -> bytes -> bytes
+
+(** [decrypt priv ct] returns [None] on any padding or length failure
+    (constant shape, no padding-oracle distinction). *)
+val decrypt : Rsa.private_key -> bytes -> bytes option
+
+(** MGF1-SHA256, exposed for test vectors. *)
+val mgf1 : seed:bytes -> int -> bytes

@@ -1,0 +1,8 @@
+(** RSASSA-PKCS1-v1_5 signatures with SHA-256 (RFC 8017 section 8.2). *)
+
+(** [sign priv msg] returns the signature, [key_bytes] long. *)
+val sign : Rsa.private_key -> bytes -> bytes
+
+(** [verify pub ~msg ~signature] — false on any malformed input (never
+    raises). *)
+val verify : Rsa.public_key -> msg:bytes -> signature:bytes -> bool

@@ -1,0 +1,1 @@
+lib/snark/snark.ml: Array Bytes Cs Fft Fp List Zebra_codec

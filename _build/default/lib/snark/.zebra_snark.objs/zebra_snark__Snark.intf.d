@@ -1,0 +1,1 @@
+lib/snark/snark.mli: Cs Fp

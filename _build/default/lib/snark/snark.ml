@@ -1,0 +1,312 @@
+module Codec = Zebra_codec.Codec
+
+type proving_key = {
+  p_domain : Fft.domain;
+  p_num_inputs : int;
+  p_num_vars : int;
+  a_s : Fp.t array; (* A_i(s) per wire *)
+  b_s : Fp.t array;
+  c_s : Fp.t array;
+  a_s_alpha : Fp.t array;
+  b_s_alpha : Fp.t array;
+  c_s_alpha : Fp.t array;
+  k_beta : Fp.t array; (* beta (A_i + B_i + C_i)(s) *)
+  powers : Fp.t array; (* s^0 .. s^d *)
+  z_s : Fp.t;
+  z_alpha_a : Fp.t;
+  z_alpha_b : Fp.t;
+  z_alpha_c : Fp.t;
+  z_beta : Fp.t;
+}
+
+type verifying_key = {
+  v_num_inputs : int;
+  alpha_a : Fp.t;
+  alpha_b : Fp.t;
+  alpha_c : Fp.t;
+  beta : Fp.t;
+  v_z_s : Fp.t;
+  io_a : Fp.t array; (* indices 0 .. num_inputs; slot 0 is the constant wire *)
+  io_b : Fp.t array;
+  io_c : Fp.t array;
+}
+
+type trapdoor = { t_s : Fp.t; t_vk : verifying_key }
+
+type proof = {
+  pi_a : Fp.t;
+  pi_a' : Fp.t;
+  pi_b : Fp.t;
+  pi_b' : Fp.t;
+  pi_c : Fp.t;
+  pi_c' : Fp.t;
+  pi_k : Fp.t;
+  pi_h : Fp.t;
+}
+
+type keypair = { pk : proving_key; vk : verifying_key; trapdoor : trapdoor }
+
+let setup ~random_bytes cs =
+  let n_constraints = Cs.num_constraints cs in
+  let n_vars = Cs.num_vars cs in
+  let n_inputs = Cs.num_inputs cs in
+  let domain = Fft.domain (max 2 n_constraints) in
+  let d = Fft.size domain in
+  (* Sample a secret point outside the domain so the Lagrange evaluation is
+     well defined. *)
+  let rec sample_s () =
+    let s = Fp.random random_bytes in
+    if Fp.is_zero (Fft.vanishing_at domain s) then sample_s () else s
+  in
+  let s = sample_s () in
+  let alpha_a = Fp.random random_bytes in
+  let alpha_b = Fp.random random_bytes in
+  let alpha_c = Fp.random random_bytes in
+  let beta = Fp.random random_bytes in
+  let lag = Fft.lagrange_at domain s in
+  let a_s = Array.make n_vars Fp.zero in
+  let b_s = Array.make n_vars Fp.zero in
+  let c_s = Array.make n_vars Fp.zero in
+  Array.iteri
+    (fun j (a, b, c) ->
+      let lj = lag.(j) in
+      let accumulate dst lc =
+        List.iter
+          (fun (coeff, var) ->
+            let i = Cs.int_of_var var in
+            dst.(i) <- Fp.add dst.(i) (Fp.mul coeff lj))
+          lc
+      in
+      accumulate a_s a;
+      accumulate b_s b;
+      accumulate c_s c)
+    (Cs.constraints cs);
+  let powers = Array.make (d + 1) Fp.one in
+  for i = 1 to d do
+    powers.(i) <- Fp.mul powers.(i - 1) s
+  done;
+  let z_s = Fft.vanishing_at domain s in
+  let pk =
+    {
+      p_domain = domain;
+      p_num_inputs = n_inputs;
+      p_num_vars = n_vars;
+      a_s;
+      b_s;
+      c_s;
+      a_s_alpha = Array.map (Fp.mul alpha_a) a_s;
+      b_s_alpha = Array.map (Fp.mul alpha_b) b_s;
+      c_s_alpha = Array.map (Fp.mul alpha_c) c_s;
+      k_beta = Array.init n_vars (fun i -> Fp.mul beta (Fp.add (Fp.add a_s.(i) b_s.(i)) c_s.(i)));
+      powers;
+      z_s;
+      z_alpha_a = Fp.mul alpha_a z_s;
+      z_alpha_b = Fp.mul alpha_b z_s;
+      z_alpha_c = Fp.mul alpha_c z_s;
+      z_beta = Fp.mul beta z_s;
+    }
+  in
+  let slice arr = Array.sub arr 0 (n_inputs + 1) in
+  let vk =
+    {
+      v_num_inputs = n_inputs;
+      alpha_a;
+      alpha_b;
+      alpha_c;
+      beta;
+      v_z_s = z_s;
+      io_a = slice a_s;
+      io_b = slice b_s;
+      io_c = slice c_s;
+    }
+  in
+  { pk; vk; trapdoor = { t_s = s; t_vk = vk } }
+
+let prove ~random_bytes pk cs =
+  if Cs.num_vars cs <> pk.p_num_vars || Cs.num_inputs cs <> pk.p_num_inputs then
+    invalid_arg "Snark.prove: circuit shape mismatch with proving key";
+  let w = Cs.assignment cs in
+  let n_inputs = pk.p_num_inputs in
+  let d = Fft.size pk.p_domain in
+  let delta1 = Fp.random random_bytes in
+  let delta2 = Fp.random random_bytes in
+  let delta3 = Fp.random random_bytes in
+  (* Aux-only sums at s (the verifier reconstructs the IO part). *)
+  let aux_sum table =
+    let acc = ref Fp.zero in
+    for i = n_inputs + 1 to pk.p_num_vars - 1 do
+      if not (Fp.is_zero w.(i)) then acc := Fp.add !acc (Fp.mul w.(i) table.(i))
+    done;
+    !acc
+  in
+  let pi_a = Fp.add (aux_sum pk.a_s) (Fp.mul delta1 pk.z_s) in
+  let pi_b = Fp.add (aux_sum pk.b_s) (Fp.mul delta2 pk.z_s) in
+  let pi_c = Fp.add (aux_sum pk.c_s) (Fp.mul delta3 pk.z_s) in
+  let pi_a' = Fp.add (aux_sum pk.a_s_alpha) (Fp.mul delta1 pk.z_alpha_a) in
+  let pi_b' = Fp.add (aux_sum pk.b_s_alpha) (Fp.mul delta2 pk.z_alpha_b) in
+  let pi_c' = Fp.add (aux_sum pk.c_s_alpha) (Fp.mul delta3 pk.z_alpha_c) in
+  let pi_k =
+    Fp.add (aux_sum pk.k_beta) (Fp.mul (Fp.add (Fp.add delta1 delta2) delta3) pk.z_beta)
+  in
+  (* Quotient polynomial H = (A B - C) / Z via coset FFTs.  A, B, C are the
+     full (IO + aux) witness combinations, evaluated per constraint. *)
+  let constrs = Cs.constraints cs in
+  let evals_of select =
+    let arr = Array.make d Fp.zero in
+    Array.iteri
+      (fun j triple ->
+        let lc = select triple in
+        let acc = ref Fp.zero in
+        List.iter
+          (fun (coeff, var) ->
+            let i = Cs.int_of_var var in
+            if not (Fp.is_zero w.(i)) then acc := Fp.add !acc (Fp.mul coeff w.(i)))
+          lc;
+        arr.(j) <- !acc)
+      constrs;
+    arr
+  in
+  let a_evals = evals_of (fun (a, _, _) -> a) in
+  let b_evals = evals_of (fun (_, b, _) -> b) in
+  let c_evals = evals_of (fun (_, _, c) -> c) in
+  Fft.ifft pk.p_domain a_evals;
+  Fft.ifft pk.p_domain b_evals;
+  Fft.ifft pk.p_domain c_evals;
+  let a_coeffs = Array.copy a_evals in
+  let b_coeffs = Array.copy b_evals in
+  Fft.coset_fft pk.p_domain a_evals;
+  Fft.coset_fft pk.p_domain b_evals;
+  Fft.coset_fft pk.p_domain c_evals;
+  let z_inv = Fp.inv (Fft.vanishing_on_coset pk.p_domain) in
+  let h = Array.make d Fp.zero in
+  for i = 0 to d - 1 do
+    h.(i) <- Fp.mul (Fp.sub (Fp.mul a_evals.(i) b_evals.(i)) c_evals.(i)) z_inv
+  done;
+  Fft.coset_ifft pk.p_domain h;
+  (* Blinding:
+     (A + d1 Z)(B + d2 Z) - (C + d3 Z) = Z (H + d1 B + d2 A + d1 d2 Z - d3). *)
+  let h_ext = Array.make (d + 1) Fp.zero in
+  Array.blit h 0 h_ext 0 d;
+  for i = 0 to d - 1 do
+    h_ext.(i) <-
+      Fp.add h_ext.(i) (Fp.add (Fp.mul delta1 b_coeffs.(i)) (Fp.mul delta2 a_coeffs.(i)))
+  done;
+  let d1d2 = Fp.mul delta1 delta2 in
+  (* d1 d2 Z = d1 d2 x^d - d1 d2 *)
+  h_ext.(d) <- Fp.add h_ext.(d) d1d2;
+  h_ext.(0) <- Fp.sub (Fp.sub h_ext.(0) d1d2) delta3;
+  let pi_h = ref Fp.zero in
+  for i = 0 to d do
+    if not (Fp.is_zero h_ext.(i)) then pi_h := Fp.add !pi_h (Fp.mul h_ext.(i) pk.powers.(i))
+  done;
+  { pi_a; pi_a'; pi_b; pi_b'; pi_c; pi_c'; pi_k; pi_h = !pi_h }
+
+let io_part vk ~public_inputs table =
+  if Array.length public_inputs <> vk.v_num_inputs then
+    invalid_arg "Snark: wrong number of public inputs";
+  let acc = ref table.(0) in
+  Array.iteri (fun i x -> acc := Fp.add !acc (Fp.mul x table.(i + 1))) public_inputs;
+  !acc
+
+let verify vk ~public_inputs proof =
+  if Array.length public_inputs <> vk.v_num_inputs then false
+  else begin
+    let a_total = Fp.add (io_part vk ~public_inputs vk.io_a) proof.pi_a in
+    let b_total = Fp.add (io_part vk ~public_inputs vk.io_b) proof.pi_b in
+    let c_total = Fp.add (io_part vk ~public_inputs vk.io_c) proof.pi_c in
+    let divisibility =
+      Fp.equal (Fp.sub (Fp.mul a_total b_total) c_total) (Fp.mul proof.pi_h vk.v_z_s)
+    in
+    let knowledge =
+      Fp.equal proof.pi_a' (Fp.mul vk.alpha_a proof.pi_a)
+      && Fp.equal proof.pi_b' (Fp.mul vk.alpha_b proof.pi_b)
+      && Fp.equal proof.pi_c' (Fp.mul vk.alpha_c proof.pi_c)
+    in
+    let consistency =
+      Fp.equal proof.pi_k (Fp.mul vk.beta (Fp.add (Fp.add proof.pi_a proof.pi_b) proof.pi_c))
+    in
+    divisibility && knowledge && consistency
+  end
+
+let simulate ~random_bytes trapdoor ~public_inputs =
+  let vk = trapdoor.t_vk in
+  let pi_a = Fp.random random_bytes in
+  let pi_b = Fp.random random_bytes in
+  let pi_h = Fp.random random_bytes in
+  let a_total = Fp.add (io_part vk ~public_inputs vk.io_a) pi_a in
+  let b_total = Fp.add (io_part vk ~public_inputs vk.io_b) pi_b in
+  let c_total = Fp.sub (Fp.mul a_total b_total) (Fp.mul pi_h vk.v_z_s) in
+  let pi_c = Fp.sub c_total (io_part vk ~public_inputs vk.io_c) in
+  ignore trapdoor.t_s;
+  {
+    pi_a;
+    pi_b;
+    pi_c;
+    pi_h;
+    pi_a' = Fp.mul vk.alpha_a pi_a;
+    pi_b' = Fp.mul vk.alpha_b pi_b;
+    pi_c' = Fp.mul vk.alpha_c pi_c;
+    pi_k = Fp.mul vk.beta (Fp.add (Fp.add pi_a pi_b) pi_c);
+  }
+
+let num_public_inputs vk = vk.v_num_inputs
+let domain_size pk = Fft.size pk.p_domain
+
+let write_fp w x = Codec.bytes w (Fp.to_bytes_be x)
+let read_fp r = Fp.of_bytes_be_exn (Codec.read_bytes r)
+
+let proof_to_bytes p =
+  Codec.encode
+    (fun w p ->
+      List.iter (write_fp w)
+        [ p.pi_a; p.pi_a'; p.pi_b; p.pi_b'; p.pi_c; p.pi_c'; p.pi_k; p.pi_h ])
+    p
+
+let proof_of_bytes b =
+  Codec.decode
+    (fun r ->
+      let pi_a = read_fp r in
+      let pi_a' = read_fp r in
+      let pi_b = read_fp r in
+      let pi_b' = read_fp r in
+      let pi_c = read_fp r in
+      let pi_c' = read_fp r in
+      let pi_k = read_fp r in
+      let pi_h = read_fp r in
+      { pi_a; pi_a'; pi_b; pi_b'; pi_c; pi_c'; pi_k; pi_h })
+    b
+
+let vk_to_bytes vk =
+  Codec.encode
+    (fun w vk ->
+      Codec.u32 w vk.v_num_inputs;
+      List.iter (write_fp w) [ vk.alpha_a; vk.alpha_b; vk.alpha_c; vk.beta; vk.v_z_s ];
+      Codec.array w write_fp vk.io_a;
+      Codec.array w write_fp vk.io_b;
+      Codec.array w write_fp vk.io_c)
+    vk
+
+let vk_of_bytes b =
+  Codec.decode
+    (fun r ->
+      let v_num_inputs = Codec.read_u32 r in
+      let alpha_a = read_fp r in
+      let alpha_b = read_fp r in
+      let alpha_c = read_fp r in
+      let beta = read_fp r in
+      let v_z_s = read_fp r in
+      let io_a = Codec.read_array r read_fp in
+      let io_b = Codec.read_array r read_fp in
+      let io_c = Codec.read_array r read_fp in
+      if Array.length io_a <> v_num_inputs + 1 then
+        raise (Codec.Decode_error "vk: io table length mismatch");
+      { v_num_inputs; alpha_a; alpha_b; alpha_c; beta; v_z_s; io_a; io_b; io_c })
+    b
+
+let proof_size_bytes p = Bytes.length (proof_to_bytes p)
+let vk_size_bytes vk = Bytes.length (vk_to_bytes vk)
+
+let equal_proof p q =
+  Fp.equal p.pi_a q.pi_a && Fp.equal p.pi_a' q.pi_a' && Fp.equal p.pi_b q.pi_b
+  && Fp.equal p.pi_b' q.pi_b' && Fp.equal p.pi_c q.pi_c && Fp.equal p.pi_c' q.pi_c'
+  && Fp.equal p.pi_k q.pi_k && Fp.equal p.pi_h q.pi_h

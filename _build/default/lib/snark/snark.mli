@@ -1,0 +1,73 @@
+(** A Pinocchio-style zk-SNARK over {!Zebra_r1cs.Cs} constraint systems.
+
+    Pipeline: R1CS -> QAP (Lagrange interpolation over an FFT domain) ->
+    constant-size proof of 8 field elements.  The prover evaluates the
+    witness polynomials A, B, C at a secret point s fixed by the trusted
+    setup, plus knowledge-shifted copies (alpha_A A, alpha_B B, alpha_C C),
+    a linear-consistency term beta (A + B + C), and the quotient
+    H = (A B - C) / Z evaluated via coset FFTs.  Zero-knowledge comes from
+    blinding each polynomial by a random multiple of the vanishing
+    polynomial Z.
+
+    {b Substitution note} (see DESIGN.md): the paper uses the pairing-based
+    scheme of BCGTV13 via libsnark.  Without a pairing-friendly curve
+    implementation available, the homomorphic hiding of the CRS is modelled
+    rather than enforced: the proving key stores the QAP evaluations in the
+    clear and the verification key keeps the setup secrets, making this a
+    designated-verifier analogue.  Proof size, completeness, verifier cost
+    (O(|public inputs|)) and rejection of bad witnesses are all real; only
+    the computational hardness of extracting s from the proving key is
+    assumed.  The {!simulate} function demonstrates the zero-knowledge
+    trapdoor property exactly as in the original scheme. *)
+
+type proving_key
+
+type verifying_key
+
+type trapdoor
+
+type proof
+
+type keypair = { pk : proving_key; vk : verifying_key; trapdoor : trapdoor }
+
+(** [setup ~random_bytes cs] runs the trusted setup for the {e structure} of
+    [cs] (witness values on the board are ignored).  The returned keys fix
+    the number of public inputs of [cs]. *)
+val setup : random_bytes:(int -> bytes) -> Cs.t -> keypair
+
+(** [prove ~random_bytes pk cs] where [cs] is the same circuit synthesised
+    with a full witness.  The proof attests that the public inputs of [cs]
+    extend to a satisfying assignment.
+    @raise Invalid_argument if the shape of [cs] does not match [pk].
+
+    An unsatisfied board produces a proof that verification rejects (the
+    behaviour a cheating prover would face). *)
+val prove : random_bytes:(int -> bytes) -> proving_key -> Cs.t -> proof
+
+(** [verify vk ~public_inputs proof]: O(|public_inputs|) field operations. *)
+val verify : verifying_key -> public_inputs:Fp.t array -> proof -> bool
+
+(** [simulate ~random_bytes trapdoor ~public_inputs] forges a verifying
+    proof {e without any witness}, using the setup trapdoor — the standard
+    zero-knowledge simulator, used by tests to establish that proofs leak
+    nothing beyond validity. *)
+val simulate : random_bytes:(int -> bytes) -> trapdoor -> public_inputs:Fp.t array -> proof
+
+(** {1 Introspection & serialisation} *)
+
+val num_public_inputs : verifying_key -> int
+
+val domain_size : proving_key -> int
+
+val proof_to_bytes : proof -> bytes
+
+(** @raise Zebra_codec.Codec.Decode_error on malformed input. *)
+val proof_of_bytes : bytes -> proof
+
+val vk_to_bytes : verifying_key -> bytes
+val vk_of_bytes : bytes -> verifying_key
+
+val proof_size_bytes : proof -> int
+val vk_size_bytes : verifying_key -> int
+
+val equal_proof : proof -> proof -> bool

@@ -1,0 +1,1 @@
+lib/store/store.ml: Bytes Char Format Hashtbl List Option Zebra_codec Zebra_hashing

@@ -1,0 +1,1 @@
+test/test_anonauth.ml: Alcotest Array Bytes Fp Lazy List Option Printf Zebra_anonauth Zebra_field Zebra_mimc Zebra_rng Zebra_snark

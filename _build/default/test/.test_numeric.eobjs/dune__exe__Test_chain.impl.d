@@ -1,0 +1,1 @@
+test/test_chain.ml: Address Alcotest Array Block Bytes Char Contract Lazy Light_client List Network State String Tx Wallet Zebra_chain Zebra_codec Zebra_rng

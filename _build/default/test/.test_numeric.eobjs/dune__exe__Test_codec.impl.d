@@ -1,0 +1,1 @@
+test/test_codec.ml: Alcotest Bytes Char Printf QCheck2 QCheck_alcotest Zebra_anonauth Zebra_chain Zebra_codec Zebra_elgamal Zebra_field Zebra_rng Zebra_rsa Zebra_snark Zebralancer

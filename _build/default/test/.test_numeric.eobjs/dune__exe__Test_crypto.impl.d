@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Array Bytes Char Fp Lazy Modular Nat Prime Zebra_elgamal Zebra_field Zebra_hashing Zebra_numeric Zebra_rng Zebra_rsa

@@ -1,0 +1,1 @@
+test/test_field.ml: Alcotest Array Bytes Fft Fp List Poly Printf QCheck2 QCheck_alcotest Zebra_field Zebra_numeric Zebra_rng

@@ -1,0 +1,1 @@
+test/test_hashing.ml: Alcotest Bytes Char Fun Hmac List Merkle Printf QCheck2 QCheck_alcotest Sha256 String Zebra_hashing Zebra_rng

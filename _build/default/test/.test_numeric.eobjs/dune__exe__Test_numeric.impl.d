@@ -1,0 +1,1 @@
+test/test_numeric.ml: Alcotest Bytes Char List Modular Nat Prime QCheck2 QCheck_alcotest String Zebra_numeric Zebra_rng

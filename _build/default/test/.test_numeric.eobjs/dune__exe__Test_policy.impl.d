@@ -1,0 +1,1 @@
+test/test_policy.ml: Alcotest Array List Option QCheck2 QCheck_alcotest Random Zebralancer

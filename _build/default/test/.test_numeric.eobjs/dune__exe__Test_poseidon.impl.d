@@ -1,0 +1,1 @@
+test/test_poseidon.ml: Alcotest Array Cs Fp Gadgets Printf Zebra_field Zebra_mimc Zebra_poseidon Zebra_r1cs Zebra_rng

@@ -1,0 +1,1 @@
+test/test_r1cs.ml: Alcotest Array Cs Fp Gadgets List Nat Printf QCheck2 QCheck_alcotest Zebra_field Zebra_mimc Zebra_numeric Zebra_r1cs Zebra_rng

@@ -1,0 +1,1 @@
+test/test_reputation.ml: Address Alcotest Bytes Fp Lazy Network Option Reputation Reputation_contract State Tx Wallet Zebra_anonauth Zebra_chain Zebra_field Zebra_rng Zebra_snark Zebralancer

@@ -1,0 +1,1 @@
+test/test_reward_circuit.ml: Alcotest Array Bytes Fp Lazy List Option Printf Random Zebra_elgamal Zebra_field Zebra_rng Zebralancer

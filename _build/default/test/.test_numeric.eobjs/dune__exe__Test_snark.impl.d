@@ -1,0 +1,1 @@
+test/test_snark.ml: Alcotest Array Bytes Char Cs Fp Gadgets List Zebra_field Zebra_mimc Zebra_r1cs Zebra_rng Zebra_snark

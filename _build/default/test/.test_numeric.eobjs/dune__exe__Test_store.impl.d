@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Array Block Bytes Lazy Light_client List Network QCheck2 QCheck_alcotest Tx Wallet Zebra_chain Zebra_rng Zebra_store

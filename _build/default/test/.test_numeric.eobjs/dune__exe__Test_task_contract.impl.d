@@ -1,0 +1,1 @@
+test/test_task_contract.ml: Alcotest Bytes Lazy List Network Option Policy Protocol Requester State String Task_contract Tx Wallet Worker Zebra_anonauth Zebra_chain Zebra_elgamal Zebralancer

@@ -1,0 +1,1 @@
+test/test_truth_inference.ml: Alcotest Array Float Printf Zebra_rng Zebralancer

@@ -1,0 +1,406 @@
+(* Blockchain substrate tests: transactions, contract runtime, replicated
+   execution, adversarial reordering, and ledger invariants. *)
+
+open Zebra_chain
+module Codec = Zebra_codec.Codec
+
+let rng = Zebra_rng.Chacha20.create ~seed:"test_chain"
+let random_bytes n = Zebra_rng.Chacha20.bytes rng n
+
+(* Wallet creation is RSA keygen; reuse a pool across tests. *)
+let wallet_pool = lazy (Array.init 6 (fun _ -> Wallet.generate ~bits:512 ~random_bytes ()))
+
+let wallet i = (Lazy.force wallet_pool).(i)
+
+(* --- Toy contracts for runtime tests --- *)
+
+(* A counter: payload "inc" increments; "get" logs the value; init arg sets
+   the start; "boom" reverts. *)
+module Counter = struct
+  type storage = int
+
+  let name = "test-counter"
+  let init _ctx args = if Bytes.length args = 0 then 0 else Codec.decode Codec.read_u64 args
+
+  let receive ctx st payload =
+    match Bytes.to_string payload with
+    | "inc" -> (st + 1, [])
+    | "get" -> (st, [ Contract.Log (string_of_int st) ])
+    | "boom" -> raise (Contract.Revert "boom")
+    | "height" -> (st, [ Contract.Log (string_of_int ctx.Contract.height) ])
+    | _ -> raise (Contract.Revert "unknown method")
+
+  let encode st = Codec.encode Codec.u64 st
+  let decode b = Codec.decode Codec.read_u64 b
+end
+
+(* Escrow: deposits held; payload = 20-byte payee address releases all. *)
+module Escrow = struct
+  type storage = unit
+
+  let name = "test-escrow"
+  let init _ _ = ()
+
+  let receive ctx () payload =
+    if Bytes.length payload <> 20 then raise (Contract.Revert "bad payee")
+    else ((), [ Contract.Transfer (Address.of_bytes payload, ctx.Contract.self_balance) ])
+
+  let encode () = Bytes.empty
+  let decode _ = ()
+end
+
+let () = Contract.register (module Counter)
+let () = Contract.register (module Escrow)
+
+let fresh_net ?(num_nodes = 3) ?(fund = [ 0; 1; 2 ]) () =
+  let genesis = List.map (fun i -> (Wallet.address (wallet i), 1_000_000)) fund in
+  Network.create ~num_nodes ~genesis ()
+
+let check_ok (r : State.receipt) =
+  match r.State.status with
+  | State.Ok _ -> ()
+  | State.Failed e -> Alcotest.failf "tx failed: %s" e
+
+let created (r : State.receipt) =
+  match r.State.status with
+  | State.Ok (Some a) -> a
+  | _ -> Alcotest.fail "expected contract creation"
+
+(* --- Address / Tx --- *)
+
+let test_address_derivation () =
+  let w = wallet 0 in
+  let a = Wallet.address w in
+  Alcotest.(check int) "hex length" 40 (String.length (Address.to_hex a));
+  Alcotest.(check bool) "roundtrip" true (Address.equal a (Address.of_hex (Address.to_hex a)));
+  Alcotest.(check bool) "deterministic contract addr" true
+    (Address.equal (Address.of_creator a 3) (Address.of_creator a 3));
+  Alcotest.(check bool) "nonce changes addr" false
+    (Address.equal (Address.of_creator a 3) (Address.of_creator a 4))
+
+let test_tx_roundtrip () =
+  let tx =
+    Tx.make ~wallet:(wallet 0) ~nonce:0 ~dst:(Tx.Call (Wallet.address (wallet 1))) ~value:42
+      ~payload:(Bytes.of_string "hello")
+  in
+  Alcotest.(check bool) "validates" true (Tx.validate tx);
+  let tx' = Tx.of_bytes (Tx.to_bytes tx) in
+  Alcotest.(check bool) "roundtrip validates" true (Tx.validate tx');
+  Alcotest.(check bytes) "same hash" (Tx.hash tx) (Tx.hash tx')
+
+let test_tx_tamper () =
+  let tx =
+    Tx.make ~wallet:(wallet 0) ~nonce:0 ~dst:(Tx.Call (Wallet.address (wallet 1))) ~value:42
+      ~payload:Bytes.empty
+  in
+  let b = Tx.to_bytes tx in
+  (* Flip a bit inside the value field region; signature must fail. *)
+  Bytes.set b (Bytes.length b - 70) (Char.chr (Char.code (Bytes.get b (Bytes.length b - 70)) lxor 1));
+  match Tx.of_bytes b with
+  | tx' -> Alcotest.(check bool) "tampered rejected" false (Tx.validate tx')
+  | exception _ -> () (* decode failure is equally a rejection *)
+
+(* --- Transfers & ledger --- *)
+
+let test_plain_transfer () =
+  let net = fresh_net () in
+  let a0 = Wallet.address (wallet 0) and a1 = Wallet.address (wallet 1) in
+  let tx = Tx.make ~wallet:(wallet 0) ~nonce:0 ~dst:(Tx.Call a1) ~value:500 ~payload:Bytes.empty in
+  Network.submit net tx;
+  List.iter check_ok (Network.mine net);
+  Alcotest.(check int) "sender debited" 999_500 (Network.balance net a0);
+  Alcotest.(check int) "receiver credited" 1_000_500 (Network.balance net a1)
+
+let test_insufficient_funds () =
+  let net = fresh_net () in
+  let tx =
+    Tx.make ~wallet:(wallet 0) ~nonce:0 ~dst:(Tx.Call (Wallet.address (wallet 1)))
+      ~value:2_000_000 ~payload:Bytes.empty
+  in
+  Network.submit net tx;
+  (match Network.mine net with
+  | [ { State.status = State.Failed "insufficient funds"; _ } ] -> ()
+  | _ -> Alcotest.fail "expected failure");
+  Alcotest.(check int) "no debit" 1_000_000 (Network.balance net (Wallet.address (wallet 0)))
+
+let test_nonce_enforcement () =
+  let net = fresh_net () in
+  let mk nonce =
+    Tx.make ~wallet:(wallet 0) ~nonce ~dst:(Tx.Call (Wallet.address (wallet 1))) ~value:1
+      ~payload:Bytes.empty
+  in
+  Network.submit net (mk 5);
+  (match Network.mine net with
+  | [ { State.status = State.Failed "bad nonce"; _ } ] -> ()
+  | _ -> Alcotest.fail "expected bad nonce");
+  (* replay protection: same tx twice *)
+  let tx = mk 0 in
+  Network.submit net tx;
+  Network.submit net tx;
+  match Network.mine net with
+  | [ r1; r2 ] ->
+    check_ok r1;
+    (match r2.State.status with
+    | State.Failed "bad nonce" -> ()
+    | _ -> Alcotest.fail "replay accepted")
+  | _ -> Alcotest.fail "expected two receipts"
+
+let test_supply_conservation () =
+  let net = fresh_net () in
+  let before = Network.total_supply net in
+  List.iteri
+    (fun i dst ->
+      Network.submit net
+        (Tx.make ~wallet:(wallet 0) ~nonce:i ~dst:(Tx.Call (Wallet.address (wallet dst)))
+           ~value:(100 * (i + 1)) ~payload:Bytes.empty))
+    [ 1; 2; 1 ];
+  ignore (Network.mine net);
+  Alcotest.(check int) "conserved" before (Network.total_supply net)
+
+(* --- Contracts --- *)
+
+let test_contract_lifecycle () =
+  let net = fresh_net () in
+  let create =
+    Tx.make ~wallet:(wallet 0) ~nonce:0
+      ~dst:(Tx.Create { behavior = "test-counter"; args = Codec.encode Codec.u64 10 })
+      ~value:0 ~payload:Bytes.empty
+  in
+  Network.submit net create;
+  let addr =
+    match Network.mine net with [ r ] -> created r | _ -> Alcotest.fail "one receipt"
+  in
+  Alcotest.(check bool) "is contract" true (Network.is_contract net addr);
+  List.iter
+    (fun _ ->
+      Network.submit net
+        (Tx.make ~wallet:(wallet 1) ~nonce:(Network.nonce net (Wallet.address (wallet 1)))
+           ~dst:(Tx.Call addr) ~value:0 ~payload:(Bytes.of_string "inc"));
+      List.iter check_ok (Network.mine net))
+    [ (); (); () ];
+  Network.submit net
+    (Tx.make ~wallet:(wallet 1) ~nonce:(Network.nonce net (Wallet.address (wallet 1)))
+       ~dst:(Tx.Call addr) ~value:0 ~payload:(Bytes.of_string "get"));
+  (match Network.mine net with
+  | [ { State.logs = [ v ]; _ } ] -> Alcotest.(check string) "counter" "13" v
+  | _ -> Alcotest.fail "expected one log");
+  Alcotest.(check int) "height visible to contract" 5 (Network.height net)
+
+let test_unknown_behavior () =
+  let net = fresh_net () in
+  Network.submit net
+    (Tx.make ~wallet:(wallet 0) ~nonce:0
+       ~dst:(Tx.Create { behavior = "no-such-contract"; args = Bytes.empty })
+       ~value:0 ~payload:Bytes.empty);
+  match Network.mine net with
+  | [ { State.status = State.Failed msg; _ } ] ->
+    Alcotest.(check string) "reason" "unknown behavior no-such-contract" msg
+  | _ -> Alcotest.fail "expected failure"
+
+let test_revert_rolls_back () =
+  let net = fresh_net () in
+  Network.submit net
+    (Tx.make ~wallet:(wallet 0) ~nonce:0
+       ~dst:(Tx.Create { behavior = "test-counter"; args = Bytes.empty })
+       ~value:100 ~payload:Bytes.empty);
+  let addr = created (List.hd (Network.mine net)) in
+  let before = Network.balance net (Wallet.address (wallet 0)) in
+  Network.submit net
+    (Tx.make ~wallet:(wallet 0) ~nonce:1 ~dst:(Tx.Call addr) ~value:50
+       ~payload:(Bytes.of_string "boom"));
+  (match Network.mine net with
+  | [ { State.status = State.Failed "boom"; _ } ] -> ()
+  | _ -> Alcotest.fail "expected revert");
+  Alcotest.(check int) "value returned on revert" before
+    (Network.balance net (Wallet.address (wallet 0)));
+  Alcotest.(check int) "nonce still advanced" 2 (Network.nonce net (Wallet.address (wallet 0)))
+
+let test_escrow_transfer_action () =
+  let net = fresh_net () in
+  let payee = Wallet.address (wallet 2) in
+  Network.submit net
+    (Tx.make ~wallet:(wallet 0) ~nonce:0
+       ~dst:(Tx.Create { behavior = "test-escrow"; args = Bytes.empty })
+       ~value:700 ~payload:Bytes.empty);
+  let addr = created (List.hd (Network.mine net)) in
+  Alcotest.(check int) "escrow funded" 700 (Network.balance net addr);
+  Network.submit net
+    (Tx.make ~wallet:(wallet 1) ~nonce:0 ~dst:(Tx.Call addr) ~value:0
+       ~payload:(Address.to_bytes payee));
+  List.iter check_ok (Network.mine net);
+  Alcotest.(check int) "payee received" 1_000_700 (Network.balance net payee);
+  Alcotest.(check int) "escrow drained" 0 (Network.balance net addr)
+
+(* --- Replication & consensus --- *)
+
+let test_replicas_agree () =
+  let net = fresh_net ~num_nodes:4 () in
+  for i = 0 to 5 do
+    Network.submit net
+      (Tx.make ~wallet:(wallet 0) ~nonce:i ~dst:(Tx.Call (Wallet.address (wallet 1))) ~value:7
+         ~payload:Bytes.empty);
+    ignore (Network.mine net)
+  done;
+  (* Network.mine raises Consensus_failure on divergence; reaching here with
+     4 replicas is the assertion. *)
+  Alcotest.(check int) "height" 6 (Network.height net)
+
+let test_adversary_reorder () =
+  (* The adversary reverses the block order: the later-submitted transfer
+     executes first.  Both still execute; balances must reflect the
+     adversary's order (nonce forces a unique valid serialisation here, so
+     we use two different senders). *)
+  let net = fresh_net () in
+  Network.set_adversary net (Some List.rev);
+  let a2 = Wallet.address (wallet 2) in
+  Network.submit net
+    (Tx.make ~wallet:(wallet 0) ~nonce:0 ~dst:(Tx.Call a2) ~value:1 ~payload:Bytes.empty);
+  Network.submit net
+    (Tx.make ~wallet:(wallet 1) ~nonce:0 ~dst:(Tx.Call a2) ~value:2 ~payload:Bytes.empty);
+  List.iter check_ok (Network.mine net);
+  Alcotest.(check int) "both executed" 1_000_003 (Network.balance net a2)
+
+let test_adversary_cannot_forge () =
+  let net = fresh_net () in
+  (* Adversary injects a doctored transaction: it is filtered out. *)
+  let doctored =
+    let tx =
+      Tx.make ~wallet:(wallet 0) ~nonce:0 ~dst:(Tx.Call (Wallet.address (wallet 1))) ~value:1
+        ~payload:Bytes.empty
+    in
+    let b = Tx.to_bytes tx in
+    Bytes.set b 60 (Char.chr (Char.code (Bytes.get b 60) lxor 1));
+    try Some (Tx.of_bytes b) with _ -> None
+  in
+  Network.set_adversary net
+    (Some (fun txs -> match doctored with Some d -> d :: txs | None -> txs));
+  Network.submit net
+    (Tx.make ~wallet:(wallet 1) ~nonce:0 ~dst:(Tx.Call (Wallet.address (wallet 2))) ~value:5
+       ~payload:Bytes.empty);
+  let receipts = Network.mine net in
+  Alcotest.(check int) "only the honest tx executed" 1 (List.length receipts)
+
+let test_block_chain_integrity () =
+  let net = fresh_net () in
+  Network.submit net
+    (Tx.make ~wallet:(wallet 0) ~nonce:0 ~dst:(Tx.Call (Wallet.address (wallet 1))) ~value:1
+       ~payload:Bytes.empty);
+  ignore (Network.mine net);
+  ignore (Network.mine net);
+  match Network.blocks net with
+  | [ b1; b2 ] ->
+    Alcotest.(check bytes) "linkage" (Block.hash b1) b2.Block.header.Block.prev_hash;
+    Alcotest.(check int) "heights" 1 b1.Block.header.Block.height
+  | _ -> Alcotest.fail "expected two blocks"
+
+let test_tx_inclusion_proof () =
+  let net = fresh_net () in
+  let tx =
+    Tx.make ~wallet:(wallet 0) ~nonce:0 ~dst:(Tx.Call (Wallet.address (wallet 1))) ~value:1
+      ~payload:Bytes.empty
+  in
+  Network.submit net tx;
+  Network.submit net
+    (Tx.make ~wallet:(wallet 1) ~nonce:0 ~dst:(Tx.Call (Wallet.address (wallet 2))) ~value:1
+       ~payload:Bytes.empty);
+  ignore (Network.mine net);
+  let b = List.hd (Network.blocks net) in
+  let proof = Block.tx_proof b 0 in
+  Alcotest.(check bool) "inclusion verifies" true (Block.verify_tx_inclusion b tx proof)
+
+let test_replay_determinism () =
+  (* A late-joining node replays all blocks from genesis and must arrive at
+     the exact same state root (the ledger's "correct computation"). *)
+  let net = fresh_net () in
+  Network.submit net
+    (Tx.make ~wallet:(wallet 0) ~nonce:0
+       ~dst:(Tx.Create { behavior = "test-counter"; args = Bytes.empty })
+       ~value:100 ~payload:Bytes.empty);
+  let addr = created (List.hd (Network.mine net)) in
+  List.iteri
+    (fun i payload ->
+      Network.submit net
+        (Tx.make ~wallet:(wallet 1) ~nonce:i ~dst:(Tx.Call addr) ~value:0
+           ~payload:(Bytes.of_string payload));
+      ignore (Network.mine net))
+    [ "inc"; "inc"; "boom"; "get" ];
+  Alcotest.(check bytes) "replayed root equals live root" (Network.state_root net)
+    (Network.replay net)
+
+let test_pow_mining () =
+  (* With a difficulty target, every mined block carries a valid seal and
+     tampering with the nonce invalidates it. *)
+  let net = fresh_net () in
+  let net12 =
+    Network.create ~difficulty:12 ~num_nodes:2
+      ~genesis:[ (Wallet.address (wallet 0), 1000) ] ()
+  in
+  ignore net;
+  Network.submit net12
+    (Tx.make ~wallet:(wallet 0) ~nonce:0 ~dst:(Tx.Call (Wallet.address (wallet 1))) ~value:1
+       ~payload:Bytes.empty);
+  List.iter check_ok (Network.mine net12);
+  let b = List.hd (Network.blocks net12) in
+  Alcotest.(check bool) "seal meets target" true
+    (Block.meets_difficulty b.Block.header 12);
+  let unsealed = { b.Block.header with Block.nonce = b.Block.header.Block.nonce + 1 } in
+  (* overwhelmingly likely to fail the 12-bit target *)
+  Alcotest.(check bool) "tampered nonce fails" false (Block.meets_difficulty unsealed 12);
+  (* a light client at the same difficulty follows; one at a higher target
+     refuses *)
+  let lc = Light_client.create ~difficulty:12 () in
+  (match Light_client.sync lc (Network.blocks net12) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "sync: %s" e);
+  let strict = Light_client.create ~difficulty:28 () in
+  match Light_client.sync strict (Network.blocks net12) with
+  | Error "insufficient proof of work" -> ()
+  | _ -> Alcotest.fail "under-sealed header accepted"
+
+let test_pow_difficulty_zero_default () =
+  let net = fresh_net () in
+  ignore (Network.mine net);
+  let b = List.hd (Network.blocks net) in
+  Alcotest.(check int) "nonce zero at difficulty 0" 0 b.Block.header.Block.nonce
+
+let test_mine_until () =
+  let net = fresh_net () in
+  Network.mine_until net ~height:10;
+  Alcotest.(check int) "height reached" 10 (Network.height net)
+
+let () =
+  Alcotest.run "chain"
+    [
+      ( "tx",
+        [
+          Alcotest.test_case "address derivation" `Quick test_address_derivation;
+          Alcotest.test_case "tx roundtrip" `Quick test_tx_roundtrip;
+          Alcotest.test_case "tx tamper" `Quick test_tx_tamper;
+        ] );
+      ( "ledger",
+        [
+          Alcotest.test_case "plain transfer" `Quick test_plain_transfer;
+          Alcotest.test_case "insufficient funds" `Quick test_insufficient_funds;
+          Alcotest.test_case "nonce / replay" `Quick test_nonce_enforcement;
+          Alcotest.test_case "supply conservation" `Quick test_supply_conservation;
+        ] );
+      ( "contracts",
+        [
+          Alcotest.test_case "lifecycle" `Quick test_contract_lifecycle;
+          Alcotest.test_case "unknown behavior" `Quick test_unknown_behavior;
+          Alcotest.test_case "revert rollback" `Quick test_revert_rolls_back;
+          Alcotest.test_case "escrow actions" `Quick test_escrow_transfer_action;
+        ] );
+      ( "network",
+        [
+          Alcotest.test_case "replicas agree" `Quick test_replicas_agree;
+          Alcotest.test_case "adversary reorder" `Quick test_adversary_reorder;
+          Alcotest.test_case "adversary cannot forge" `Quick test_adversary_cannot_forge;
+          Alcotest.test_case "block linkage" `Quick test_block_chain_integrity;
+          Alcotest.test_case "tx inclusion proof" `Quick test_tx_inclusion_proof;
+          Alcotest.test_case "replay determinism" `Quick test_replay_determinism;
+          Alcotest.test_case "proof-of-work seal" `Quick test_pow_mining;
+          Alcotest.test_case "difficulty 0 default" `Quick test_pow_difficulty_zero_default;
+          Alcotest.test_case "mine_until" `Quick test_mine_until;
+        ] );
+    ]

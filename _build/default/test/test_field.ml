@@ -1,0 +1,200 @@
+(* Field, FFT and polynomial tests. *)
+
+open Zebra_field
+
+let rng = Zebra_rng.Chacha20.create ~seed:"test_field"
+let random_bytes n = Zebra_rng.Chacha20.bytes rng n
+let fresh_fp () = Fp.random random_bytes
+
+let fp = Alcotest.testable Fp.pp Fp.equal
+
+let qtest name ?(count = 100) gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen f)
+
+(* Generator: random field element via an int seed expanded through ChaCha. *)
+let arb_fp =
+  QCheck2.Gen.map
+    (fun seed ->
+      let r = Zebra_rng.Chacha20.create ~seed:(Printf.sprintf "fp-%d" seed) in
+      Fp.random (Zebra_rng.Chacha20.bytes r))
+    QCheck2.Gen.(int_bound 1_000_000)
+
+(* --- Fp --- *)
+
+let test_constants () =
+  Alcotest.check fp "0+1=1" Fp.one (Fp.add Fp.zero Fp.one);
+  Alcotest.check fp "1+1=2" Fp.two (Fp.add Fp.one Fp.one);
+  Alcotest.check fp "p=0" Fp.zero (Fp.of_nat Fp.modulus)
+
+let test_negative_of_int () =
+  Alcotest.check fp "-1 + 1 = 0" Fp.zero (Fp.add (Fp.of_int (-1)) Fp.one);
+  Alcotest.check fp "-5 = neg 5" (Fp.neg (Fp.of_int 5)) (Fp.of_int (-5))
+
+let test_bytes_roundtrip () =
+  let x = fresh_fp () in
+  Alcotest.check fp "roundtrip" x (Fp.of_bytes_be_exn (Fp.to_bytes_be x))
+
+let test_bytes_noncanonical () =
+  let b = Bytes.make 32 '\xff' in
+  Alcotest.check_raises "non-canonical rejected"
+    (Invalid_argument "Fp.of_bytes_be_exn: not canonical") (fun () ->
+      ignore (Fp.of_bytes_be_exn b))
+
+let test_root_of_unity () =
+  let w = Fp.root_of_unity 10 in
+  Alcotest.check fp "w^1024 = 1" Fp.one (Fp.pow_int w 1024);
+  Alcotest.(check bool) "w^512 <> 1" false (Fp.equal Fp.one (Fp.pow_int w 512))
+
+let test_max_two_adic_root () =
+  let w = Fp.root_of_unity 28 in
+  Alcotest.check fp "order 2^28" Fp.one (Fp.pow w (Zebra_numeric.Nat.pow Zebra_numeric.Nat.two 28));
+  Alcotest.(check bool) "primitive" false
+    (Fp.equal Fp.one (Fp.pow w (Zebra_numeric.Nat.pow Zebra_numeric.Nat.two 27)))
+
+let test_batch_inv () =
+  let a = Array.init 20 (fun _ -> fresh_fp ()) in
+  let inv = Fp.batch_inv a in
+  Array.iteri (fun i x -> Alcotest.check fp "x * x^-1" Fp.one (Fp.mul x inv.(i))) a
+
+let test_batch_inv_zero () =
+  Alcotest.check_raises "zero in batch" Division_by_zero (fun () ->
+      ignore (Fp.batch_inv [| Fp.one; Fp.zero |]))
+
+let prop_field_laws =
+  qtest "field laws" (QCheck2.Gen.triple arb_fp arb_fp arb_fp) (fun (a, b, c) ->
+      Fp.equal (Fp.mul a (Fp.add b c)) (Fp.add (Fp.mul a b) (Fp.mul a c))
+      && Fp.equal (Fp.mul a b) (Fp.mul b a)
+      && Fp.equal (Fp.add (Fp.sub a b) b) a
+      && Fp.equal (Fp.sub Fp.zero a) (Fp.neg a))
+
+let prop_inverse =
+  qtest "multiplicative inverse" arb_fp (fun a ->
+      Fp.is_zero a || Fp.equal Fp.one (Fp.mul a (Fp.inv a)))
+
+let prop_sqr =
+  qtest "sqr = mul self" arb_fp (fun a -> Fp.equal (Fp.sqr a) (Fp.mul a a))
+
+(* --- FFT --- *)
+
+let rand_poly n = Array.init n (fun _ -> fresh_fp ())
+
+let test_fft_roundtrip () =
+  List.iter
+    (fun n ->
+      let d = Fft.domain n in
+      let a = rand_poly (Fft.size d) in
+      let b = Array.copy a in
+      Fft.fft d b;
+      Fft.ifft d b;
+      Array.iteri (fun i x -> Alcotest.check fp (Printf.sprintf "n=%d i=%d" n i) a.(i) x) b)
+    [ 1; 2; 4; 8; 64; 256 ]
+
+let test_fft_matches_eval () =
+  let d = Fft.domain 8 in
+  let coeffs = rand_poly 8 in
+  let p = Poly.of_coeffs (Array.copy coeffs) in
+  let evals = Array.copy coeffs in
+  Fft.fft d evals;
+  for i = 0 to 7 do
+    Alcotest.check fp (Printf.sprintf "eval at w^%d" i) (Poly.eval p (Fft.element d i)) evals.(i)
+  done
+
+let test_coset_fft_matches_eval () =
+  let d = Fft.domain 8 in
+  let coeffs = rand_poly 8 in
+  let p = Poly.of_coeffs (Array.copy coeffs) in
+  let evals = Array.copy coeffs in
+  Fft.coset_fft d evals;
+  let g = Fp.generator in
+  for i = 0 to 7 do
+    let x = Fp.mul g (Fft.element d i) in
+    Alcotest.check fp (Printf.sprintf "coset eval %d" i) (Poly.eval p x) evals.(i)
+  done
+
+let test_coset_roundtrip () =
+  let d = Fft.domain 16 in
+  let a = rand_poly 16 in
+  let b = Array.copy a in
+  Fft.coset_fft d b;
+  Fft.coset_ifft d b;
+  Array.iteri (fun i x -> Alcotest.check fp (Printf.sprintf "i=%d" i) a.(i) x) b
+
+let test_vanishing () =
+  let d = Fft.domain 8 in
+  for i = 0 to 7 do
+    Alcotest.check fp "Z(w^i)=0" Fp.zero (Fft.vanishing_at d (Fft.element d i))
+  done;
+  let g = Fp.generator in
+  Alcotest.check fp "Z on coset" (Fft.vanishing_on_coset d)
+    (Fft.vanishing_at d (Fp.mul g Fp.one))
+
+let test_lagrange_at () =
+  let d = Fft.domain 8 in
+  let x = fresh_fp () in
+  let ls = Fft.lagrange_at d x in
+  (* Sum of all Lagrange basis polys is 1. *)
+  let sum = Array.fold_left Fp.add Fp.zero ls in
+  Alcotest.check fp "partition of unity" Fp.one sum;
+  (* Against the naive interpolation through an indicator function. *)
+  let pts = List.init 8 (fun i -> (Fft.element d i, if i = 3 then Fp.one else Fp.zero)) in
+  let l3 = Poly.interpolate pts in
+  Alcotest.check fp "L_3(x)" (Poly.eval l3 x) ls.(3)
+
+(* --- Poly --- *)
+
+let test_poly_divmod () =
+  let p = Poly.of_coeffs (rand_poly 10) in
+  let d = Poly.of_coeffs (rand_poly 4) in
+  let q, r = Poly.divmod p d in
+  Alcotest.(check bool) "deg r < deg d" true (Poly.degree r < Poly.degree d);
+  Alcotest.(check bool) "p = q*d + r" true (Poly.equal p (Poly.add (Poly.mul q d) r))
+
+let test_poly_interpolate_roundtrip () =
+  let pts = List.init 6 (fun i -> (Fp.of_int (i + 1), fresh_fp ())) in
+  let p = Poly.interpolate pts in
+  List.iter (fun (x, y) -> Alcotest.check fp "through point" y (Poly.eval p x)) pts
+
+let test_poly_interpolate_duplicate () =
+  Alcotest.check_raises "duplicate x" (Invalid_argument "Poly.interpolate: duplicate x")
+    (fun () -> ignore (Poly.interpolate [ (Fp.one, Fp.one); (Fp.one, Fp.two) ]))
+
+let prop_poly_mul_eval =
+  qtest "eval is ring hom" (QCheck2.Gen.pair arb_fp (QCheck2.Gen.int_bound 8))
+    (fun (x, n) ->
+      let a = Poly.of_coeffs (rand_poly (n + 1)) in
+      let b = Poly.of_coeffs (rand_poly (n + 2)) in
+      Fp.equal (Poly.eval (Poly.mul a b) x) (Fp.mul (Poly.eval a x) (Poly.eval b x))
+      && Fp.equal (Poly.eval (Poly.add a b) x) (Fp.add (Poly.eval a x) (Poly.eval b x)))
+
+let () =
+  Alcotest.run "field"
+    [
+      ( "fp",
+        [
+          Alcotest.test_case "constants" `Quick test_constants;
+          Alcotest.test_case "negative of_int" `Quick test_negative_of_int;
+          Alcotest.test_case "bytes roundtrip" `Quick test_bytes_roundtrip;
+          Alcotest.test_case "non-canonical bytes" `Quick test_bytes_noncanonical;
+          Alcotest.test_case "root of unity" `Quick test_root_of_unity;
+          Alcotest.test_case "2^28 root" `Quick test_max_two_adic_root;
+          Alcotest.test_case "batch inversion" `Quick test_batch_inv;
+          Alcotest.test_case "batch inversion zero" `Quick test_batch_inv_zero;
+          prop_field_laws; prop_inverse; prop_sqr;
+        ] );
+      ( "fft",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_fft_roundtrip;
+          Alcotest.test_case "matches Horner" `Quick test_fft_matches_eval;
+          Alcotest.test_case "coset matches Horner" `Quick test_coset_fft_matches_eval;
+          Alcotest.test_case "coset roundtrip" `Quick test_coset_roundtrip;
+          Alcotest.test_case "vanishing polynomial" `Quick test_vanishing;
+          Alcotest.test_case "lagrange at point" `Quick test_lagrange_at;
+        ] );
+      ( "poly",
+        [
+          Alcotest.test_case "divmod" `Quick test_poly_divmod;
+          Alcotest.test_case "interpolation" `Quick test_poly_interpolate_roundtrip;
+          Alcotest.test_case "duplicate abscissae" `Quick test_poly_interpolate_duplicate;
+          prop_poly_mul_eval;
+        ] );
+    ]

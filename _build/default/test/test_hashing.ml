@@ -1,0 +1,161 @@
+(* SHA-256 / HMAC / Merkle tests, including FIPS and RFC vectors. *)
+
+open Zebra_hashing
+
+let qtest name ?(count = 100) gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen f)
+
+(* --- SHA-256 FIPS 180-4 vectors --- *)
+
+let vectors =
+  [
+    ("", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+    ("abc", "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+    ( "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1" );
+    ( String.make 1000000 'a',
+      "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0" );
+  ]
+
+let test_sha256_vectors () =
+  List.iter
+    (fun (input, expected) ->
+      Alcotest.(check string) "digest" expected (Sha256.hex_digest_string input))
+    vectors
+
+let test_sha256_incremental () =
+  (* Chunked updates must agree with the one-shot digest. *)
+  let data = String.init 10000 (fun i -> Char.chr (i mod 251)) in
+  let one_shot = Sha256.digest_string data in
+  let sizes = [ 1; 7; 63; 64; 65; 128; 1000 ] in
+  List.iter
+    (fun sz ->
+      let ctx = Sha256.init () in
+      let pos = ref 0 in
+      while !pos < String.length data do
+        let take = min sz (String.length data - !pos) in
+        Sha256.update_string ctx (String.sub data !pos take);
+        pos := !pos + take
+      done;
+      Alcotest.(check bytes) (Printf.sprintf "chunk %d" sz) one_shot (Sha256.finalize ctx))
+    sizes
+
+let test_hex_roundtrip () =
+  let d = Sha256.digest_string "zebra" in
+  Alcotest.(check bytes) "hex roundtrip" d (Sha256.of_hex (Sha256.to_hex d))
+
+(* --- HMAC RFC 4231 vectors --- *)
+
+let test_hmac_vectors () =
+  let check name key msg expected =
+    Alcotest.(check string) name expected (Sha256.to_hex (Hmac.hmac ~key msg))
+  in
+  check "rfc4231 case 1"
+    (Bytes.make 20 '\x0b')
+    (Bytes.of_string "Hi There")
+    "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7";
+  check "rfc4231 case 2"
+    (Bytes.of_string "Jefe")
+    (Bytes.of_string "what do ya want for nothing?")
+    "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843";
+  check "rfc4231 case 3" (Bytes.make 20 '\xaa') (Bytes.make 50 '\xdd')
+    "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+
+(* --- ChaCha20 RFC 8439 vector --- *)
+
+let test_chacha20_block () =
+  let key = Bytes.init 32 Char.chr in
+  let nonce = Sha256.of_hex "000000090000004a00000000" in
+  let block = Zebra_rng.Chacha20.block ~key ~counter:1l ~nonce in
+  Alcotest.(check string) "rfc8439 2.3.2"
+    "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4ed2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e"
+    (Sha256.to_hex block)
+
+let test_chacha20_determinism () =
+  let mk () = Zebra_rng.Chacha20.create ~seed:"abc" in
+  let a = Zebra_rng.Chacha20.bytes (mk ()) 100 in
+  let b = Zebra_rng.Chacha20.bytes (mk ()) 100 in
+  Alcotest.(check bytes) "same seed same stream" a b;
+  let c = Zebra_rng.Chacha20.bytes (Zebra_rng.Chacha20.create ~seed:"abd") 100 in
+  Alcotest.(check bool) "different seed differs" false (Bytes.equal a c)
+
+let test_chacha20_copy () =
+  let t = Zebra_rng.Chacha20.create ~seed:"copy" in
+  ignore (Zebra_rng.Chacha20.bytes t 33);
+  let t2 = Zebra_rng.Chacha20.copy t in
+  Alcotest.(check bytes) "copied stream continues identically"
+    (Zebra_rng.Chacha20.bytes t 50) (Zebra_rng.Chacha20.bytes t2 50)
+
+(* --- Merkle --- *)
+
+let leaves_of n = List.init n (fun i -> Bytes.of_string (Printf.sprintf "leaf-%d" i))
+
+let test_merkle_proof_all_sizes () =
+  List.iter
+    (fun n ->
+      let leaves = leaves_of n in
+      let root = Merkle.root leaves in
+      List.iteri
+        (fun i leaf ->
+          let proof = Merkle.proof leaves i in
+          Alcotest.(check bool)
+            (Printf.sprintf "n=%d i=%d" n i)
+            true
+            (Merkle.verify ~root ~leaf proof))
+        leaves)
+    [ 1; 2; 3; 4; 5; 7; 8; 9; 16; 17 ]
+
+let test_merkle_reject_wrong_leaf () =
+  let leaves = leaves_of 8 in
+  let root = Merkle.root leaves in
+  let proof = Merkle.proof leaves 3 in
+  Alcotest.(check bool) "wrong leaf rejected" false
+    (Merkle.verify ~root ~leaf:(Bytes.of_string "forged") proof)
+
+let test_merkle_reject_wrong_position () =
+  let leaves = leaves_of 8 in
+  let root = Merkle.root leaves in
+  let proof = Merkle.proof leaves 3 in
+  Alcotest.(check bool) "leaf at wrong position rejected" false
+    (Merkle.verify ~root ~leaf:(List.nth leaves 4) proof)
+
+let test_merkle_root_changes () =
+  let r1 = Merkle.root (leaves_of 8) in
+  let leaves' = List.mapi (fun i l -> if i = 5 then Bytes.of_string "tampered" else l) (leaves_of 8) in
+  Alcotest.(check bool) "tamper changes root" false (Bytes.equal r1 (Merkle.root leaves'))
+
+let prop_merkle_sound =
+  qtest "random tree proofs verify"
+    QCheck2.Gen.(pair (int_range 1 40) (int_bound 1000))
+    (fun (n, salt) ->
+      let leaves = List.init n (fun i -> Bytes.of_string (Printf.sprintf "%d-%d" salt i)) in
+      let root = Merkle.root leaves in
+      List.for_all
+        (fun i -> Merkle.verify ~root ~leaf:(List.nth leaves i) (Merkle.proof leaves i))
+        (List.init n Fun.id))
+
+let () =
+  Alcotest.run "hashing"
+    [
+      ( "sha256",
+        [
+          Alcotest.test_case "FIPS vectors" `Quick test_sha256_vectors;
+          Alcotest.test_case "incremental" `Quick test_sha256_incremental;
+          Alcotest.test_case "hex roundtrip" `Quick test_hex_roundtrip;
+        ] );
+      ("hmac", [ Alcotest.test_case "RFC 4231 vectors" `Quick test_hmac_vectors ]);
+      ( "chacha20",
+        [
+          Alcotest.test_case "RFC 8439 block" `Quick test_chacha20_block;
+          Alcotest.test_case "determinism" `Quick test_chacha20_determinism;
+          Alcotest.test_case "copy" `Quick test_chacha20_copy;
+        ] );
+      ( "merkle",
+        [
+          Alcotest.test_case "proofs verify (sizes)" `Quick test_merkle_proof_all_sizes;
+          Alcotest.test_case "wrong leaf rejected" `Quick test_merkle_reject_wrong_leaf;
+          Alcotest.test_case "wrong position rejected" `Quick test_merkle_reject_wrong_position;
+          Alcotest.test_case "tamper changes root" `Quick test_merkle_root_changes;
+          prop_merkle_sound;
+        ] );
+    ]

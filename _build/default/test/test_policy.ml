@@ -1,0 +1,176 @@
+(* Incentive policy unit and property tests. *)
+
+module Policy = Zebralancer.Policy
+
+let qtest name ?(count = 200) gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen f)
+
+let some xs = Array.of_list (List.map Option.some xs)
+
+(* --- Majority --- *)
+
+let majority4 = Policy.Majority { choices = 4 }
+
+let test_majority_basic () =
+  (* answers: B B A B C -> majority B (=1), reward 100/5 = 20 each correct *)
+  let r = Policy.rewards majority4 ~budget:100 ~n:5 (some [ 1; 1; 0; 1; 2 ]) in
+  Alcotest.(check (array int)) "rewards" [| 20; 20; 0; 20; 0 |] r
+
+let test_majority_tie_smallest () =
+  (* 2 votes each for 0 and 2: ties break to the smallest choice *)
+  let r = Policy.rewards majority4 ~budget:80 ~n:4 (some [ 2; 0; 2; 0 ]) in
+  Alcotest.(check (array int)) "tie" [| 0; 20; 0; 20 |] r
+
+let test_majority_missing () =
+  let r = Policy.rewards majority4 ~budget:90 ~n:3 [| Some 1; None; Some 1 |] in
+  Alcotest.(check (array int)) "missing earns 0" [| 30; 0; 30 |] r
+
+let test_majority_all_missing () =
+  let r = Policy.rewards majority4 ~budget:90 ~n:3 [| None; None; None |] in
+  Alcotest.(check (array int)) "nobody rewarded" [| 0; 0; 0 |] r
+
+let test_majority_invalid_answer_ignored () =
+  (* answer 9 outside [0,4): counts nowhere, earns nothing *)
+  let r = Policy.rewards majority4 ~budget:60 ~n:3 (some [ 9; 1; 1 ]) in
+  Alcotest.(check (array int)) "invalid ignored" [| 0; 20; 20 |] r
+
+let test_majority_unanimous () =
+  let r = Policy.rewards majority4 ~budget:100 ~n:4 (some [ 3; 3; 3; 3 ]) in
+  Alcotest.(check (array int)) "all rewarded" [| 25; 25; 25; 25 |] r
+
+let prop_majority_budget_bound =
+  qtest "majority never exceeds budget"
+    QCheck2.Gen.(pair (int_range 1 12) (int_range 0 1000))
+    (fun (n, budget) ->
+      let rng = Random.State.make [| n; budget |] in
+      let answers =
+        Array.init n (fun _ ->
+            if Random.State.int rng 5 = 0 then None else Some (Random.State.int rng 4))
+      in
+      let r = Policy.rewards majority4 ~budget ~n answers in
+      Array.fold_left ( + ) 0 r <= budget)
+
+let prop_majority_equal_answers_equal_pay =
+  qtest "identical answers identical rewards" QCheck2.Gen.(int_range 2 10) (fun n ->
+      let answers = Array.make n (Some 2) in
+      let r = Policy.rewards majority4 ~budget:(17 * n) ~n answers in
+      Array.for_all (fun x -> x = r.(0)) r)
+
+(* --- Majority with quota --- *)
+
+let test_threshold_met () =
+  let p = Policy.Majority_threshold { choices = 4; quota = 2 } in
+  let r = Policy.rewards p ~budget:60 ~n:3 (some [ 1; 1; 0 ]) in
+  Alcotest.(check (array int)) "quota met" [| 20; 20; 0 |] r
+
+let test_threshold_not_met () =
+  let p = Policy.Majority_threshold { choices = 4; quota = 3 } in
+  let r = Policy.rewards p ~budget:60 ~n:3 (some [ 1; 1; 0 ]) in
+  Alcotest.(check (array int)) "quota missed" [| 0; 0; 0 |] r
+
+(* --- Reverse auction --- *)
+
+let auction = Policy.Reverse_auction { winners = 2; max_bid = 10 }
+
+let test_auction_basic () =
+  (* bids 5 3 8 1 -> winners are 1 and 3 (indices 3, 1), price = 5 (3rd lowest) *)
+  let r = Policy.rewards auction ~budget:100 ~n:4 (some [ 5; 3; 8; 1 ]) in
+  Alcotest.(check (array int)) "k+1 price" [| 0; 5; 0; 5 |] r
+
+let test_auction_budget_cap () =
+  (* clearing price 5 but budget/2 = 2: pay the cap *)
+  let r = Policy.rewards auction ~budget:4 ~n:4 (some [ 5; 3; 8; 1 ]) in
+  Alcotest.(check (array int)) "capped" [| 0; 2; 0; 2 |] r
+
+let test_auction_tie_earlier_wins () =
+  (* bids 3 3 3: two winners are the first two threes; price = 3 *)
+  let r = Policy.rewards auction ~budget:100 ~n:3 (some [ 3; 3; 3 ]) in
+  Alcotest.(check (array int)) "tie to earlier" [| 3; 3; 0 |] r
+
+let test_auction_few_bidders () =
+  (* only one valid bid, two winner slots: no losing bid -> reserve price *)
+  let r = Policy.rewards auction ~budget:100 ~n:3 [| Some 4; None; None |] in
+  Alcotest.(check (array int)) "reserve price" [| 10; 0; 0 |] r
+
+let test_auction_invalid_bid () =
+  (* bid 99 > max_bid: invalid, never wins *)
+  let r = Policy.rewards auction ~budget:100 ~n:3 (some [ 99; 2; 7 ]) in
+  Alcotest.(check (array int)) "invalid loses" [| 0; 10; 10 |] r
+
+let prop_auction_at_most_k_winners =
+  qtest "at most k winners" QCheck2.Gen.(int_range 1 12) (fun n ->
+      let rng = Random.State.make [| n |] in
+      let answers = Array.init n (fun _ -> Some (Random.State.int rng 11)) in
+      let r = Policy.rewards auction ~budget:1000 ~n answers in
+      Array.fold_left (fun acc x -> if x > 0 then acc + 1 else acc) 0 r <= 2)
+
+let prop_auction_budget_bound =
+  qtest "auction never exceeds budget"
+    QCheck2.Gen.(pair (int_range 1 12) (int_range 0 100))
+    (fun (n, budget) ->
+      let rng = Random.State.make [| n; budget; 7 |] in
+      let answers = Array.init n (fun _ -> Some (Random.State.int rng 11)) in
+      let r = Policy.rewards auction ~budget ~n answers in
+      Array.fold_left ( + ) 0 r <= budget)
+
+(* --- Misc --- *)
+
+let test_fallback_share () =
+  Alcotest.(check int) "even split" 33 (Policy.fallback_share ~budget:100 ~submitted:3);
+  Alcotest.(check int) "no submitters" 0 (Policy.fallback_share ~budget:100 ~submitted:0)
+
+let test_serialization_roundtrip () =
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "roundtrip" true (Policy.equal p (Policy.of_bytes (Policy.to_bytes p))))
+    [
+      majority4;
+      Policy.Majority_threshold { choices = 7; quota = 3 };
+      Policy.Reverse_auction { winners = 4; max_bid = 100 };
+    ]
+
+let test_answer_space () =
+  Alcotest.(check int) "majority" 4 (Policy.answer_space majority4);
+  Alcotest.(check int) "auction" 11 (Policy.answer_space auction);
+  Alcotest.(check bool) "valid" true (Policy.valid_answer majority4 3);
+  Alcotest.(check bool) "invalid" false (Policy.valid_answer majority4 4)
+
+let test_bad_arity () =
+  Alcotest.check_raises "wrong count" (Invalid_argument "Policy.rewards: wrong answer count")
+    (fun () -> ignore (Policy.rewards majority4 ~budget:10 ~n:3 [| Some 1 |]))
+
+let () =
+  Alcotest.run "policy"
+    [
+      ( "majority",
+        [
+          Alcotest.test_case "basic" `Quick test_majority_basic;
+          Alcotest.test_case "tie to smallest" `Quick test_majority_tie_smallest;
+          Alcotest.test_case "missing answers" `Quick test_majority_missing;
+          Alcotest.test_case "all missing" `Quick test_majority_all_missing;
+          Alcotest.test_case "invalid ignored" `Quick test_majority_invalid_answer_ignored;
+          Alcotest.test_case "unanimous" `Quick test_majority_unanimous;
+          prop_majority_budget_bound; prop_majority_equal_answers_equal_pay;
+        ] );
+      ( "threshold",
+        [
+          Alcotest.test_case "quota met" `Quick test_threshold_met;
+          Alcotest.test_case "quota missed" `Quick test_threshold_not_met;
+        ] );
+      ( "auction",
+        [
+          Alcotest.test_case "k+1 price" `Quick test_auction_basic;
+          Alcotest.test_case "budget cap" `Quick test_auction_budget_cap;
+          Alcotest.test_case "tie to earlier" `Quick test_auction_tie_earlier_wins;
+          Alcotest.test_case "few bidders" `Quick test_auction_few_bidders;
+          Alcotest.test_case "invalid bid" `Quick test_auction_invalid_bid;
+          prop_auction_at_most_k_winners; prop_auction_budget_bound;
+        ] );
+      ( "misc",
+        [
+          Alcotest.test_case "fallback share" `Quick test_fallback_share;
+          Alcotest.test_case "serialisation" `Quick test_serialization_roundtrip;
+          Alcotest.test_case "answer space" `Quick test_answer_space;
+          Alcotest.test_case "bad arity" `Quick test_bad_arity;
+        ] );
+    ]

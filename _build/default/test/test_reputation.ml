@@ -1,0 +1,205 @@
+(* Anonymous reputation tests: the epoch-pseudonym link circuit and the
+   reputation contract's credit/claim lifecycle on the chain. *)
+
+open Zebra_field
+open Zebra_chain
+open Zebralancer
+module Cpla = Zebra_anonauth.Cpla
+
+let rng = Zebra_rng.Chacha20.create ~seed:"test_reputation"
+let random_bytes n = Zebra_rng.Chacha20.bytes rng n
+let fresh_fp () = Fp.random random_bytes
+
+let params = lazy (Reputation.setup ~random_bytes)
+let vk = lazy (Reputation.vk_bytes (Lazy.force params))
+
+let worker = lazy (Cpla.keygen ~random_bytes)
+
+(* --- link circuit --- *)
+
+let test_link_proof_verifies () =
+  let p = Lazy.force params and key = Lazy.force worker in
+  let task_prefix = fresh_fp () in
+  let proof = Reputation.prove_link ~random_bytes p ~key ~task_prefix ~epoch:3 in
+  Alcotest.(check bool) "verifies" true
+    (Reputation.verify_link ~vk_bytes:(Lazy.force vk)
+       ~task_tag:(Reputation.task_tag key ~task_prefix)
+       ~pseudonym:(Reputation.epoch_pseudonym key ~epoch:3)
+       ~task_prefix ~epoch:3 proof)
+
+let test_task_tag_matches_cpla_t1 () =
+  (* The reputation task tag is exactly the t1 the worker's submission left
+     in the task contract's storage. *)
+  let key = Lazy.force worker in
+  let depth = 3 in
+  let cpla = Cpla.setup ~random_bytes ~depth in
+  let ra = Zebra_anonauth.Ra.create ~depth in
+  let i = Zebra_anonauth.Ra.register ra key.Cpla.pk in
+  let task_prefix = fresh_fp () in
+  let att =
+    Cpla.auth ~random_bytes cpla ~prefix:task_prefix ~message:(fresh_fp ()) ~key ~index:i
+      ~path:(Zebra_anonauth.Ra.path ra i) ~root:(Zebra_anonauth.Ra.root ra)
+  in
+  Alcotest.(check bool) "tags agree" true
+    (Fp.equal att.Cpla.t1 (Reputation.task_tag key ~task_prefix))
+
+let test_wrong_pseudonym_rejected () =
+  (* Claiming onto someone else's pseudonym fails: same sk must underlie
+     both tags. *)
+  let p = Lazy.force params and key = Lazy.force worker in
+  let other = Cpla.keygen ~random_bytes in
+  let task_prefix = fresh_fp () in
+  let proof = Reputation.prove_link ~random_bytes p ~key ~task_prefix ~epoch:1 in
+  Alcotest.(check bool) "stolen pseudonym rejected" false
+    (Reputation.verify_link ~vk_bytes:(Lazy.force vk)
+       ~task_tag:(Reputation.task_tag key ~task_prefix)
+       ~pseudonym:(Reputation.epoch_pseudonym other ~epoch:1)
+       ~task_prefix ~epoch:1 proof)
+
+let test_wrong_epoch_rejected () =
+  let p = Lazy.force params and key = Lazy.force worker in
+  let task_prefix = fresh_fp () in
+  let proof = Reputation.prove_link ~random_bytes p ~key ~task_prefix ~epoch:1 in
+  Alcotest.(check bool) "epoch mismatch rejected" false
+    (Reputation.verify_link ~vk_bytes:(Lazy.force vk)
+       ~task_tag:(Reputation.task_tag key ~task_prefix)
+       ~pseudonym:(Reputation.epoch_pseudonym key ~epoch:1)
+       ~task_prefix ~epoch:2 proof)
+
+let test_pseudonyms_unlinkable_across_epochs () =
+  let key = Lazy.force worker in
+  Alcotest.(check bool) "distinct pseudonyms" false
+    (Fp.equal (Reputation.epoch_pseudonym key ~epoch:1) (Reputation.epoch_pseudonym key ~epoch:2))
+
+(* --- contract lifecycle --- *)
+
+let chain_fixture =
+  lazy
+    (Reputation_contract.register ();
+     let owner = Wallet.generate ~bits:512 ~random_bytes () in
+     let stranger = Wallet.generate ~bits:512 ~random_bytes () in
+     let net =
+       Network.create ~num_nodes:2
+         ~genesis:[ (Wallet.address owner, 1000); (Wallet.address stranger, 1000) ]
+         ()
+     in
+     let deploy =
+       Tx.make ~wallet:owner ~nonce:0
+         ~dst:
+           (Tx.Create
+              {
+                behavior = Reputation_contract.behavior_name;
+                args = Reputation_contract.init_args ~link_vk:(Lazy.force vk);
+              })
+         ~value:0 ~payload:Bytes.empty
+     in
+     Network.submit net deploy;
+     ignore (Network.mine net);
+     let addr = Address.of_creator (Wallet.address owner) 0 in
+     assert (Network.is_contract net addr);
+     (net, owner, stranger, addr))
+
+let call net wallet addr msg =
+  let tx =
+    Tx.make ~wallet ~nonce:(Network.nonce net (Wallet.address wallet)) ~dst:(Tx.Call addr)
+      ~value:0 ~payload:(Reputation_contract.message_to_bytes msg)
+  in
+  Network.submit net tx;
+  ignore (Network.mine net);
+  Option.get (Network.receipt net (Tx.hash tx))
+
+let storage net addr =
+  Reputation_contract.storage_of_bytes (Option.get (Network.contract_storage net addr))
+
+let test_contract_credit_claim_cycle () =
+  let net, owner, stranger, addr = Lazy.force chain_fixture in
+  let p = Lazy.force params and key = Lazy.force worker in
+  let task_prefix = fresh_fp () in
+  let tag = Reputation.task_tag key ~task_prefix in
+  (* stranger cannot credit *)
+  (match call net stranger addr (Reputation_contract.Credit { task_tag = tag; task_prefix; score = 5 }) with
+  | { State.status = State.Failed "only the owner credits"; _ } -> ()
+  | _ -> Alcotest.fail "stranger credited");
+  (* owner credits *)
+  (match call net owner addr (Reputation_contract.Credit { task_tag = tag; task_prefix; score = 5 }) with
+  | { State.status = State.Ok _; _ } -> ()
+  | _ -> Alcotest.fail "credit failed");
+  (* double credit refused *)
+  (match call net owner addr (Reputation_contract.Credit { task_tag = tag; task_prefix; score = 5 }) with
+  | { State.status = State.Failed "tag already credited"; _ } -> ()
+  | _ -> Alcotest.fail "double credit accepted");
+  (* worker claims onto the epoch-0 pseudonym *)
+  let pseudonym = Reputation.epoch_pseudonym key ~epoch:0 in
+  let proof = Reputation.prove_link ~random_bytes p ~key ~task_prefix ~epoch:0 in
+  (match
+     call net stranger addr
+       (Reputation_contract.Claim
+          { task_tag = tag; pseudonym; proof = Zebra_snark.Snark.proof_to_bytes proof })
+   with
+  | { State.status = State.Ok _; _ } -> ()
+  | { State.status = State.Failed m; _ } -> Alcotest.failf "claim failed: %s" m);
+  Alcotest.(check int) "score accumulated" 5 (Reputation_contract.score (storage net addr) pseudonym);
+  (* claim once only *)
+  match
+    call net stranger addr
+      (Reputation_contract.Claim
+         { task_tag = tag; pseudonym; proof = Zebra_snark.Snark.proof_to_bytes proof })
+  with
+  | { State.status = State.Failed "no unclaimed credit for this tag"; _ } -> ()
+  | _ -> Alcotest.fail "double claim accepted"
+
+let test_contract_epoch_advance () =
+  let net, owner, _, addr = Lazy.force chain_fixture in
+  let p = Lazy.force params and key = Lazy.force worker in
+  let task_prefix = fresh_fp () in
+  let tag = Reputation.task_tag key ~task_prefix in
+  (match call net owner addr (Reputation_contract.Credit { task_tag = tag; task_prefix; score = 7 }) with
+  | { State.status = State.Ok _; _ } -> ()
+  | _ -> Alcotest.fail "credit failed");
+  (match call net owner addr Reputation_contract.Advance_epoch with
+  | { State.status = State.Ok _; _ } -> ()
+  | _ -> Alcotest.fail "advance failed");
+  let epoch = (storage net addr).Reputation_contract.epoch in
+  (* a proof for the old epoch is refused; the new-epoch one accepted *)
+  let stale = Reputation.prove_link ~random_bytes p ~key ~task_prefix ~epoch:(epoch - 1) in
+  (match
+     call net owner addr
+       (Reputation_contract.Claim
+          {
+            task_tag = tag;
+            pseudonym = Reputation.epoch_pseudonym key ~epoch:(epoch - 1);
+            proof = Zebra_snark.Snark.proof_to_bytes stale;
+          })
+   with
+  | { State.status = State.Failed "invalid link proof"; _ } -> ()
+  | _ -> Alcotest.fail "stale-epoch claim accepted");
+  let fresh = Reputation.prove_link ~random_bytes p ~key ~task_prefix ~epoch in
+  match
+    call net owner addr
+      (Reputation_contract.Claim
+         {
+           task_tag = tag;
+           pseudonym = Reputation.epoch_pseudonym key ~epoch;
+           proof = Zebra_snark.Snark.proof_to_bytes fresh;
+         })
+  with
+  | { State.status = State.Ok _; _ } -> ()
+  | { State.status = State.Failed m; _ } -> Alcotest.failf "fresh claim failed: %s" m
+
+let () =
+  Alcotest.run "reputation"
+    [
+      ( "link-circuit",
+        [
+          Alcotest.test_case "proof verifies" `Quick test_link_proof_verifies;
+          Alcotest.test_case "tag matches CPLA t1" `Quick test_task_tag_matches_cpla_t1;
+          Alcotest.test_case "wrong pseudonym" `Quick test_wrong_pseudonym_rejected;
+          Alcotest.test_case "wrong epoch" `Quick test_wrong_epoch_rejected;
+          Alcotest.test_case "epoch unlinkability" `Quick test_pseudonyms_unlinkable_across_epochs;
+        ] );
+      ( "contract",
+        [
+          Alcotest.test_case "credit/claim cycle" `Quick test_contract_credit_claim_cycle;
+          Alcotest.test_case "epoch advance" `Quick test_contract_epoch_advance;
+        ] );
+    ]

@@ -1,0 +1,193 @@
+(* End-to-end SNARK tests: completeness, rejection of bad witnesses and
+   tampered proofs, zero-knowledge simulation, serialisation. *)
+
+open Zebra_field
+open Zebra_r1cs
+module Snark = Zebra_snark.Snark
+
+let rng = Zebra_rng.Chacha20.create ~seed:"test_snark"
+let random_bytes n = Zebra_rng.Chacha20.bytes rng n
+let fresh_fp () = Fp.random random_bytes
+
+(* Demo circuit: prove knowledge of x with  x^3 + x + 5 = y  (public y). *)
+let cubic_circuit x =
+  let cs = Cs.create () in
+  let y_val =
+    Fp.add (Fp.add (Fp.mul x (Fp.mul x x)) x) (Fp.of_int 5)
+  in
+  let y = Cs.alloc_input cs y_val in
+  let vx = Cs.alloc cs x in
+  let open Gadgets in
+  let x2 = square cs (v vx) in
+  let x3 = mul cs (v x2) (v vx) in
+  enforce_eq cs ~label:"cubic" (v x3 +: v vx +: ci 5) (v y);
+  cs
+
+(* A wider circuit exercising several gadget types at once. *)
+let mixed_circuit secret =
+  let cs = Cs.create () in
+  let digest = Zebra_mimc.Mimc.hash_list [ secret; secret ] in
+  let pub = Cs.alloc_input cs digest in
+  let s = Cs.alloc cs secret in
+  let open Gadgets in
+  let h = mimc_hash cs [ v s; v s ] in
+  enforce_eq cs ~label:"digest match" h (v pub);
+  let bits = bits_of_expr cs (v s -: v s +: ci 9) 4 in
+  enforce_eq cs ~label:"const bits" (pack_bits bits) (ci 9);
+  cs
+
+let keys_of circuit = Snark.setup ~random_bytes circuit
+
+let test_completeness () =
+  let x = fresh_fp () in
+  let cs = cubic_circuit x in
+  Alcotest.(check bool) "witness satisfies" true (Cs.is_satisfied cs);
+  let { Snark.pk; vk; _ } = keys_of cs in
+  let proof = Snark.prove ~random_bytes pk cs in
+  Alcotest.(check bool) "verifies" true
+    (Snark.verify vk ~public_inputs:(Cs.public_inputs cs) proof)
+
+let test_proof_reusable_across_witnesses () =
+  (* One setup serves any instance of the same circuit structure. *)
+  let x0 = fresh_fp () in
+  let { Snark.pk; vk; _ } = keys_of (cubic_circuit x0) in
+  List.iter
+    (fun _ ->
+      let x = fresh_fp () in
+      let cs = cubic_circuit x in
+      let proof = Snark.prove ~random_bytes pk cs in
+      Alcotest.(check bool) "verifies" true
+        (Snark.verify vk ~public_inputs:(Cs.public_inputs cs) proof))
+    [ (); (); () ]
+
+let test_wrong_public_input_rejected () =
+  let x = fresh_fp () in
+  let cs = cubic_circuit x in
+  let { Snark.pk; vk; _ } = keys_of cs in
+  let proof = Snark.prove ~random_bytes pk cs in
+  let wrong = [| Fp.add (Cs.public_inputs cs).(0) Fp.one |] in
+  Alcotest.(check bool) "rejected" false (Snark.verify vk ~public_inputs:wrong proof)
+
+let test_bad_witness_rejected () =
+  (* Corrupt the witness after synthesis: the prover output must not verify. *)
+  let x = fresh_fp () in
+  let cs = cubic_circuit x in
+  let { Snark.pk; vk; _ } = keys_of cs in
+  (* Claim a different public output than the real one. *)
+  let claimed = Fp.add (Cs.public_inputs cs).(0) Fp.one in
+  Cs.set_value cs (Cs.var_of_int 1) claimed;
+  Alcotest.(check bool) "board unsatisfied" false (Cs.is_satisfied cs);
+  let proof = Snark.prove ~random_bytes pk cs in
+  Alcotest.(check bool) "rejected" false (Snark.verify vk ~public_inputs:[| claimed |] proof)
+
+let test_tampered_proof_rejected () =
+  let x = fresh_fp () in
+  let cs = cubic_circuit x in
+  let { Snark.pk; vk; _ } = keys_of cs in
+  let proof = Snark.prove ~random_bytes pk cs in
+  let b = Snark.proof_to_bytes proof in
+  (* Flip one byte inside the first field element. *)
+  Bytes.set b 10 (Char.chr (Char.code (Bytes.get b 10) lxor 1));
+  let tampered = Snark.proof_of_bytes b in
+  Alcotest.(check bool) "rejected" false
+    (Snark.verify vk ~public_inputs:(Cs.public_inputs cs) tampered)
+
+let test_proof_constant_size () =
+  let sizes =
+    List.map
+      (fun x ->
+        let cs = mixed_circuit x in
+        let { Snark.pk; _ } = keys_of cs in
+        let proof = Snark.prove ~random_bytes pk cs in
+        Snark.proof_size_bytes proof)
+      [ fresh_fp (); fresh_fp () ]
+  in
+  let cubic =
+    let x = fresh_fp () in
+    let cs = cubic_circuit x in
+    let { Snark.pk; _ } = keys_of cs in
+    Snark.proof_size_bytes (Snark.prove ~random_bytes pk cs)
+  in
+  List.iter (fun s -> Alcotest.(check int) "constant size" cubic s) sizes
+
+let test_zk_blinding () =
+  (* Two proofs of the same statement with fresh randomness must differ. *)
+  let x = fresh_fp () in
+  let cs = cubic_circuit x in
+  let { Snark.pk; vk; _ } = keys_of cs in
+  let p1 = Snark.prove ~random_bytes pk cs in
+  let p2 = Snark.prove ~random_bytes pk cs in
+  Alcotest.(check bool) "distinct proofs" false (Snark.equal_proof p1 p2);
+  Alcotest.(check bool) "both verify" true
+    (Snark.verify vk ~public_inputs:(Cs.public_inputs cs) p1
+    && Snark.verify vk ~public_inputs:(Cs.public_inputs cs) p2)
+
+let test_simulator () =
+  (* The trapdoor simulator forges verifying proofs with no witness: the
+     zero-knowledge property of the construction. *)
+  let x = fresh_fp () in
+  let cs = cubic_circuit x in
+  let { Snark.vk; trapdoor; _ } = keys_of cs in
+  let inputs = Cs.public_inputs cs in
+  let forged = Snark.simulate ~random_bytes trapdoor ~public_inputs:inputs in
+  Alcotest.(check bool) "simulated proof verifies" true
+    (Snark.verify vk ~public_inputs:inputs forged);
+  (* Even for a *false* statement: simulation is statement-independent. *)
+  let bogus = [| fresh_fp () |] in
+  let forged2 = Snark.simulate ~random_bytes trapdoor ~public_inputs:bogus in
+  Alcotest.(check bool) "simulates any statement" true
+    (Snark.verify vk ~public_inputs:bogus forged2)
+
+let test_serialization_roundtrip () =
+  let x = fresh_fp () in
+  let cs = cubic_circuit x in
+  let { Snark.pk; vk; _ } = keys_of cs in
+  let proof = Snark.prove ~random_bytes pk cs in
+  let proof' = Snark.proof_of_bytes (Snark.proof_to_bytes proof) in
+  Alcotest.(check bool) "proof roundtrip" true (Snark.equal_proof proof proof');
+  let vk' = Snark.vk_of_bytes (Snark.vk_to_bytes vk) in
+  Alcotest.(check bool) "vk roundtrip verifies" true
+    (Snark.verify vk' ~public_inputs:(Cs.public_inputs cs) proof)
+
+let test_shape_mismatch () =
+  let { Snark.pk; _ } = keys_of (cubic_circuit (fresh_fp ())) in
+  let other = mixed_circuit (fresh_fp ()) in
+  Alcotest.check_raises "shape mismatch"
+    (Invalid_argument "Snark.prove: circuit shape mismatch with proving key") (fun () ->
+      ignore (Snark.prove ~random_bytes pk other))
+
+let test_mixed_circuit_end_to_end () =
+  let secret = fresh_fp () in
+  let cs = mixed_circuit secret in
+  Alcotest.(check bool) "satisfied" true (Cs.is_satisfied cs);
+  let { Snark.pk; vk; _ } = keys_of cs in
+  let proof = Snark.prove ~random_bytes pk cs in
+  Alcotest.(check bool) "verifies" true
+    (Snark.verify vk ~public_inputs:(Cs.public_inputs cs) proof)
+
+let test_wrong_input_count () =
+  let cs = cubic_circuit (fresh_fp ()) in
+  let { Snark.pk; vk; _ } = keys_of cs in
+  let proof = Snark.prove ~random_bytes pk cs in
+  Alcotest.(check bool) "too many inputs rejected" false
+    (Snark.verify vk ~public_inputs:[| Fp.one; Fp.one |] proof)
+
+let () =
+  Alcotest.run "snark"
+    [
+      ( "snark",
+        [
+          Alcotest.test_case "completeness" `Quick test_completeness;
+          Alcotest.test_case "multi-instance keys" `Quick test_proof_reusable_across_witnesses;
+          Alcotest.test_case "wrong public input" `Quick test_wrong_public_input_rejected;
+          Alcotest.test_case "bad witness" `Quick test_bad_witness_rejected;
+          Alcotest.test_case "tampered proof" `Quick test_tampered_proof_rejected;
+          Alcotest.test_case "constant proof size" `Quick test_proof_constant_size;
+          Alcotest.test_case "zk blinding" `Quick test_zk_blinding;
+          Alcotest.test_case "trapdoor simulator" `Quick test_simulator;
+          Alcotest.test_case "serialisation" `Quick test_serialization_roundtrip;
+          Alcotest.test_case "shape mismatch" `Quick test_shape_mismatch;
+          Alcotest.test_case "mixed circuit" `Quick test_mixed_circuit_end_to_end;
+          Alcotest.test_case "wrong input count" `Quick test_wrong_input_count;
+        ] );
+    ]

@@ -1,0 +1,102 @@
+(* Dawid-Skene EM truth inference tests. *)
+
+module Ti = Zebralancer.Truth_inference
+
+let rng = Zebra_rng.Chacha20.create ~seed:"test_truth_inference"
+let random_bytes n = Zebra_rng.Chacha20.bytes rng n
+
+let mk items workers choices answers =
+  { Ti.items; workers; choices; answers }
+
+let test_majority_basic () =
+  let d =
+    mk 2 3 3 [| [| Some 1; Some 1; Some 0 |]; [| Some 2; None; Some 2 |] |]
+  in
+  Alcotest.(check (array int)) "majority" [| 1; 2 |] (Ti.majority d)
+
+let test_majority_tie_smallest () =
+  let d = mk 1 2 3 [| [| Some 2; Some 0 |] |] in
+  Alcotest.(check (array int)) "tie" [| 0 |] (Ti.majority d)
+
+let test_validate_rejects () =
+  Alcotest.check_raises "answer range"
+    (Invalid_argument "Truth_inference: answer out of range") (fun () ->
+      Ti.validate (mk 1 1 2 [| [| Some 5 |] |]));
+  Alcotest.check_raises "dims" (Invalid_argument "Truth_inference: workers mismatch")
+    (fun () -> Ti.validate (mk 1 2 2 [| [| Some 1 |] |]))
+
+let test_em_converges_unanimous () =
+  (* All workers always agree: EM must recover exactly their labels. *)
+  let truth = [| 0; 1; 2; 1; 0; 2 |] in
+  let answers = Array.map (fun t -> Array.make 4 (Some t)) truth in
+  let d = mk 6 4 3 answers in
+  let e = Ti.dawid_skene d in
+  Alcotest.(check (array int)) "labels" truth e.Ti.labels;
+  Alcotest.(check bool) "converged" true (e.Ti.iterations < 100)
+
+let test_em_beats_majority_with_spammers () =
+  (* 2 reliable workers vs 5 near-random spammers: per-item majority gets
+     dragged down; EM discovers the spammers' confusion and outvotes them. *)
+  let data, truth =
+    Ti.synthesize ~random_bytes ~items:150 ~choices:4
+      ~reliabilities:[| 0.95; 0.95; 0.3; 0.3; 0.3; 0.3; 0.3 |]
+      ()
+  in
+  let maj_acc = Ti.accuracy ~truth (Ti.majority data) in
+  let em = Ti.dawid_skene data in
+  let em_acc = Ti.accuracy ~truth em.Ti.labels in
+  Alcotest.(check bool)
+    (Printf.sprintf "EM (%.2f) >= majority (%.2f)" em_acc maj_acc)
+    true (em_acc >= maj_acc);
+  Alcotest.(check bool) "EM is good" true (em_acc > 0.85)
+
+let test_em_confusion_recovered () =
+  (* A highly reliable worker's confusion matrix should be near-diagonal. *)
+  let data, _ =
+    Ti.synthesize ~random_bytes ~items:200 ~choices:3 ~reliabilities:[| 0.95; 0.9; 0.85 |] ()
+  in
+  let em = Ti.dawid_skene data in
+  let diag_mass =
+    let c = em.Ti.confusion.(0) in
+    (c.(0).(0) +. c.(1).(1) +. c.(2).(2)) /. 3.0
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "diagonal mass %.2f" diag_mass)
+    true (diag_mass > 0.8)
+
+let test_em_handles_missing () =
+  let data, truth =
+    Ti.synthesize ~random_bytes ~items:100 ~choices:3
+      ~reliabilities:[| 0.9; 0.9; 0.8; 0.7 |] ~missing_rate:0.3 ()
+  in
+  let em = Ti.dawid_skene data in
+  Alcotest.(check bool) "accuracy despite gaps" true (Ti.accuracy ~truth em.Ti.labels > 0.7)
+
+let test_em_loglik_monotone_ish () =
+  (* The final log-likelihood must be finite and the run must converge. *)
+  let data, _ =
+    Ti.synthesize ~random_bytes ~items:50 ~choices:4 ~reliabilities:[| 0.8; 0.6; 0.7 |] ()
+  in
+  let em = Ti.dawid_skene data in
+  Alcotest.(check bool) "finite ll" true (Float.is_finite em.Ti.log_likelihood);
+  Alcotest.(check bool) "priors sum to 1" true
+    (abs_float (Array.fold_left ( +. ) 0.0 em.Ti.class_priors -. 1.0) < 1e-6)
+
+let () =
+  Alcotest.run "truth_inference"
+    [
+      ( "majority",
+        [
+          Alcotest.test_case "basic" `Quick test_majority_basic;
+          Alcotest.test_case "tie" `Quick test_majority_tie_smallest;
+          Alcotest.test_case "validation" `Quick test_validate_rejects;
+        ] );
+      ( "em",
+        [
+          Alcotest.test_case "unanimous" `Quick test_em_converges_unanimous;
+          Alcotest.test_case "beats majority vs spammers" `Quick test_em_beats_majority_with_spammers;
+          Alcotest.test_case "confusion recovered" `Quick test_em_confusion_recovered;
+          Alcotest.test_case "missing answers" `Quick test_em_handles_missing;
+          Alcotest.test_case "convergence stats" `Quick test_em_loglik_monotone_ish;
+        ] );
+    ]
