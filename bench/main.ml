@@ -5,7 +5,7 @@
      dune exec bench/main.exe table1     -- Table I
      dune exec bench/main.exe fig4       -- Figure 4
      dune exec bench/main.exe memory | link | endtoend | ablation-fft |
-                              ablation-field | nonanon
+                              ablation-field | nonanon | obs
 
    Shape, not absolute numbers, is the reproduction target: our substrate
    is a designated-verifier QAP SNARK over MiMC on a laptop, the paper's is
@@ -420,6 +420,29 @@ let nonanon () =
      anonymity costs ~%.0fx at generation, while verification stays comparable.\n%!"
     (t_auth *. 1e9 /. t_sign)
 
+(* --- X8: observability profile --- *)
+
+let obs () =
+  header "X8: per-phase profile from the observability layer";
+  let module Obs = Zebra_obs.Obs in
+  Obs.reset ();
+  Obs.set_enabled true;
+  let sys = Protocol.create_system ~seed:"bench-obs" () in
+  let _task, _wallets, rewards =
+    Protocol.run_task sys ~policy:(Policy.Majority { choices = 4 }) ~budget:90
+      ~answers:[ 1; 1; 2 ]
+  in
+  Obs.set_enabled false;
+  Printf.printf "one 3-worker majority task end-to-end; rewards [%s]\n\n"
+    (String.concat "; " (Array.to_list (Array.map string_of_int rewards)));
+  print_string (Obs.render_tree ());
+  let json = Obs.to_json_string () in
+  let oc = open_out "BENCH_obs.json" in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote BENCH_obs.json (%d bytes)\n%!" (String.length json)
+
 let all () =
   table1 ();
   fig4 ();
@@ -429,7 +452,8 @@ let all () =
   ablation_fft ();
   ablation_field ();
   ablation_hash ();
-  nonanon ()
+  nonanon ();
+  obs ()
 
 let () =
   match if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" with
@@ -442,9 +466,10 @@ let () =
   | "ablation-field" -> ablation_field ()
   | "ablation-hash" -> ablation_hash ()
   | "nonanon" -> nonanon ()
+  | "obs" -> obs ()
   | "all" -> all ()
   | other ->
     Printf.eprintf
-      "unknown bench %S; try: table1 fig4 memory link endtoend ablation-fft ablation-field ablation-hash nonanon all\n"
+      "unknown bench %S; try: table1 fig4 memory link endtoend ablation-fft ablation-field ablation-hash nonanon obs all\n"
       other;
     exit 1

@@ -3,6 +3,7 @@
      zebra demo                         quickstart task, verbose
      zebra annotate -n 5 --budget 150   one image-annotation task
      zebra auction -k 3 --bids 7,2,9,4  reverse auction
+     zebra stats                        instrumented run + metric tree
      zebra inspect                      circuit/system parameters
 *)
 
@@ -166,6 +167,38 @@ let truth_cmd =
   let doc = "Compare majority voting with EM truth inference on a synthetic crowd." in
   Cmd.v (Cmd.info "truth" ~doc) Term.(ret (const run $ seed_arg $ items_arg))
 
+(* --- stats --- *)
+
+let stats_cmd =
+  let module Obs = Zebra_obs.Obs in
+  let json_arg =
+    let doc = "Print the raw metrics snapshot as JSON instead of the tree." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run seed json =
+    Obs.reset ();
+    Obs.set_enabled true;
+    let sys = Protocol.create_system ~seed () in
+    let _task, _wallets, rewards =
+      Protocol.run_task sys ~policy:(Policy.Majority { choices = 4 }) ~budget:90
+        ~answers:[ 1; 1; 2 ]
+    in
+    Obs.set_enabled false;
+    if json then print_endline (Obs.to_json_string ())
+    else begin
+      log "instrumented run: 3-worker majority task, rewards %s"
+        (String.concat "," (List.map string_of_int (Array.to_list rewards)));
+      log "";
+      print_string (Obs.render_tree ())
+    end;
+    `Ok ()
+  in
+  let doc =
+    "Run one end-to-end task with the observability layer enabled and print the \
+     per-phase metric tree (spans, counters, histograms)."
+  in
+  Cmd.v (Cmd.info "stats" ~doc) Term.(ret (const run $ seed_arg $ json_arg))
+
 (* --- inspect --- *)
 
 let inspect_cmd =
@@ -206,4 +239,5 @@ let () =
   let info = Cmd.info "zebra" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ demo_cmd; annotate_cmd; auction_cmd; batch_cmd; truth_cmd; inspect_cmd ]))
+       (Cmd.group info
+          [ demo_cmd; annotate_cmd; auction_cmd; batch_cmd; truth_cmd; stats_cmd; inspect_cmd ]))

@@ -118,12 +118,43 @@ let () =
         Protocol.publish_task sys ~requester ~policy:(Policy.Majority { choices = 4 }) ~n:2
           ~budget:90 ()
       in
-      let mallory = { Protocol.key = Cpla.keygen ~random_bytes:rb; cert_index = 0 } in
+      let mallory = { Protocol.key = Cpla.keygen_rng ~rng:sys.Protocol.rng; cert_index = 0 } in
       Printf.printf "mallory authenticates with a stolen leaf index:\n";
       submit_and_mine sys
         (worker_tx sys ~task:task.Requester.contract
            ~wallet:(Protocol.fresh_funded_wallet sys ~amount:10)
            ~identity:mallory ~answer:1);
       Printf.printf "  her pk is not under the RA root: the SNARK cannot be satisfied.\n%!");
+
+  scenario "sybil requester: publish a task without an RA certificate" (fun sys ->
+      (* The driver-level view of the same class of attack: the typed result
+         API pins the rejection to the deployment step, no exception games. *)
+      let mallory = { Protocol.key = Cpla.keygen_rng ~rng:sys.Protocol.rng; cert_index = 0 } in
+      match
+        Protocol.publish_task_r sys ~requester:mallory
+          ~policy:(Policy.Majority { choices = 4 }) ~n:2 ~budget:60 ()
+      with
+      | Ok _ -> Printf.printf "  -> ACCEPTED (attack succeeded?!)\n%!"
+      | Error (Protocol.Deploy_rejected reason) ->
+        Printf.printf "  -> REJECTED at deployment: %s\n%!" reason
+      | Error e -> Printf.printf "  -> unexpected error: %s\n%!" (Protocol.error_to_string e));
+
+  scenario "flooding: more submissions than the task pays for" (fun sys ->
+      let requester = Protocol.enroll sys in
+      let w1 = Protocol.enroll sys and w2 = Protocol.enroll sys in
+      let task =
+        Protocol.publish_task sys ~requester ~policy:(Policy.Majority { choices = 4 }) ~n:1
+          ~budget:30 ()
+      in
+      Printf.printf "two workers race into a 1-answer task:\n";
+      match
+        Protocol.submit_answers_r sys ~task:task.Requester.contract
+          ~workers:[ (w1, 1); (w2, 2) ]
+      with
+      | Ok _ -> Printf.printf "  -> both ACCEPTED (attack succeeded?!)\n%!"
+      | Error (Protocol.Submission_rejected { worker; reason }) ->
+        Printf.printf "  -> submission #%d REJECTED: %s\n" worker reason;
+        Printf.printf "  the contract enforces n; the loser only lost a transaction fee.\n%!"
+      | Error e -> Printf.printf "  -> unexpected error: %s\n%!" (Protocol.error_to_string e));
 
   Printf.printf "\nall attacks defeated.\n%!"

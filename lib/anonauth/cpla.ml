@@ -88,3 +88,12 @@ let verify_with_vk ~vk_bytes ~prefix ~message ~root att =
   match Snark.vk_of_bytes vk_bytes with
   | vk -> Snark.verify vk ~public_inputs:(public_inputs ~prefix ~message ~root att) att.proof
   | exception Codec.Decode_error _ -> false
+
+(* Source-based entry points; the ~random_bytes forms above are kept as
+   aliases for one release. *)
+
+let setup_rng ~rng ~depth = setup ~random_bytes:(Zebra_rng.Source.fn rng) ~depth
+let keygen_rng ~rng = keygen ~random_bytes:(Zebra_rng.Source.fn rng)
+
+let auth_rng ~rng p ~prefix ~message ~key ~index ~path ~root =
+  auth ~random_bytes:(Zebra_rng.Source.fn rng) p ~prefix ~message ~key ~index ~path ~root

@@ -29,23 +29,46 @@ type user_key = { sk : Fp.t; pk : Fp.t }
 type attestation = { t1 : Fp.t; t2 : Fp.t; proof : Zebra_snark.Snark.proof }
 
 (** [setup ~random_bytes ~depth] runs the zk-SNARK trusted setup for the
-    authentication circuit over an RA tree of the given depth. *)
+    authentication circuit over an RA tree of the given depth.
+
+    {b Deprecated alias}: new code should pass a {!Zebra_rng.Source.t} via
+    {!setup_rng}; the bare-closure form remains for one release. *)
 val setup : random_bytes:(int -> bytes) -> depth:int -> params
+
+(** {!setup} taking a first-class randomness source. *)
+val setup_rng : rng:Zebra_rng.Source.t -> depth:int -> params
 
 val depth : params -> int
 
 (** Number of R1CS constraints of the Auth circuit (reporting). *)
 val circuit_size : params -> int
 
+(** {b Deprecated alias}: prefer {!keygen_rng}. *)
 val keygen : random_bytes:(int -> bytes) -> user_key
+
+val keygen_rng : rng:Zebra_rng.Source.t -> user_key
 
 (** [auth params ~prefix ~message ~key ~index ~path ~root] produces an
     attestation.  [index]/[path] are the user's certificate under [root]
     (refresh with {!Ra.path}).  Soundness of the whole scheme relies on the
     path actually matching [root]; an inconsistent witness yields an
-    attestation that {!verify} rejects. *)
+    attestation that {!verify} rejects.
+
+    {b Deprecated alias}: prefer {!auth_rng}. *)
 val auth :
   random_bytes:(int -> bytes) ->
+  params ->
+  prefix:Fp.t ->
+  message:Fp.t ->
+  key:user_key ->
+  index:int ->
+  path:Fp.t array ->
+  root:Fp.t ->
+  attestation
+
+(** {!auth} taking a first-class randomness source. *)
+val auth_rng :
+  rng:Zebra_rng.Source.t ->
   params ->
   prefix:Fp.t ->
   message:Fp.t ->

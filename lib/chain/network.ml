@@ -1,6 +1,14 @@
 module Sha256 = Zebra_hashing.Sha256
+module Obs = Zebra_obs.Obs
 
 exception Consensus_failure of string
+
+(* Metrics (all no-ops until [Obs.set_enabled true]). *)
+let m_submitted = Obs.Counter.make "chain.submitted"
+let m_blocks = Obs.Counter.make "chain.blocks"
+let m_txs = Obs.Counter.make "chain.txs"
+let m_mempool_depth = Obs.Gauge.make "chain.mempool.depth"
+let m_txs_per_block = Obs.Histogram.make "chain.mine.txs_per_block"
 
 type node = { id : int; state : State.t }
 
@@ -36,7 +44,9 @@ let height t = match t.chain with [] -> 0 | b :: _ -> b.Block.header.Block.heigh
 
 let submit t tx =
   if not (Tx.validate tx) then invalid_arg "Network.submit: invalid transaction signature";
-  t.mempool <- tx :: t.mempool
+  t.mempool <- tx :: t.mempool;
+  Obs.Counter.incr m_submitted;
+  Obs.Gauge.set m_mempool_depth (float_of_int (List.length t.mempool))
 
 let pending t = List.length t.mempool
 
@@ -45,31 +55,44 @@ let set_adversary t f = t.adversary <- f
 let tip_hash t = match t.chain with [] -> Block.genesis_hash | b :: _ -> Block.hash b
 
 let mine t =
+  Obs.with_span "chain.mine" @@ fun () ->
   let fifo = List.rev t.mempool in
   t.mempool <- [];
+  Obs.Gauge.set m_mempool_depth 0.;
   let ordered = match t.adversary with None -> fifo | Some f -> f fifo in
   let ordered = List.filter Tx.validate ordered in
+  Obs.Histogram.observe m_txs_per_block (float_of_int (List.length ordered));
+  Obs.Counter.add m_txs (List.length ordered);
   let new_height = height t + 1 in
-  (* Every node executes the block independently; receipts must agree. *)
+  (* Every node executes the block independently; receipts must agree.
+     The exec span gets one sample per node per block, so its histogram is
+     the distribution of per-node block execution time. *)
   let all_receipts =
     Array.map
-      (fun node -> List.map (State.apply_tx node.state ~height:new_height) ordered)
+      (fun node ->
+        Obs.with_span "chain.mine.exec" (fun () ->
+            List.map (State.apply_tx node.state ~height:new_height) ordered))
       t.nodes
   in
-  let roots = Array.map (fun node -> State.root node.state) t.nodes in
-  Array.iteri
-    (fun i r ->
-      if not (Bytes.equal r roots.(0)) then
-        raise (Consensus_failure (Printf.sprintf "node %d state root diverges at height %d" i new_height)))
-    roots;
   let block =
-    Block.make ~difficulty:t.difficulty ~height:new_height ~prev_hash:(tip_hash t)
-      ~state_root:roots.(0) ordered
+    Obs.with_span "chain.mine.consensus" @@ fun () ->
+    let roots = Array.map (fun node -> State.root node.state) t.nodes in
+    Array.iteri
+      (fun i r ->
+        if not (Bytes.equal r roots.(0)) then
+          raise (Consensus_failure (Printf.sprintf "node %d state root diverges at height %d" i new_height)))
+      roots;
+    let block =
+      Block.make ~difficulty:t.difficulty ~height:new_height ~prev_hash:(tip_hash t)
+        ~state_root:roots.(0) ordered
+    in
+    (match Block.validate ~difficulty:t.difficulty ~prev_hash:(tip_hash t) ~prev_height:(height t) block with
+    | Ok () -> ()
+    | Error e -> raise (Consensus_failure ("miner produced invalid block: " ^ e)));
+    block
   in
-  (match Block.validate ~difficulty:t.difficulty ~prev_hash:(tip_hash t) ~prev_height:(height t) block with
-  | Ok () -> ()
-  | Error e -> raise (Consensus_failure ("miner produced invalid block: " ^ e)));
   t.chain <- block :: t.chain;
+  Obs.Counter.incr m_blocks;
   let rs = all_receipts.(0) in
   List.iter
     (fun (r : State.receipt) ->

@@ -1,5 +1,8 @@
 module Sha256 = Zebra_hashing.Sha256
 module Codec = Zebra_codec.Codec
+module Obs = Zebra_obs.Obs
+
+let m_reverts = Obs.Counter.make "chain.state.reverts"
 
 type account = { balance : int; nonce : int }
 
@@ -111,7 +114,7 @@ let apply_tx t ~height tx =
               charge;
             }
           in
-          let storage = Contract.run_init beh ctx args in
+          let storage = Obs.with_span "chain.state.exec" (fun () -> Contract.run_init beh ctx args) in
           Hashtbl.replace t.contracts (Address.to_hex contract_addr) { behavior; storage };
           { tx_hash; status = Ok (Some contract_addr); gas_used = !gas; logs = [] }
         | Tx.Call dst -> (
@@ -135,13 +138,17 @@ let apply_tx t ~height tx =
                 charge;
               }
             in
-            let storage', actions = Contract.run_receive beh ctx info.storage ~payload:tx.Tx.payload in
+            let storage', actions =
+              Obs.with_span "chain.state.exec" (fun () ->
+                  Contract.run_receive beh ctx info.storage ~payload:tx.Tx.payload)
+            in
             let logs = apply_actions t ~self:dst actions in
             Hashtbl.replace t.contracts (Address.to_hex dst) { info with storage = storage' };
             { tx_hash; status = Ok None; gas_used = !gas; logs })
       with
       | Contract.Revert reason ->
         restore t after_nonce;
+        Obs.Counter.incr m_reverts;
         { tx_hash; status = Failed reason; gas_used = !gas; logs = [] }
       | Codec.Decode_error reason ->
         restore t after_nonce;

@@ -5,7 +5,8 @@ module Tx = Zebra_chain.Tx
 module State = Zebra_chain.State
 module Cpla = Zebra_anonauth.Cpla
 module Ra = Zebra_anonauth.Ra
-module Chacha20 = Zebra_rng.Chacha20
+module Source = Zebra_rng.Source
+module Obs = Zebra_obs.Obs
 
 type system = {
   net : Network.t;
@@ -14,12 +15,28 @@ type system = {
   ra_contract : Address.t;
   faucet : Wallet.t;
   ra_rsa : Zebra_rsa.Rsa.private_key;
-  rng : Chacha20.t;
+  rng : Source.t;
 }
 
 type identity = { key : Cpla.user_key; cert_index : int }
 
-let random_bytes sys n = Chacha20.bytes sys.rng n
+type error =
+  | Deploy_rejected of string
+  | Submission_rejected of { worker : int; reason : string }
+  | Instruction_rejected of string
+
+let error_to_string = function
+  | Deploy_rejected reason -> "task deployment rejected: " ^ reason
+  | Submission_rejected { worker; reason } ->
+    Printf.sprintf "submission of worker %d rejected: %s" worker reason
+  | Instruction_rejected reason -> "reward instruction rejected: " ^ reason
+
+let random_bytes sys n = Source.bytes sys.rng n
+
+(* Phase metrics (inert until [Obs.set_enabled true]). *)
+let m_enrolled = Obs.Counter.make "protocol.enrolled"
+let m_tasks = Obs.Counter.make "protocol.tasks"
+let m_answers = Obs.Counter.make "protocol.answers"
 
 let faucet_supply = 1_000_000_000
 
@@ -35,16 +52,16 @@ let expect_ok what (r : State.receipt) =
   | State.Ok addr -> addr
   | State.Failed e -> failwith (Printf.sprintf "Protocol: %s failed: %s" what e)
 
-let create_system ?(num_nodes = 3) ?(tree_depth = 6) ?(wallet_bits = 512) ~seed () =
+let create_system ?(num_nodes = 3) ?(tree_depth = 6) ?(wallet_bits = 512) ?rng ~seed () =
   Task_contract.register ();
   Ra_contract.register ();
-  let rng = Chacha20.create ~seed in
-  let rb n = Chacha20.bytes rng n in
+  let rng = match rng with Some s -> s | None -> Source.of_seed seed in
+  let rb = Source.fn rng in
   let faucet = Wallet.generate ~bits:wallet_bits ~random_bytes:rb () in
   let net =
     Network.create ~num_nodes ~genesis:[ (Wallet.address faucet, faucet_supply) ] ()
   in
-  let cpla = Cpla.setup ~random_bytes:rb ~depth:tree_depth in
+  let cpla = Cpla.setup_rng ~rng ~depth:tree_depth in
   let ra = Ra.create ~depth:tree_depth in
   let deploy =
     Tx.make ~wallet:faucet ~nonce:0
@@ -87,14 +104,18 @@ let post_root sys =
   ignore (expect_ok "RA root update" (mine_for sys tx))
 
 let enroll sys =
-  let key = Cpla.keygen ~random_bytes:(random_bytes sys) in
+  Obs.with_span "protocol.register" @@ fun () ->
+  let key = Cpla.keygen_rng ~rng:sys.rng in
   let cert_index = Ra.register sys.ra key.Cpla.pk in
   post_root sys;
+  Obs.Counter.incr m_enrolled;
   { key; cert_index }
 
 let enroll_plain sys =
+  Obs.with_span "protocol.register" @@ fun () ->
   let priv = Zebra_rsa.Rsa.generate ~bits:512 ~random_bytes:(random_bytes sys) in
   let cert = Plain_auth.issue ~ra_priv:sys.ra_rsa priv.Zebra_rsa.Rsa.pub in
+  Obs.Counter.incr m_enrolled;
   (priv, cert)
 
 let ra_rsa_pub_bytes sys = Zebra_rsa.Rsa.public_key_to_bytes sys.ra_rsa.Zebra_rsa.Rsa.pub
@@ -116,9 +137,12 @@ let task_storage sys contract =
   | Some bytes -> Task_contract.storage_of_bytes bytes
   | None -> failwith "Protocol: no such task contract"
 
-let publish_task sys ~requester ~policy ~n ~budget ?(answer_window = 20)
+(* --- TaskPublish --- *)
+
+let publish_task_r sys ~requester ~policy ~n ~budget ?(answer_window = 20)
     ?(instruct_window = 40) ?(max_per_worker = 1) ?(ra_rsa_pub = Bytes.empty)
     ?(data_digest = Bytes.empty) ?circuit () =
+  Obs.with_span "protocol.task_publish" @@ fun () ->
   let wallet = fresh_funded_wallet sys ~amount:(budget + 1) in
   let height = Network.height sys.net in
   let task, tx =
@@ -132,25 +156,51 @@ let publish_task sys ~requester ~policy ~n ~budget ?(answer_window = 20)
       ()
   in
   Network.submit sys.net tx;
-  (match expect_ok "task deployment" (mine_for sys tx) with
-  | Some addr when Address.equal addr task.Requester.contract -> ()
-  | Some _ -> failwith "Protocol: contract address prediction failed"
-  | None -> failwith "Protocol: deployment returned no address");
-  task
+  ignore (Network.mine sys.net);
+  match Network.receipt sys.net (Tx.hash tx) with
+  | Some { State.status = State.Ok (Some addr); _ }
+    when Address.equal addr task.Requester.contract ->
+    Obs.Counter.incr m_tasks;
+    Ok task
+  | Some { State.status = State.Ok (Some _); _ } ->
+    Error (Deploy_rejected "contract address prediction failed")
+  | Some { State.status = State.Ok None; _ } ->
+    Error (Deploy_rejected "deployment returned no address")
+  | Some { State.status = State.Failed e; _ } -> Error (Deploy_rejected e)
+  | None -> Error (Deploy_rejected "deployment transaction was not mined")
 
-let submit_answers sys ~task ~workers =
+let publish_task sys ~requester ~policy ~n ~budget ?answer_window ?instruct_window
+    ?max_per_worker ?ra_rsa_pub ?data_digest ?circuit () =
+  match
+    publish_task_r sys ~requester ~policy ~n ~budget ?answer_window ?instruct_window
+      ?max_per_worker ?ra_rsa_pub ?data_digest ?circuit ()
+  with
+  | Ok task -> task
+  | Error e -> failwith ("Protocol: " ^ error_to_string e)
+
+(* --- AnswerCollection --- *)
+
+let submit_answers_r sys ~task ~workers =
+  Obs.with_span "protocol.answer_collection" @@ fun () ->
   let storage = task_storage sys task in
   let root = storage.Task_contract.params.Task_contract.ra_root in
-  let txs_wallets =
-    List.map
-      (fun (identity, answer) ->
-        let wallet = fresh_funded_wallet sys ~amount:10 in
-        (match
-           Worker.validate_task ~storage ~contract:task ~balance:(Network.balance sys.net task)
-             ~height:(Network.height sys.net) ~expected_root:root
-         with
-        | Ok () -> ()
-        | Error e -> failwith ("Protocol: task validation failed: " ^ Worker.validation_error_to_string e));
+  (* Validate, sign and broadcast every answer, then mine them as a batch. *)
+  let rec prepare i acc = function
+    | [] -> Ok (List.rev acc)
+    | (identity, answer) :: rest -> (
+      let wallet = fresh_funded_wallet sys ~amount:10 in
+      match
+        Worker.validate_task ~storage ~contract:task ~balance:(Network.balance sys.net task)
+          ~height:(Network.height sys.net) ~expected_root:root
+      with
+      | Error e ->
+        Error
+          (Submission_rejected
+             {
+               worker = i;
+               reason = "task validation failed: " ^ Worker.validation_error_to_string e;
+             })
+      | Ok () ->
         let tx =
           Worker.submit_tx ~random_bytes:(random_bytes sys) ~cpla:sys.cpla ~storage
             ~contract:task ~wallet ~key:identity.key ~cert_index:identity.cert_index
@@ -158,31 +208,54 @@ let submit_answers sys ~task ~workers =
             ~answer ~nonce:0
         in
         Network.submit sys.net tx;
-        (tx, wallet))
-      workers
+        prepare (i + 1) ((tx, wallet) :: acc) rest)
   in
-  ignore (Network.mine sys.net);
-  List.map
-    (fun (tx, wallet) ->
-      (match Network.receipt sys.net (Tx.hash tx) with
-      | Some { State.status = State.Ok _; _ } -> ()
-      | Some { State.status = State.Failed e; _ } ->
-        failwith ("Protocol: submission rejected: " ^ e)
-      | None -> failwith "Protocol: submission not mined");
-      wallet)
-    txs_wallets
+  match prepare 0 [] workers with
+  | Error _ as e -> e
+  | Ok txs_wallets -> (
+    ignore (Network.mine sys.net);
+    let rec collect i acc = function
+      | [] -> Ok (List.rev acc)
+      | (tx, wallet) :: rest -> (
+        match Network.receipt sys.net (Tx.hash tx) with
+        | Some { State.status = State.Ok _; _ } ->
+          Obs.Counter.incr m_answers;
+          collect (i + 1) (wallet :: acc) rest
+        | Some { State.status = State.Failed e; _ } ->
+          Error (Submission_rejected { worker = i; reason = e })
+        | None ->
+          Error (Submission_rejected { worker = i; reason = "submission was not mined" }))
+    in
+    collect 0 [] txs_wallets)
 
-let reward sys (task : Requester.task) =
+let submit_answers sys ~task ~workers =
+  match submit_answers_r sys ~task ~workers with
+  | Ok wallets -> wallets
+  | Error e -> failwith ("Protocol: " ^ error_to_string e)
+
+(* --- Reward --- *)
+
+let reward_r sys (task : Requester.task) =
+  Obs.with_span "protocol.reward" @@ fun () ->
   let storage = task_storage sys task.Requester.contract in
   let rewards, tx =
     Requester.instruct ~random_bytes:(random_bytes sys) task ~storage
       ~nonce:(Network.nonce sys.net (Wallet.address task.Requester.wallet))
   in
   Network.submit sys.net tx;
-  ignore (expect_ok "reward instruction" (mine_for sys tx));
-  rewards
+  ignore (Network.mine sys.net);
+  match Network.receipt sys.net (Tx.hash tx) with
+  | Some { State.status = State.Ok _; _ } -> Ok rewards
+  | Some { State.status = State.Failed e; _ } -> Error (Instruction_rejected e)
+  | None -> Error (Instruction_rejected "instruction transaction was not mined")
+
+let reward sys task =
+  match reward_r sys task with
+  | Ok rewards -> rewards
+  | Error e -> failwith ("Protocol: " ^ error_to_string e)
 
 let finalize sys (task : Requester.task) =
+  Obs.with_span "protocol.finalize" @@ fun () ->
   Network.mine_until sys.net
     ~height:(task.Requester.params.Task_contract.instruct_deadline + 1);
   let caller = fresh_funded_wallet sys ~amount:10 in

@@ -4,7 +4,18 @@
     Register, TaskPublish, AnswerCollection, Reward — plus the timeout
     fallback, and is what the examples, integration tests and benchmarks
     drive.  Lower-level steps are exposed so adversarial scenarios can
-    deviate at any point. *)
+    deviate at any point.
+
+    {b Error handling}: every phase driver comes in two forms.  The
+    [_r]-suffixed functions return [('a, error) result] with a typed
+    {!error} describing which on-chain step rejected and why; the historic
+    functions are thin wrappers that [failwith] on [Error] and remain
+    source-compatible.
+
+    {b Observability}: each phase runs under a [Zebra_obs] span
+    ([protocol.register], [protocol.task_publish],
+    [protocol.answer_collection], [protocol.reward], [protocol.finalize]) —
+    inert until [Zebra_obs.Obs.set_enabled true]. *)
 
 type system = {
   net : Zebra_chain.Network.t;
@@ -14,17 +25,34 @@ type system = {
   faucet : Zebra_chain.Wallet.t;
   ra_rsa : Zebra_rsa.Rsa.private_key;
       (** the RA's classical signing key for the non-anonymous mode *)
-  rng : Zebra_rng.Chacha20.t;
+  rng : Zebra_rng.Source.t;
 }
 
 (** A registered participant: long-term CPLA identity plus certificate. *)
 type identity = { key : Zebra_anonauth.Cpla.user_key; cert_index : int }
 
+(** Why a phase was rejected on-chain. *)
+type error =
+  | Deploy_rejected of string  (** TaskPublish: contract creation reverted *)
+  | Submission_rejected of { worker : int; reason : string }
+      (** AnswerCollection: the [worker]-th submission (0-based, in
+          submission order) was declined client-side or reverted on-chain *)
+  | Instruction_rejected of string  (** Reward: the instruction reverted *)
+
+val error_to_string : error -> string
+
 (** [create_system ~seed ()] boots a fresh chain (default 3 nodes), runs the
     CPLA trusted setup (default RA tree depth 6), deploys the RA interface
-    contract, and funds a faucet. *)
+    contract, and funds a faucet.  [?rng] overrides the randomness source
+    (default: a deterministic ChaCha20 stream keyed by [seed]). *)
 val create_system :
-  ?num_nodes:int -> ?tree_depth:int -> ?wallet_bits:int -> seed:string -> unit -> system
+  ?num_nodes:int ->
+  ?tree_depth:int ->
+  ?wallet_bits:int ->
+  ?rng:Zebra_rng.Source.t ->
+  seed:string ->
+  unit ->
+  system
 
 val random_bytes : system -> int -> bytes
 
@@ -47,7 +75,23 @@ val fresh_funded_wallet : system -> amount:int -> Zebra_chain.Wallet.t
 val task_storage : system -> Zebra_chain.Address.t -> Task_contract.storage
 
 (** TaskPublish: returns the requester's task handle after the deployment
-    transaction is mined.  Deadlines are windows in blocks from now.
+    transaction is mined.  Deadlines are windows in blocks from now. *)
+val publish_task_r :
+  system ->
+  requester:identity ->
+  policy:Policy.t ->
+  n:int ->
+  budget:int ->
+  ?answer_window:int ->
+  ?instruct_window:int ->
+  ?max_per_worker:int ->
+  ?ra_rsa_pub:bytes ->
+  ?data_digest:bytes ->
+  ?circuit:Reward_circuit.t ->
+  unit ->
+  (Requester.task, error) result
+
+(** Raising wrapper around {!publish_task_r}.
     @raise Failure if deployment fails. *)
 val publish_task :
   system ->
@@ -67,7 +111,16 @@ val publish_task :
 (** AnswerCollection: each worker validates the task and submits one
     encrypted answer from a fresh address; everything is mined into the
     next block(s).  Returns each worker's one-task wallet (to observe the
-    payment).  @raise Failure if a submission is rejected. *)
+    payment).  On [Error (Submission_rejected _)] the index identifies the
+    offending worker; earlier accepted submissions stay on-chain. *)
+val submit_answers_r :
+  system ->
+  task:Zebra_chain.Address.t ->
+  workers:(identity * int) list ->
+  (Zebra_chain.Wallet.t list, error) result
+
+(** Raising wrapper around {!submit_answers_r}.
+    @raise Failure if a submission is rejected. *)
 val submit_answers :
   system ->
   task:Zebra_chain.Address.t ->
@@ -75,7 +128,10 @@ val submit_answers :
   Zebra_chain.Wallet.t list
 
 (** Reward: the requester decrypts, computes rewards, proves and instructs;
-    mined immediately.  Returns the reward vector.
+    mined immediately.  Returns the reward vector. *)
+val reward_r : system -> Requester.task -> (int array, error) result
+
+(** Raising wrapper around {!reward_r}.
     @raise Failure if the contract rejects the instruction. *)
 val reward : system -> Requester.task -> int array
 

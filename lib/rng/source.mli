@@ -1,0 +1,31 @@
+(** A randomness source: the one-method interface ([bytes : int -> bytes])
+    the whole stack draws from.
+
+    Historically every API threaded a bare [~random_bytes:(int -> bytes)]
+    closure; [Source.t] names that contract so call sites pass one value
+    ({!of_seed}, {!of_chacha}) instead of hand-building closures, and so
+    alternative backends (OS entropy, test doubles) plug in via {!of_fn} /
+    {!of_module}.  The closure-taking entry points remain as deprecated
+    aliases for one release — see [Snark.setup]/[Cpla.auth]/[Protocol]. *)
+
+type t
+
+(** The classic interface, for first-class-module backends. *)
+module type S = sig
+  val bytes : int -> bytes
+end
+
+val of_fn : (int -> bytes) -> t
+val of_module : (module S) -> t
+
+(** A source drawing from a (stateful, shared) ChaCha20 stream. *)
+val of_chacha : Chacha20.t -> t
+
+(** [of_seed s] — a fresh deterministic ChaCha20 stream keyed by [s]. *)
+val of_seed : string -> t
+
+val bytes : t -> int -> bytes
+
+(** [fn t] is [bytes t] partially applied — the bridge to the legacy
+    [~random_bytes] entry points. *)
+val fn : t -> int -> bytes

@@ -1,4 +1,6 @@
 module Codec = Zebra_codec.Codec
+module Obs = Zebra_obs.Obs
+module Source = Zebra_rng.Source
 
 type proving_key = {
   p_domain : Fft.domain;
@@ -47,6 +49,7 @@ type proof = {
 type keypair = { pk : proving_key; vk : verifying_key; trapdoor : trapdoor }
 
 let setup ~random_bytes cs =
+  Obs.with_span "snark.setup" @@ fun () ->
   let n_constraints = Cs.num_constraints cs in
   let n_vars = Cs.num_vars cs in
   let n_inputs = Cs.num_inputs cs in
@@ -63,28 +66,33 @@ let setup ~random_bytes cs =
   let alpha_b = Fp.random random_bytes in
   let alpha_c = Fp.random random_bytes in
   let beta = Fp.random random_bytes in
-  let lag = Fft.lagrange_at domain s in
   let a_s = Array.make n_vars Fp.zero in
   let b_s = Array.make n_vars Fp.zero in
   let c_s = Array.make n_vars Fp.zero in
-  Array.iteri
-    (fun j (a, b, c) ->
-      let lj = lag.(j) in
-      let accumulate dst lc =
-        List.iter
-          (fun (coeff, var) ->
-            let i = Cs.int_of_var var in
-            dst.(i) <- Fp.add dst.(i) (Fp.mul coeff lj))
-          lc
-      in
-      accumulate a_s a;
-      accumulate b_s b;
-      accumulate c_s c)
-    (Cs.constraints cs);
-  let powers = Array.make (d + 1) Fp.one in
-  for i = 1 to d do
-    powers.(i) <- Fp.mul powers.(i - 1) s
-  done;
+  Obs.with_span "snark.setup.qap" (fun () ->
+      let lag = Fft.lagrange_at domain s in
+      Array.iteri
+        (fun j (a, b, c) ->
+          let lj = lag.(j) in
+          let accumulate dst lc =
+            List.iter
+              (fun (coeff, var) ->
+                let i = Cs.int_of_var var in
+                dst.(i) <- Fp.add dst.(i) (Fp.mul coeff lj))
+              lc
+          in
+          accumulate a_s a;
+          accumulate b_s b;
+          accumulate c_s c)
+        (Cs.constraints cs));
+  let powers =
+    Obs.with_span "snark.setup.exp" (fun () ->
+        let powers = Array.make (d + 1) Fp.one in
+        for i = 1 to d do
+          powers.(i) <- Fp.mul powers.(i - 1) s
+        done;
+        powers)
+  in
   let z_s = Fft.vanishing_at domain s in
   let pk =
     {
@@ -125,6 +133,7 @@ let setup ~random_bytes cs =
 let prove ~random_bytes pk cs =
   if Cs.num_vars cs <> pk.p_num_vars || Cs.num_inputs cs <> pk.p_num_inputs then
     invalid_arg "Snark.prove: circuit shape mismatch with proving key";
+  Obs.with_span "snark.prove" @@ fun () ->
   let w = Cs.assignment cs in
   let n_inputs = pk.p_num_inputs in
   let d = Fft.size pk.p_domain in
@@ -139,14 +148,18 @@ let prove ~random_bytes pk cs =
     done;
     !acc
   in
-  let pi_a = Fp.add (aux_sum pk.a_s) (Fp.mul delta1 pk.z_s) in
-  let pi_b = Fp.add (aux_sum pk.b_s) (Fp.mul delta2 pk.z_s) in
-  let pi_c = Fp.add (aux_sum pk.c_s) (Fp.mul delta3 pk.z_s) in
-  let pi_a' = Fp.add (aux_sum pk.a_s_alpha) (Fp.mul delta1 pk.z_alpha_a) in
-  let pi_b' = Fp.add (aux_sum pk.b_s_alpha) (Fp.mul delta2 pk.z_alpha_b) in
-  let pi_c' = Fp.add (aux_sum pk.c_s_alpha) (Fp.mul delta3 pk.z_alpha_c) in
-  let pi_k =
-    Fp.add (aux_sum pk.k_beta) (Fp.mul (Fp.add (Fp.add delta1 delta2) delta3) pk.z_beta)
+  let pi_a, pi_b, pi_c, pi_a', pi_b', pi_c', pi_k =
+    Obs.with_span "snark.prove.exp" (fun () ->
+        let pi_a = Fp.add (aux_sum pk.a_s) (Fp.mul delta1 pk.z_s) in
+        let pi_b = Fp.add (aux_sum pk.b_s) (Fp.mul delta2 pk.z_s) in
+        let pi_c = Fp.add (aux_sum pk.c_s) (Fp.mul delta3 pk.z_s) in
+        let pi_a' = Fp.add (aux_sum pk.a_s_alpha) (Fp.mul delta1 pk.z_alpha_a) in
+        let pi_b' = Fp.add (aux_sum pk.b_s_alpha) (Fp.mul delta2 pk.z_alpha_b) in
+        let pi_c' = Fp.add (aux_sum pk.c_s_alpha) (Fp.mul delta3 pk.z_alpha_c) in
+        let pi_k =
+          Fp.add (aux_sum pk.k_beta) (Fp.mul (Fp.add (Fp.add delta1 delta2) delta3) pk.z_beta)
+        in
+        (pi_a, pi_b, pi_c, pi_a', pi_b', pi_c', pi_k))
   in
   (* Quotient polynomial H = (A B - C) / Z via coset FFTs.  A, B, C are the
      full (IO + aux) witness combinations, evaluated per constraint. *)
@@ -166,23 +179,30 @@ let prove ~random_bytes pk cs =
       constrs;
     arr
   in
-  let a_evals = evals_of (fun (a, _, _) -> a) in
-  let b_evals = evals_of (fun (_, b, _) -> b) in
-  let c_evals = evals_of (fun (_, _, c) -> c) in
-  Fft.ifft pk.p_domain a_evals;
-  Fft.ifft pk.p_domain b_evals;
-  Fft.ifft pk.p_domain c_evals;
-  let a_coeffs = Array.copy a_evals in
-  let b_coeffs = Array.copy b_evals in
-  Fft.coset_fft pk.p_domain a_evals;
-  Fft.coset_fft pk.p_domain b_evals;
-  Fft.coset_fft pk.p_domain c_evals;
-  let z_inv = Fp.inv (Fft.vanishing_on_coset pk.p_domain) in
-  let h = Array.make d Fp.zero in
-  for i = 0 to d - 1 do
-    h.(i) <- Fp.mul (Fp.sub (Fp.mul a_evals.(i) b_evals.(i)) c_evals.(i)) z_inv
-  done;
-  Fft.coset_ifft pk.p_domain h;
+  let a_evals, b_evals, c_evals =
+    Obs.with_span "snark.prove.eval" (fun () ->
+        ( evals_of (fun (a, _, _) -> a),
+          evals_of (fun (_, b, _) -> b),
+          evals_of (fun (_, _, c) -> c) ))
+  in
+  let a_coeffs, b_coeffs, h =
+    Obs.with_span "snark.prove.fft" (fun () ->
+        Fft.ifft pk.p_domain a_evals;
+        Fft.ifft pk.p_domain b_evals;
+        Fft.ifft pk.p_domain c_evals;
+        let a_coeffs = Array.copy a_evals in
+        let b_coeffs = Array.copy b_evals in
+        Fft.coset_fft pk.p_domain a_evals;
+        Fft.coset_fft pk.p_domain b_evals;
+        Fft.coset_fft pk.p_domain c_evals;
+        let z_inv = Fp.inv (Fft.vanishing_on_coset pk.p_domain) in
+        let h = Array.make d Fp.zero in
+        for i = 0 to d - 1 do
+          h.(i) <- Fp.mul (Fp.sub (Fp.mul a_evals.(i) b_evals.(i)) c_evals.(i)) z_inv
+        done;
+        Fft.coset_ifft pk.p_domain h;
+        (a_coeffs, b_coeffs, h))
+  in
   (* Blinding:
      (A + d1 Z)(B + d2 Z) - (C + d3 Z) = Z (H + d1 B + d2 A + d1 d2 Z - d3). *)
   let h_ext = Array.make (d + 1) Fp.zero in
@@ -195,11 +215,15 @@ let prove ~random_bytes pk cs =
   (* d1 d2 Z = d1 d2 x^d - d1 d2 *)
   h_ext.(d) <- Fp.add h_ext.(d) d1d2;
   h_ext.(0) <- Fp.sub (Fp.sub h_ext.(0) d1d2) delta3;
-  let pi_h = ref Fp.zero in
-  for i = 0 to d do
-    if not (Fp.is_zero h_ext.(i)) then pi_h := Fp.add !pi_h (Fp.mul h_ext.(i) pk.powers.(i))
-  done;
-  { pi_a; pi_a'; pi_b; pi_b'; pi_c; pi_c'; pi_k; pi_h = !pi_h }
+  let pi_h =
+    Obs.with_span "snark.prove.exp" (fun () ->
+        let acc = ref Fp.zero in
+        for i = 0 to d do
+          if not (Fp.is_zero h_ext.(i)) then acc := Fp.add !acc (Fp.mul h_ext.(i) pk.powers.(i))
+        done;
+        !acc)
+  in
+  { pi_a; pi_a'; pi_b; pi_b'; pi_c; pi_c'; pi_k; pi_h }
 
 let io_part vk ~public_inputs table =
   if Array.length public_inputs <> vk.v_num_inputs then
@@ -211,6 +235,7 @@ let io_part vk ~public_inputs table =
 let verify vk ~public_inputs proof =
   if Array.length public_inputs <> vk.v_num_inputs then false
   else begin
+    Obs.with_span "snark.verify" @@ fun () ->
     let a_total = Fp.add (io_part vk ~public_inputs vk.io_a) proof.pi_a in
     let b_total = Fp.add (io_part vk ~public_inputs vk.io_b) proof.pi_b in
     let c_total = Fp.add (io_part vk ~public_inputs vk.io_c) proof.pi_c in
@@ -310,3 +335,11 @@ let equal_proof p q =
   Fp.equal p.pi_a q.pi_a && Fp.equal p.pi_a' q.pi_a' && Fp.equal p.pi_b q.pi_b
   && Fp.equal p.pi_b' q.pi_b' && Fp.equal p.pi_c q.pi_c && Fp.equal p.pi_c' q.pi_c'
   && Fp.equal p.pi_k q.pi_k && Fp.equal p.pi_h q.pi_h
+
+(* Source-based entry points; the ~random_bytes forms above are kept as
+   aliases for one release. *)
+
+let setup_rng ~rng cs = setup ~random_bytes:(Source.fn rng) cs
+let prove_rng ~rng pk cs = prove ~random_bytes:(Source.fn rng) pk cs
+let simulate_rng ~rng trapdoor ~public_inputs =
+  simulate ~random_bytes:(Source.fn rng) trapdoor ~public_inputs

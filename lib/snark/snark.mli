@@ -32,8 +32,14 @@ type keypair = { pk : proving_key; vk : verifying_key; trapdoor : trapdoor }
 
 (** [setup ~random_bytes cs] runs the trusted setup for the {e structure} of
     [cs] (witness values on the board are ignored).  The returned keys fix
-    the number of public inputs of [cs]. *)
+    the number of public inputs of [cs].
+
+    {b Deprecated alias}: new code should pass a {!Zebra_rng.Source.t} via
+    {!setup_rng}; the bare-closure form remains for one release. *)
 val setup : random_bytes:(int -> bytes) -> Cs.t -> keypair
+
+(** {!setup} taking a first-class randomness source. *)
+val setup_rng : rng:Zebra_rng.Source.t -> Cs.t -> keypair
 
 (** [prove ~random_bytes pk cs] where [cs] is the same circuit synthesised
     with a full witness.  The proof attests that the public inputs of [cs]
@@ -41,8 +47,13 @@ val setup : random_bytes:(int -> bytes) -> Cs.t -> keypair
     @raise Invalid_argument if the shape of [cs] does not match [pk].
 
     An unsatisfied board produces a proof that verification rejects (the
-    behaviour a cheating prover would face). *)
+    behaviour a cheating prover would face).
+
+    {b Deprecated alias}: prefer {!prove_rng}. *)
 val prove : random_bytes:(int -> bytes) -> proving_key -> Cs.t -> proof
+
+(** {!prove} taking a first-class randomness source. *)
+val prove_rng : rng:Zebra_rng.Source.t -> proving_key -> Cs.t -> proof
 
 (** [verify vk ~public_inputs proof]: O(|public_inputs|) field operations. *)
 val verify : verifying_key -> public_inputs:Fp.t array -> proof -> bool
@@ -50,8 +61,13 @@ val verify : verifying_key -> public_inputs:Fp.t array -> proof -> bool
 (** [simulate ~random_bytes trapdoor ~public_inputs] forges a verifying
     proof {e without any witness}, using the setup trapdoor — the standard
     zero-knowledge simulator, used by tests to establish that proofs leak
-    nothing beyond validity. *)
+    nothing beyond validity.
+
+    {b Deprecated alias}: prefer {!simulate_rng}. *)
 val simulate : random_bytes:(int -> bytes) -> trapdoor -> public_inputs:Fp.t array -> proof
+
+(** {!simulate} taking a first-class randomness source. *)
+val simulate_rng : rng:Zebra_rng.Source.t -> trapdoor -> public_inputs:Fp.t array -> proof
 
 (** {1 Introspection & serialisation} *)
 

@@ -1,0 +1,5 @@
+#!/bin/sh
+# Local CI gate: build everything and run the whole test suite.
+set -eu
+cd "$(dirname "$0")/.."
+exec dune build @check
