@@ -5,7 +5,7 @@
      dune exec bench/main.exe table1     -- Table I
      dune exec bench/main.exe fig4       -- Figure 4
      dune exec bench/main.exe memory | link | endtoend | ablation-fft |
-                              ablation-field | nonanon | obs
+                              ablation-field | nonanon | obs | parallel
 
    Shape, not absolute numbers, is the reproduction target: our substrate
    is a designated-verifier QAP SNARK over MiMC on a laptop, the paper's is
@@ -443,6 +443,108 @@ let obs () =
   close_out oc;
   Printf.printf "\nwrote BENCH_obs.json (%d bytes)\n%!" (String.length json)
 
+(* --- X9: multicore scaling --- *)
+
+let parallel () =
+  header "X9: prover scaling over the Domain pool (ZEBRA_DOMAINS curve)";
+  let module Parallel = Zebra_parallel.Parallel in
+  let module Json = Zebra_obs.Json in
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf "host reports %d recommended domain(s)%s\n\n" cores
+    (if cores = 1 then " - expect a flat curve on this machine" else "");
+  let saved = Parallel.default_domains () in
+  (* Proving: one depth-16 MiMC Merkle circuit, one setup, then the same
+     proof at 1/2/4 domains.  Each run re-seeds its own RNG so the proofs
+     must come out byte-identical - that equality is asserted, it is the
+     determinism contract under test. *)
+  let cs =
+    let cs = Cs.create () in
+    let open Zebra_r1cs.Gadgets in
+    let leaf = Cs.alloc cs (Fp.random random_bytes) in
+    let bits = Array.init 16 (fun _ -> alloc_bit cs false) in
+    let siblings = Array.init 16 (fun _ -> Cs.alloc cs (Fp.random random_bytes)) in
+    ignore (merkle_root cs ~leaf:(v leaf) ~path_bits:bits ~siblings);
+    cs
+  in
+  let kp = Snark.setup ~random_bytes cs in
+  let domain_counts = [ 1; 2; 4 ] in
+  let prove_at nd =
+    Parallel.set_default_domains nd;
+    let r = Zebra_rng.Chacha20.create ~seed:"bench-parallel-prove" in
+    let proof, dt =
+      wall (fun () -> Snark.prove ~random_bytes:(Zebra_rng.Chacha20.bytes r) kp.Snark.pk cs)
+    in
+    (Snark.proof_to_bytes proof, dt)
+  in
+  let prove_runs = List.map (fun nd -> (nd, prove_at nd)) domain_counts in
+  let base_proof, base_t =
+    match prove_runs with (_, r) :: _ -> r | [] -> assert false
+  in
+  Printf.printf "%-28s (%d constraints):\n" "Snark.prove" (Cs.num_constraints cs);
+  List.iter
+    (fun (nd, (proof, dt)) ->
+      assert (Bytes.equal proof base_proof);
+      Printf.printf "  %d domain(s): %7.3fs  speedup %.2fx  proof identical: yes\n%!" nd dt
+        (base_t /. dt))
+    prove_runs;
+  (* FFT: one coset-quotient round trip at 2^15, the prover's inner shape. *)
+  let log_d = 15 in
+  let d = 1 lsl log_d in
+  let dom = Zebra_field.Fft.domain d in
+  let a0 = Array.init d (fun _ -> Fp.random random_bytes) in
+  let fft_at nd =
+    Parallel.set_default_domains nd;
+    let a = Array.copy a0 in
+    let _, dt =
+      wall (fun () ->
+          Zebra_field.Fft.coset_fft dom a;
+          Zebra_field.Fft.coset_ifft dom a)
+    in
+    assert (Array.for_all2 Fp.equal a a0);
+    dt
+  in
+  let fft_runs = List.map (fun nd -> (nd, fft_at nd)) domain_counts in
+  let fft_base = match fft_runs with (_, t) :: _ -> t | [] -> assert false in
+  Printf.printf "\ncoset FFT round trip (2^%d):\n" log_d;
+  List.iter
+    (fun (nd, dt) ->
+      Printf.printf "  %d domain(s): %7.3fs  speedup %.2fx\n%!" nd dt (fft_base /. dt))
+    fft_runs;
+  Parallel.set_default_domains saved;
+  let curve runs base =
+    Json.List
+      (List.map
+         (fun (nd, dt) ->
+           Json.Obj
+             [
+               ("domains", Json.Num (float_of_int nd));
+               ("seconds", Json.Num dt);
+               ("speedup", Json.Num (base /. dt));
+             ])
+         runs)
+  in
+  let json =
+    Json.to_string
+      (Json.Obj
+         [
+           ("recommended_domain_count", Json.Num (float_of_int cores));
+           ("prove_constraints", Json.Num (float_of_int (Cs.num_constraints cs)));
+           ("prove", curve (List.map (fun (nd, (_, dt)) -> (nd, dt)) prove_runs) base_t);
+           ("proofs_identical", Json.Bool true);
+           ("fft_log_size", Json.Num (float_of_int log_d));
+           ("fft_roundtrip", curve fft_runs fft_base);
+         ])
+  in
+  let oc = open_out "BENCH_parallel.json" in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf
+    "\nwrote BENCH_parallel.json (%d bytes)\n\
+     read speedups against recommended_domain_count: on a single-core host the\n\
+     honest curve is flat (see PERFORMANCE.md).\n%!"
+    (String.length json)
+
 let all () =
   table1 ();
   fig4 ();
@@ -453,7 +555,8 @@ let all () =
   ablation_field ();
   ablation_hash ();
   nonanon ();
-  obs ()
+  obs ();
+  parallel ()
 
 let () =
   match if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" with
@@ -467,9 +570,10 @@ let () =
   | "ablation-hash" -> ablation_hash ()
   | "nonanon" -> nonanon ()
   | "obs" -> obs ()
+  | "parallel" -> parallel ()
   | "all" -> all ()
   | other ->
     Printf.eprintf
-      "unknown bench %S; try: table1 fig4 memory link endtoend ablation-fft ablation-field ablation-hash nonanon obs all\n"
+      "unknown bench %S; try: table1 fig4 memory link endtoend ablation-fft ablation-field ablation-hash nonanon obs parallel all\n"
       other;
     exit 1

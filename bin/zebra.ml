@@ -19,6 +19,28 @@ let quiet_arg =
   let doc = "Only print the final settlement." in
   Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
 
+(* --domains N | auto: worker domains for the parallel prover.  Applied as
+   a side effect before the command body runs; proofs are bit-identical at
+   any setting, so this is purely a performance knob. *)
+let domains_arg =
+  let domains_conv =
+    let parse s =
+      match Zebra_parallel.Parallel.parse_domains s with
+      | n -> Ok n
+      | exception Invalid_argument m -> Error (`Msg m)
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  let doc =
+    "Domains for the parallel prover: a positive integer or $(b,auto). Overrides the \
+     $(b,ZEBRA_DOMAINS) environment variable."
+  in
+  let term =
+    Arg.(value & opt (some domains_conv) None & info [ "domains" ] ~docv:"N" ~doc)
+  in
+  Term.(
+    const (fun d -> Option.iter Zebra_parallel.Parallel.set_default_domains d) $ term)
+
 let log fmt = Printf.printf (fmt ^^ "\n%!")
 
 let settle sys (task : Requester.task) wallets rewards answers ~quiet =
@@ -56,9 +78,11 @@ let ints_of_string s =
 (* --- demo --- *)
 
 let demo_cmd =
-  let run seed quiet = run_majority ~seed ~quiet ~n:3 ~budget:90 ~choices:4 ~answers:(Some [ 1; 1; 2 ]) in
+  let run () seed quiet =
+    run_majority ~seed ~quiet ~n:3 ~budget:90 ~choices:4 ~answers:(Some [ 1; 1; 2 ])
+  in
   let doc = "Run the quickstart task: 3 workers, majority vote, budget 90." in
-  Cmd.v (Cmd.info "demo" ~doc) Term.(ret (const run $ seed_arg $ quiet_arg))
+  Cmd.v (Cmd.info "demo" ~doc) Term.(ret (const run $ domains_arg $ seed_arg $ quiet_arg))
 
 (* --- annotate --- *)
 
@@ -76,13 +100,16 @@ let annotate_cmd =
     let doc = "Comma-separated worker answers (default: mostly label 0)." in
     Arg.(value & opt (some string) None & info [ "answers" ] ~docv:"A1,A2,..." ~doc)
   in
-  let run seed quiet n budget choices answers =
+  let run () seed quiet n budget choices answers =
     try run_majority ~seed ~quiet ~n ~budget ~choices ~answers:(Option.map ints_of_string answers)
     with Failure m -> `Error (false, m)
   in
   let doc = "Run one image-annotation task under the majority-vote incentive." in
   Cmd.v (Cmd.info "annotate" ~doc)
-    Term.(ret (const run $ seed_arg $ quiet_arg $ n_arg $ budget_arg $ choices_arg $ answers_arg))
+    Term.(
+      ret
+        (const run $ domains_arg $ seed_arg $ quiet_arg $ n_arg $ budget_arg $ choices_arg
+       $ answers_arg))
 
 (* --- auction --- *)
 
@@ -99,7 +126,7 @@ let auction_cmd =
   let budget_arg =
     Arg.(value & opt int 60 & info [ "budget" ] ~docv:"TOKENS" ~doc:"Task budget.")
   in
-  let run seed quiet winners max_bid bids budget =
+  let run () seed quiet winners max_bid bids budget =
     try
       let bids = ints_of_string bids in
       let sys = Protocol.create_system ~seed () in
@@ -114,7 +141,10 @@ let auction_cmd =
   in
   let doc = "Run a sealed-bid reverse auction ((k+1)-price, bids confidential)." in
   Cmd.v (Cmd.info "auction" ~doc)
-    Term.(ret (const run $ seed_arg $ quiet_arg $ winners_arg $ max_bid_arg $ bids_arg $ budget_arg))
+    Term.(
+      ret
+        (const run $ domains_arg $ seed_arg $ quiet_arg $ winners_arg $ max_bid_arg $ bids_arg
+       $ budget_arg))
 
 (* --- batch --- *)
 
@@ -125,7 +155,7 @@ let batch_cmd =
   let n_arg =
     Arg.(value & opt int 2 & info [ "n" ] ~docv:"N" ~doc:"Workers per task.")
   in
-  let run seed quiet tasks n =
+  let run () seed quiet tasks n =
     let sys = Protocol.create_system ~seed () in
     let answer_sets = List.init tasks (fun t -> List.init n (fun w -> (t + w) mod 4)) in
     let results =
@@ -141,7 +171,8 @@ let batch_cmd =
     `Ok ()
   in
   let doc = "Run a batch of same-shape tasks sharing one trusted setup." in
-  Cmd.v (Cmd.info "batch" ~doc) Term.(ret (const run $ seed_arg $ quiet_arg $ tasks_arg $ n_arg))
+  Cmd.v (Cmd.info "batch" ~doc)
+    Term.(ret (const run $ domains_arg $ seed_arg $ quiet_arg $ tasks_arg $ n_arg))
 
 (* --- truth --- *)
 
@@ -175,7 +206,7 @@ let stats_cmd =
     let doc = "Print the raw metrics snapshot as JSON instead of the tree." in
     Arg.(value & flag & info [ "json" ] ~doc)
   in
-  let run seed json =
+  let run () seed json =
     Obs.reset ();
     Obs.set_enabled true;
     let sys = Protocol.create_system ~seed () in
@@ -197,7 +228,7 @@ let stats_cmd =
     "Run one end-to-end task with the observability layer enabled and print the \
      per-phase metric tree (spans, counters, histograms)."
   in
-  Cmd.v (Cmd.info "stats" ~doc) Term.(ret (const run $ seed_arg $ json_arg))
+  Cmd.v (Cmd.info "stats" ~doc) Term.(ret (const run $ domains_arg $ seed_arg $ json_arg))
 
 (* --- inspect --- *)
 

@@ -7,6 +7,7 @@ module Cpla = Zebra_anonauth.Cpla
 module Ra = Zebra_anonauth.Ra
 module Source = Zebra_rng.Source
 module Obs = Zebra_obs.Obs
+module Parallel = Zebra_parallel.Parallel
 
 type system = {
   net : Network.t;
@@ -37,6 +38,7 @@ let random_bytes sys n = Source.bytes sys.rng n
 let m_enrolled = Obs.Counter.make "protocol.enrolled"
 let m_tasks = Obs.Counter.make "protocol.tasks"
 let m_answers = Obs.Counter.make "protocol.answers"
+let m_audited = Obs.Counter.make "protocol.audit.attestations"
 
 let faucet_supply = 1_000_000_000
 
@@ -265,6 +267,71 @@ let finalize sys (task : Requester.task) =
   in
   Network.submit sys.net tx;
   ignore (expect_ok "finalize" (mine_for sys tx))
+
+(* --- Audit --- *)
+
+let audit_task sys ~task =
+  Obs.with_span "protocol.audit" @@ fun () ->
+  let params = (task_storage sys task).Task_contract.params in
+  let prefix = Address.to_field task in
+  (* Every mined submission to [task], in chain order.  Attestations live
+     in transaction payloads, not in contract storage, so the audit walks
+     the blocks the way an external verifier would. *)
+  let submissions =
+    List.concat_map
+      (fun (b : Zebra_chain.Block.t) ->
+        List.filter_map
+          (fun (tx : Tx.t) ->
+            match tx.Tx.dst with
+            | Tx.Call a when Address.equal a task -> (
+              match Task_contract.message_of_bytes tx.Tx.payload with
+              | Task_contract.Submit { ciphertext; attestation } ->
+                Some (`Anon (tx.Tx.sender, ciphertext, attestation))
+              | Task_contract.Submit_plain { ciphertext; attestation } ->
+                Some (`Plain (tx.Tx.sender, ciphertext, attestation))
+              | _ | (exception Zebra_codec.Codec.Decode_error _) -> None)
+            | _ -> None)
+          b.Zebra_chain.Block.txs)
+      (Network.blocks sys.net)
+    |> Array.of_list
+  in
+  let count = Array.length submissions in
+  (* Each attestation re-verifies independently (a SNARK verification each:
+     coarse enough that one submission per chunk is the right grain).
+     [reduce] is conjunction, so fold order is irrelevant — but the ordered
+     chunk fold makes it deterministic regardless. *)
+  let all_ok =
+    Parallel.map_reduce ~min_chunk:1 count
+      ~map:(fun lo hi ->
+        let ok = ref true in
+        for i = lo to hi - 1 do
+          let verdict =
+            match submissions.(i) with
+            | `Anon (sender, ciphertext, attestation) -> (
+              match Cpla.attestation_of_bytes attestation with
+              | att ->
+                Cpla.verify_with_vk ~vk_bytes:params.Task_contract.auth_vk ~prefix
+                  ~message:(Task_contract.submission_digest sender ciphertext)
+                  ~root:params.Task_contract.ra_root att
+              | exception Zebra_codec.Codec.Decode_error _ -> false)
+            | `Plain (sender, ciphertext, attestation) -> (
+              match
+                ( Plain_auth.attestation_of_bytes attestation,
+                  Zebra_rsa.Rsa.public_key_of_bytes params.Task_contract.ra_rsa_pub )
+              with
+              | att, ra_pub ->
+                Plain_auth.verify ~ra_pub ~prefix
+                  ~message:(Task_contract.submission_digest sender ciphertext)
+                  att
+              | exception Zebra_codec.Codec.Decode_error _ -> false)
+          in
+          ok := !ok && verdict
+        done;
+        !ok)
+      ~reduce:( && ) true
+  in
+  Obs.Counter.add m_audited count;
+  (all_ok, count)
 
 let run_batch sys ~policy ~budget_per_task ~answer_sets =
   (match answer_sets with

@@ -139,6 +139,18 @@ val reward : system -> Requester.task -> int array
     Finalize. *)
 val finalize : system -> Requester.task -> unit
 
+(** Audit: re-verify every submission attestation mined for [task], the way
+    an external verifier (or a full node replaying the chain) would — walks
+    the blocks for Submit/Submit_plain transactions addressed to the task
+    contract and re-checks each attestation against the contract's
+    verification key, root and the actual sender/ciphertext digest.
+    Verifications fan out over the parallel pool (one submission per
+    chunk); the verdict is the conjunction and is independent of
+    [ZEBRA_DOMAINS].  Returns [(all_valid, attestations_checked)].  Runs
+    under the [protocol.audit] span and bumps the
+    [protocol.audit.attestations] counter. *)
+val audit_task : system -> task:Zebra_chain.Address.t -> bool * int
+
 (** Batch driver for same-shape tasks: one requester, one worker pool, one
     reward-circuit setup shared across the whole batch (the amortisation a
     data-set-scale deployment needs).  Each inner list is one task's

@@ -76,6 +76,12 @@ type message =
 val params_to_bytes : params -> bytes
 val params_of_bytes : bytes -> params
 val message_to_bytes : message -> bytes
+
+(** Inverse of {!message_to_bytes} — used by off-chain auditors replaying
+    mined submissions ({!Protocol.audit_task}).
+    @raise Zebra_codec.Codec.Decode_error on malformed input. *)
+val message_of_bytes : bytes -> message
+
 val storage_of_bytes : bytes -> storage
 
 (** The authenticated message component for a submission: the field image

@@ -1,3 +1,12 @@
+module Parallel = Zebra_parallel.Parallel
+
+(* Butterflies (resp. pointwise multiplications) per chunk below which a
+   stage is not worth fanning out.  Thresholds gate only *where* the work
+   runs: chunk grids are pool-independent and every chunk owns a disjoint
+   index range, so results are bit-identical at any ZEBRA_DOMAINS. *)
+let par_min_butterflies = 1 lsl 12
+let par_min_pointwise = 1 lsl 13
+
 type domain = {
   log_size : int;
   size : int;
@@ -45,21 +54,47 @@ let ntt_in_place a root =
   bit_reverse_permute a;
   let len = ref 2 in
   while !len <= n do
-    let w_len = Fp.pow_int root (n / !len) in
-    let half = !len / 2 in
-    let i = ref 0 in
-    while !i < n do
-      let w = ref Fp.one in
-      for j = 0 to half - 1 do
-        let u = a.(!i + j) in
-        let v = Fp.mul a.(!i + j + half) !w in
-        a.(!i + j) <- Fp.add u v;
-        a.(!i + j + half) <- Fp.sub u v;
+    let blk = !len in
+    let w_len = Fp.pow_int root (n / blk) in
+    let half = blk / 2 in
+    (* One block's butterflies over j in [jlo, jhi), twiddle starting at
+       w0 = w_len^jlo.  Writes touch only slots base+j and base+j+half. *)
+    let butterflies base w0 jlo jhi =
+      let w = ref w0 in
+      for j = jlo to jhi - 1 do
+        let u = a.(base + j) in
+        let v = Fp.mul a.(base + j + half) !w in
+        a.(base + j) <- Fp.add u v;
+        a.(base + j + half) <- Fp.sub u v;
         w := Fp.mul !w w_len
-      done;
-      i := !i + !len
-    done;
-    len := !len * 2
+      done
+    in
+    if half >= par_min_butterflies then
+      (* Late stages: a few large blocks — split each block's j-range. *)
+      let base = ref 0 in
+      while !base < n do
+        let b = !base in
+        Parallel.parallel_for ~min_chunk:par_min_butterflies half (fun jlo jhi ->
+            butterflies b (Fp.pow_int w_len jlo) jlo jhi);
+        base := b + blk
+      done
+    else if n / 2 >= par_min_butterflies then
+      (* Early stages: many small blocks — whole blocks per chunk. *)
+      Parallel.parallel_for
+        ~min_chunk:(max 1 (par_min_butterflies / half))
+        (n / blk)
+        (fun blo bhi ->
+          for b = blo to bhi - 1 do
+            butterflies (b * blk) Fp.one 0 half
+          done)
+    else begin
+      let base = ref 0 in
+      while !base < n do
+        butterflies !base Fp.one 0 half;
+        base := !base + blk
+      done
+    end;
+    len := blk * 2
   done
 
 let check_len d a =
@@ -72,29 +107,31 @@ let fft d a =
 let ifft d a =
   check_len d a;
   ntt_in_place a d.omega_inv;
-  for i = 0 to d.size - 1 do
-    a.(i) <- Fp.mul a.(i) d.size_inv
-  done
+  Parallel.parallel_for ~min_chunk:par_min_pointwise d.size (fun lo hi ->
+      for i = lo to hi - 1 do
+        a.(i) <- Fp.mul a.(i) d.size_inv
+      done)
 
 let coset_shift = Fp.generator
 
+(* a.(i) <- a.(i) * base^i.  Each chunk seeds its own running power at
+   base^lo, so the result does not depend on how the range is split. *)
+let scale_by_powers a base =
+  Parallel.parallel_for ~min_chunk:par_min_pointwise (Array.length a) (fun lo hi ->
+      let g = ref (Fp.pow_int base lo) in
+      for i = lo to hi - 1 do
+        a.(i) <- Fp.mul a.(i) !g;
+        g := Fp.mul !g base
+      done)
+
 let coset_fft d a =
   check_len d a;
-  let g = ref Fp.one in
-  for i = 0 to d.size - 1 do
-    a.(i) <- Fp.mul a.(i) !g;
-    g := Fp.mul !g coset_shift
-  done;
+  scale_by_powers a coset_shift;
   fft d a
 
 let coset_ifft d a =
   ifft d a;
-  let ginv = Fp.inv coset_shift in
-  let g = ref Fp.one in
-  for i = 0 to d.size - 1 do
-    a.(i) <- Fp.mul a.(i) !g;
-    g := Fp.mul !g ginv
-  done
+  scale_by_powers a (Fp.inv coset_shift)
 
 let vanishing_on_coset d = Fp.sub (Fp.pow_int coset_shift d.size) Fp.one
 let vanishing_at d x = Fp.sub (Fp.pow_int x d.size) Fp.one

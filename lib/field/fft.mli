@@ -2,14 +2,21 @@
 
     An evaluation {!domain} of size [2^k] carries the primitive root and the
     precomputations needed by the QAP reduction: forward/inverse FFT and
-    coset (shifted) variants used to divide by the vanishing polynomial. *)
+    coset (shifted) variants used to divide by the vanishing polynomial.
 
+    Large transforms fan their butterfly stages and scaling passes out over
+    {!Zebra_parallel.Parallel}; results are bit-identical at every
+    [ZEBRA_DOMAINS] setting (chunk grids are pool-independent — see
+    DESIGN.md, "Multicore prover"). *)
+
+(** A power-of-two evaluation domain with its root-of-unity tables. *)
 type domain
 
 (** [domain n] builds the smallest power-of-two domain of size [>= n].
     @raise Invalid_argument if that exceeds the field's 2-adicity. *)
 val domain : int -> domain
 
+(** The domain size (a power of two). *)
 val size : domain -> int
 
 (** The domain generator omega (primitive [size]-th root of unity). *)
@@ -31,6 +38,7 @@ val ifft : domain -> Fp.t array -> unit
     how the QAP prover divides by [Z] exactly. *)
 val coset_fft : domain -> Fp.t array -> unit
 
+(** Inverse of {!coset_fft}: evaluations on the coset -> coefficients. *)
 val coset_ifft : domain -> Fp.t array -> unit
 
 (** [vanishing_on_coset d] is [g^size - 1]. *)

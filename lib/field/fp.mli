@@ -6,19 +6,29 @@
     radix-2 FFTs over evaluation domains of up to 2^28 points.  Elements are
     kept in Montgomery form internally. *)
 
+(** A field element (Montgomery form; canonical, so structural equality of
+    limbs coincides with field equality). *)
 type t
 
+(** The prime r itself, as a natural. *)
 val modulus : Nat.t
 
+(** The additive identity. *)
 val zero : t
+
+(** The multiplicative identity. *)
 val one : t
+
+(** [add one one], predefined for gadget code. *)
 val two : t
 
+(** [of_int n] embeds a machine integer (negative values reduce mod r). *)
 val of_int : int -> t
 
 (** [of_nat n] reduces [n] modulo r. *)
 val of_nat : Nat.t -> t
 
+(** The canonical representative in [0, r). *)
 val to_nat : t -> Nat.t
 
 (** [of_bytes_be b] reduces the big-endian bytes modulo r (used to map
@@ -32,25 +42,46 @@ val of_bytes_be_exn : bytes -> t
 (** [of_bytes_be_exn] requires a canonical 32-byte encoding strictly below r.
     @raise Invalid_argument otherwise.  Use for deserialising proofs. *)
 
+(** [of_decimal_string s] parses base-10 and reduces modulo r. *)
 val of_decimal_string : string -> t
+
+(** Base-10 rendering of the canonical representative. *)
 val to_decimal_string : t -> string
 
+(** Field equality. *)
 val equal : t -> t -> bool
+
+(** [equal x zero], without materialising [zero]. *)
 val is_zero : t -> bool
+
+(** Total order on canonical representatives (for sorting, not algebra). *)
 val compare : t -> t -> int
 
+(** Field addition. *)
 val add : t -> t -> t
+
+(** Field subtraction. *)
 val sub : t -> t -> t
+
+(** Additive inverse. *)
 val neg : t -> t
+
+(** Field multiplication (one Montgomery reduction). *)
 val mul : t -> t -> t
+
+(** [sqr x = mul x x], the common case optimised. *)
 val sqr : t -> t
 
 (** @raise Division_by_zero on zero. *)
 val inv : t -> t
 
+(** [div a b = mul a (inv b)].  @raise Division_by_zero when [b] is zero. *)
 val div : t -> t -> t
 
+(** [pow x e] by square-and-multiply ([pow x zero = one]). *)
 val pow : t -> Nat.t -> t
+
+(** [pow] for machine-integer exponents; negative exponents invert. *)
 val pow_int : t -> int -> t
 
 (** Multiplicative generator of the full group (5 for this field). *)
@@ -69,4 +100,5 @@ val random : (int -> bytes) -> t
     (Montgomery's trick).  @raise Division_by_zero if any element is zero. *)
 val batch_inv : t array -> t array
 
+(** Hex rendering for debugging and test failure messages. *)
 val pp : Format.formatter -> t -> unit

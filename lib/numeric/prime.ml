@@ -64,14 +64,14 @@ let miller_rabin ~rounds ~random_bytes n =
     end
   in
   let n_minus_3 = Nat.sub n (Nat.of_int 3) in
-  let rec rounds_loop i =
-    if i >= rounds then true
-    else begin
-      let a = Nat.add (random_below ~random_bytes n_minus_3) Nat.two in
-      if witness a then false else rounds_loop (i + 1)
-    end
+  (* All witness candidates are drawn upfront on the calling domain, so the
+     RNG stream consumed is the same at every ZEBRA_DOMAINS setting.  The
+     shared stop flag inside [exists] preserves the sequential early-exit:
+     once some round finds a witness, remaining rounds are abandoned. *)
+  let candidates =
+    Array.init rounds (fun _ -> Nat.add (random_below ~random_bytes n_minus_3) Nat.two)
   in
-  rounds_loop 0
+  not (Zebra_parallel.Parallel.exists ~min_chunk:2 rounds (fun i -> witness candidates.(i)))
 
 let is_prime ?(rounds = 32) ~random_bytes n =
   match Nat.to_int_opt n with

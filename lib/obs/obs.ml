@@ -1,9 +1,25 @@
-let on = ref false
+(* Domain-safety: the registry is shared process state, and since the
+   parallel pool (PR 2) hot paths may execute instrumented code on worker
+   domains, every mutation is either atomic (the enable flag, counters,
+   gauges) or taken under [reg_m] (interning, histogram/span observations,
+   snapshots).  The span *stack* is the exception: nesting is a per-domain
+   notion, so it lives in domain-local storage. *)
 
-let enabled () = !on
-let set_enabled b = on := b
+let on = Atomic.make false
+
+let enabled () = Atomic.get on
+let set_enabled b = Atomic.set on b
 
 let now () = Unix.gettimeofday ()
+
+(* Guards interning, histogram mutation and whole-registry traversals.
+   Observations are span/metric-grained (not per field multiplication), so
+   one global lock is never contended enough to matter. *)
+let reg_m = Mutex.create ()
+
+let locked f =
+  Mutex.lock reg_m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock reg_m) f
 
 (* --- histograms (shared by Histogram and spans) --- *)
 
@@ -38,6 +54,7 @@ let bucket_index v =
 
 let bucket_upper i = bucket_base *. Float.of_int (1 lsl i)
 
+(* Callers hold [reg_m]. *)
 let hist_observe h v =
   h.h_count <- h.h_count + 1;
   h.h_sum <- h.h_sum +. v;
@@ -62,12 +79,13 @@ let hist_buckets h =
 
 (* --- registry --- *)
 
-let counters : (string, int ref) Hashtbl.t = Hashtbl.create 32
-let gauges : (string, float ref) Hashtbl.t = Hashtbl.create 16
+let counters : (string, int Atomic.t) Hashtbl.t = Hashtbl.create 32
+let gauges : (string, float Atomic.t) Hashtbl.t = Hashtbl.create 16
 let histograms : (string, hist) Hashtbl.t = Hashtbl.create 16
 let spans : (string, hist) Hashtbl.t = Hashtbl.create 32
 
 let intern tbl create name =
+  locked @@ fun () ->
   match Hashtbl.find_opt tbl name with
   | Some x -> x
   | None ->
@@ -76,27 +94,27 @@ let intern tbl create name =
     x
 
 module Counter = struct
-  type t = int ref
+  type t = int Atomic.t
 
-  let make name = intern counters (fun _ -> ref 0) name
-  let add t n = if !on then t := !t + n
+  let make name = intern counters (fun _ -> Atomic.make 0) name
+  let add t n = if Atomic.get on then ignore (Atomic.fetch_and_add t n)
   let incr t = add t 1
-  let value t = !t
+  let value t = Atomic.get t
 end
 
 module Gauge = struct
-  type t = float ref
+  type t = float Atomic.t
 
-  let make name = intern gauges (fun _ -> ref 0.) name
-  let set t v = if !on then t := v
-  let value t = !t
+  let make name = intern gauges (fun _ -> Atomic.make 0.) name
+  let set t v = if Atomic.get on then Atomic.set t v
+  let value t = Atomic.get t
 end
 
 module Histogram = struct
   type t = hist
 
   let make name = intern histograms hist_make name
-  let observe h v = if !on then hist_observe h v
+  let observe h v = if Atomic.get on then locked (fun () -> hist_observe h v)
   let count h = h.h_count
   let sum h = h.h_sum
   let mean h = if h.h_count = 0 then nan else h.h_sum /. Float.of_int h.h_count
@@ -107,36 +125,42 @@ end
 
 (* --- spans --- *)
 
-let span_stack : string list ref = ref []
+let span_stack : string list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
 
 let with_span name f =
-  if not !on then f ()
+  if not (Atomic.get on) then f ()
   else begin
     let h = intern spans hist_make name in
-    span_stack := name :: !span_stack;
+    let stack = Domain.DLS.get span_stack in
+    stack := name :: !stack;
     let t0 = now () in
     Fun.protect
       ~finally:(fun () ->
         let dt = now () -. t0 in
-        (match !span_stack with _ :: rest -> span_stack := rest | [] -> ());
-        hist_observe h dt)
+        (match !stack with _ :: rest -> stack := rest | [] -> ());
+        locked (fun () -> hist_observe h dt))
       f
   end
 
-let current_span () = match !span_stack with [] -> None | name :: _ -> Some name
+let current_span () =
+  match !(Domain.DLS.get span_stack) with [] -> None | name :: _ -> Some name
 
 let span_stats name =
+  locked @@ fun () ->
   Option.map (fun h -> (h.h_count, h.h_sum)) (Hashtbl.find_opt spans name)
 
 let span_names () =
+  locked @@ fun () ->
   List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) spans [])
 
 let reset () =
-  Hashtbl.iter (fun _ c -> c := 0) counters;
-  Hashtbl.iter (fun _ g -> g := 0.) gauges;
-  Hashtbl.iter (fun _ h -> hist_reset h) histograms;
-  Hashtbl.reset spans;
-  span_stack := []
+  locked (fun () ->
+      Hashtbl.iter (fun _ c -> Atomic.set c 0) counters;
+      Hashtbl.iter (fun _ g -> Atomic.set g 0.) gauges;
+      Hashtbl.iter (fun _ h -> hist_reset h) histograms;
+      Hashtbl.reset spans);
+  Domain.DLS.get span_stack := []
 
 (* --- export --- *)
 
@@ -162,14 +186,18 @@ let hist_json h =
     ]
 
 let snapshot () =
+  locked @@ fun () ->
   Json.Obj
     [
-      ("enabled", Json.Bool !on);
+      ("enabled", Json.Bool (Atomic.get on));
       ( "counters",
         Json.Obj
-          (List.map (fun (k, c) -> (k, Json.Num (Float.of_int !c))) (sorted_bindings counters))
-      );
-      ("gauges", Json.Obj (List.map (fun (k, g) -> (k, Json.Num !g)) (sorted_bindings gauges)));
+          (List.map
+             (fun (k, c) -> (k, Json.Num (Float.of_int (Atomic.get c))))
+             (sorted_bindings counters)) );
+      ( "gauges",
+        Json.Obj
+          (List.map (fun (k, g) -> (k, Json.Num (Atomic.get g))) (sorted_bindings gauges)) );
       ("histograms", Json.Obj (List.map (fun (k, h) -> (k, hist_json h)) (sorted_bindings histograms)));
       ("spans", Json.Obj (List.map (fun (k, h) -> (k, hist_json h)) (sorted_bindings spans)));
     ]
@@ -189,12 +217,15 @@ let render_tree () =
      summary.  Rows sort lexicographically, so a child prints right under
      its parent; missing intermediate nodes get bare label lines. *)
   let rows =
+    locked @@ fun () ->
     List.concat
       [
         List.map
-          (fun (k, c) -> (k, Printf.sprintf "counter    %d" !c))
+          (fun (k, c) -> (k, Printf.sprintf "counter    %d" (Atomic.get c)))
           (sorted_bindings counters);
-        List.map (fun (k, g) -> (k, Printf.sprintf "gauge      %g" !g)) (sorted_bindings gauges);
+        List.map
+          (fun (k, g) -> (k, Printf.sprintf "gauge      %g" (Atomic.get g)))
+          (sorted_bindings gauges);
         List.map
           (fun (k, h) ->
             ( k,

@@ -14,7 +14,15 @@
     parent's name (the span stack is tracked but names stay explicit).
 
     Metric creation ([make]) is idempotent — two [make "x"] calls share one
-    cell — and allowed while disabled; only {e recording} is gated. *)
+    cell — and allowed while disabled; only {e recording} is gated.
+
+    {b Domain-safety}: every operation here may be called from any domain
+    (the parallel pool's workers execute instrumented code).  Counters,
+    gauges and the enable flag are atomics; histogram observations,
+    interning and whole-registry reads ([snapshot], [reset],
+    [render_tree]) serialise on one internal mutex; the span {e stack} is
+    domain-local, so [with_span] nesting and {!current_span} are per
+    domain while the recorded durations aggregate globally. *)
 
 val enabled : unit -> bool
 val set_enabled : bool -> unit

@@ -1,0 +1,331 @@
+module Obs = Zebra_obs.Obs
+
+let max_domains = 64
+let clamp_domains n = if n < 1 then 1 else if n > max_domains then max_domains else n
+
+(* A parallel region.  Chunk boundaries live in [run] (closed over the
+   grid); [next] hands out chunk indices, [pending] counts completions,
+   [failed] keeps the first exception, [stop] is the early-abort flag used
+   by [exists].  [timed] is latched from [Obs.enabled] by the caller so
+   workers never read observability state. *)
+type job = {
+  chunks : int;
+  run : int -> unit;
+  next : int Atomic.t;
+  pending : int Atomic.t;
+  failed : exn option Atomic.t;
+  stop : bool Atomic.t;
+  timed : bool;
+}
+
+type pool = {
+  domains : int;
+  mutable workers : unit Domain.t array;
+  m : Mutex.t;
+  cv : Condition.t; (* new job or quit *)
+  done_cv : Condition.t; (* a job drained *)
+  mutable job : job option;
+  mutable epoch : int;
+  mutable quit : bool;
+  mutable alive : bool;
+  busy : bool Atomic.t; (* a region is in flight; nested calls run inline *)
+  (* Per-slot work accounting (slot 0 = caller).  Each slot is written only
+     by its own domain, before the chunk's [pending] decrement, so the
+     caller's post-region read is ordered. *)
+  chunks_done : int array;
+  busy_s : float array;
+  (* Caller-owned high-water marks for flushing deltas into zebra_obs. *)
+  flushed_chunks : int array;
+  flushed_busy : float array;
+}
+
+(* Claim and run chunks until the grid is exhausted.  Any domain (worker or
+   caller) runs this; the one finishing the last chunk wakes the caller. *)
+let work p j slot =
+  let rec claim () =
+    let i = Atomic.fetch_and_add j.next 1 in
+    if i < j.chunks then begin
+      (if Atomic.get j.failed = None then
+         try
+           if j.timed then begin
+             let t0 = Unix.gettimeofday () in
+             j.run i;
+             p.busy_s.(slot) <- p.busy_s.(slot) +. (Unix.gettimeofday () -. t0)
+           end
+           else j.run i
+         with e -> ignore (Atomic.compare_and_set j.failed None (Some e)));
+      p.chunks_done.(slot) <- p.chunks_done.(slot) + 1;
+      let left = Atomic.fetch_and_add j.pending (-1) - 1 in
+      if left = 0 then begin
+        Mutex.lock p.m;
+        Condition.broadcast p.done_cv;
+        Mutex.unlock p.m
+      end;
+      claim ()
+    end
+  in
+  claim ()
+
+let rec worker_loop p slot last_epoch =
+  Mutex.lock p.m;
+  while (not p.quit) && p.epoch = last_epoch do
+    Condition.wait p.cv p.m
+  done;
+  if p.quit then Mutex.unlock p.m
+  else begin
+    let epoch = p.epoch in
+    let j = p.job in
+    Mutex.unlock p.m;
+    (match j with Some j -> work p j slot | None -> ());
+    worker_loop p slot epoch
+  end
+
+module Pool = struct
+  type t = pool
+
+  let create ~domains =
+    let domains = clamp_domains domains in
+    let p =
+      {
+        domains;
+        workers = [||];
+        m = Mutex.create ();
+        cv = Condition.create ();
+        done_cv = Condition.create ();
+        job = None;
+        epoch = 0;
+        quit = false;
+        alive = true;
+        busy = Atomic.make false;
+        chunks_done = Array.make domains 0;
+        busy_s = Array.make domains 0.;
+        flushed_chunks = Array.make domains 0;
+        flushed_busy = Array.make domains 0.;
+      }
+    in
+    if domains > 1 then
+      p.workers <-
+        Array.init (domains - 1) (fun i -> Domain.spawn (fun () -> worker_loop p (i + 1) 0));
+    p
+
+  let domains p = p.domains
+
+  let shutdown p =
+    if p.alive then begin
+      p.alive <- false;
+      Mutex.lock p.m;
+      p.quit <- true;
+      Condition.broadcast p.cv;
+      Mutex.unlock p.m;
+      Array.iter Domain.join p.workers;
+      p.workers <- [||]
+    end
+end
+
+(* --- the process-wide pool --- *)
+
+let parse_domains s =
+  match String.lowercase_ascii (String.trim s) with
+  | "auto" -> clamp_domains (Domain.recommended_domain_count ())
+  | s -> (
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> clamp_domains n
+    | _ -> invalid_arg "Parallel.parse_domains: expected a positive integer or \"auto\"")
+
+let env_domains () =
+  match Sys.getenv_opt "ZEBRA_DOMAINS" with
+  | None | Some "" -> 1
+  | Some s -> (
+    try parse_domains s
+    with Invalid_argument _ ->
+      Printf.eprintf "warning: ignoring invalid ZEBRA_DOMAINS=%S (want 1..%d or auto)\n%!" s
+        max_domains;
+      1)
+
+let default = ref (-1) (* -1: read the environment on first use *)
+
+let default_domains () =
+  if !default < 1 then default := env_domains ();
+  !default
+
+let shared : pool option ref = ref None
+
+let drop_shared () =
+  match !shared with
+  | Some p ->
+    shared := None;
+    Pool.shutdown p
+  | None -> ()
+
+let () = at_exit drop_shared
+
+let set_default_domains n =
+  default := clamp_domains n;
+  drop_shared ()
+
+let pool () =
+  match !shared with
+  | Some p when p.alive -> p
+  | _ ->
+    let p = Pool.create ~domains:(default_domains ()) in
+    shared := Some p;
+    p
+
+(* --- deterministic chunk grid --- *)
+
+(* Boundaries depend only on (n, min_chunk): never on the pool, so results
+   cannot depend on the domain count.  Capped so a huge n doesn't drown the
+   claim path in tiny chunks. *)
+let max_chunks = 64
+
+let grid ~min_chunk n =
+  let mc = max 1 min_chunk in
+  let c = (n + mc - 1) / mc in
+  let c = if c > max_chunks then max_chunks else c in
+  let size = (n + c - 1) / c in
+  (c, size)
+
+(* --- obs wiring (caller domain only) --- *)
+
+let c_regions = lazy (Obs.Counter.make "parallel.regions")
+let c_chunks = lazy (Obs.Counter.make "parallel.chunks")
+
+let domain_metrics =
+  let tbl = Hashtbl.create 8 in
+  fun slot ->
+    match Hashtbl.find_opt tbl slot with
+    | Some m -> m
+    | None ->
+      let m =
+        ( Obs.Counter.make (Printf.sprintf "parallel.domain%d.chunks" slot),
+          Obs.Histogram.make (Printf.sprintf "parallel.domain%d.busy" slot) )
+      in
+      Hashtbl.replace tbl slot m;
+      m
+
+let flush_obs p ~chunks =
+  Obs.Counter.incr (Lazy.force c_regions);
+  Obs.Counter.add (Lazy.force c_chunks) chunks;
+  for slot = 0 to p.domains - 1 do
+    let dc = p.chunks_done.(slot) - p.flushed_chunks.(slot) in
+    let db = p.busy_s.(slot) -. p.flushed_busy.(slot) in
+    p.flushed_chunks.(slot) <- p.chunks_done.(slot);
+    p.flushed_busy.(slot) <- p.busy_s.(slot);
+    if dc > 0 then begin
+      let c, h = domain_metrics slot in
+      Obs.Counter.add c dc;
+      Obs.Histogram.observe h db
+    end
+  done
+
+(* --- region driver --- *)
+
+let run_seq ~chunks ~run =
+  for i = 0 to chunks - 1 do
+    run i
+  done
+
+(* One region at a time: publish the job, participate, wait for the rest,
+   re-raise the first failure.  [busy] is held by the caller for the whole
+   region; a nested call (same or other domain) falls back to [run_seq]
+   over the same grid, which is semantically identical. *)
+let run_region p ~chunks ~run ~stop =
+  if (not p.alive) || p.domains = 1 || chunks <= 1
+     || not (Atomic.compare_and_set p.busy false true)
+  then run_seq ~chunks ~run
+  else begin
+    let timed = Obs.enabled () in
+    let j =
+      {
+        chunks;
+        run;
+        next = Atomic.make 0;
+        pending = Atomic.make chunks;
+        failed = Atomic.make None;
+        stop;
+        timed;
+      }
+    in
+    Fun.protect
+      ~finally:(fun () -> Atomic.set p.busy false)
+      (fun () ->
+        Mutex.lock p.m;
+        p.job <- Some j;
+        p.epoch <- p.epoch + 1;
+        Condition.broadcast p.cv;
+        Mutex.unlock p.m;
+        work p j 0;
+        Mutex.lock p.m;
+        while Atomic.get j.pending > 0 do
+          Condition.wait p.done_cv p.m
+        done;
+        p.job <- None;
+        Mutex.unlock p.m;
+        if timed then flush_obs p ~chunks;
+        match Atomic.get j.failed with Some e -> raise e | None -> ())
+  end
+
+let resolve = function Some p -> p | None -> pool ()
+
+(* --- primitives --- *)
+
+let parallel_for ?pool:p ?(min_chunk = 1024) n body =
+  if n > 0 then begin
+    let p = resolve p in
+    let chunks, size = grid ~min_chunk n in
+    let run i =
+      let lo = i * size in
+      let hi = min n (lo + size) in
+      if lo < hi then body lo hi
+    in
+    run_region p ~chunks ~run ~stop:(Atomic.make false)
+  end
+
+let map_reduce ?pool:p ?(min_chunk = 1024) n ~map ~reduce init =
+  if n <= 0 then init
+  else begin
+    let p = resolve p in
+    let chunks, size = grid ~min_chunk n in
+    let out = Array.make chunks None in
+    let run i =
+      let lo = i * size in
+      let hi = min n (lo + size) in
+      if lo < hi then out.(i) <- Some (map lo hi)
+    in
+    run_region p ~chunks ~run ~stop:(Atomic.make false);
+    (* Chunk-index-order fold on the caller: deterministic for any reduce. *)
+    Array.fold_left (fun acc -> function Some v -> reduce acc v | None -> acc) init out
+  end
+
+let exists ?pool:p ?(min_chunk = 16) n pred =
+  if n <= 0 then false
+  else begin
+    let p = resolve p in
+    let chunks, size = grid ~min_chunk n in
+    let stop = Atomic.make false in
+    let run i =
+      let lo = i * size in
+      let hi = min n (lo + size) in
+      let k = ref lo in
+      while (not (Atomic.get stop)) && !k < hi do
+        if pred !k then Atomic.set stop true else incr k
+      done
+    in
+    run_region p ~chunks ~run ~stop;
+    Atomic.get stop
+  end
+
+let both ?pool:p f g =
+  let p = resolve p in
+  if p.domains = 1 || not p.alive then
+    let a = f () in
+    let b = g () in
+    (a, b)
+  else begin
+    let ra = ref None and rb = ref None in
+    let run i = if i = 0 then ra := Some (f ()) else rb := Some (g ()) in
+    run_region p ~chunks:2 ~run ~stop:(Atomic.make false);
+    match (!ra, !rb) with
+    | Some a, Some b -> (a, b)
+    | _ -> assert false (* run_region re-raises before we get here *)
+  end

@@ -1,0 +1,107 @@
+(** A small fixed-size Domain pool for the SNARK hot paths.
+
+    Stdlib only (Domain / Mutex / Condition / Atomic — no domainslib).  One
+    pool of [domains - 1] worker domains serves the whole process; the
+    calling domain is always the remaining participant, so a pool of size 1
+    spawns nothing and every primitive degrades to a plain sequential loop.
+
+    {b Determinism.}  Work is split on a {e chunk grid} that depends only on
+    the iteration count and [min_chunk] — never on the pool size.  Chunks
+    are claimed dynamically, but chunk {e boundaries} are fixed, every chunk
+    body sees only its own [\[lo, hi)] range, and {!map_reduce} folds chunk
+    results in chunk-index order on the calling domain.  A body that writes
+    only to indices in its own range (and reads only immutable state)
+    therefore produces bit-identical results at every pool size, including
+    1.  All users in this repository (FFT butterflies, CRS power tables,
+    witness inner products, Miller–Rabin witnesses) obey that discipline —
+    see DESIGN.md, "Multicore prover".
+
+    {b Randomness.}  The pool never draws randomness.  Callers that need it
+    (e.g. {!Zebra_numeric.Prime}) draw everything on the calling domain
+    {e before} fanning out, so the RNG stream is consumed identically at
+    every pool size.
+
+    {b Observability.}  When {!Zebra_obs.Obs.enabled}, each region bumps
+    [parallel.regions] / [parallel.chunks] and per-domain
+    [parallel.domain<i>.chunks] counters and records per-domain busy time
+    under the [parallel.domain<i>.busy] histograms, all from the calling
+    domain after the region completes (worker domains never touch the
+    registry directly). *)
+
+module Pool : sig
+  (** A fixed set of worker domains plus the caller; created once, reused
+      for every parallel region, shut down explicitly or at exit. *)
+  type t
+
+  (** [create ~domains] spawns [max 1 (min domains 64) - 1] workers.
+      Workers idle on a condition variable between regions (no spinning). *)
+  val create : domains:int -> t
+
+  (** Total participating domains (workers + the caller); at least 1. *)
+  val domains : t -> int
+
+  (** Join all workers.  Idempotent; the pool must not be used afterwards
+      (primitives on a shut-down pool run sequentially). *)
+  val shutdown : t -> unit
+end
+
+(** {1 The process-wide pool}
+
+    All hot paths use the shared pool below so a single [ZEBRA_DOMAINS=n]
+    environment knob (or one {!set_default_domains} call — the CLI's
+    [--domains]) switches the whole prover.  Unset or [1] means sequential;
+    [auto] means {!Domain.recommended_domain_count}. *)
+
+(** [parse_domains s] parses a [ZEBRA_DOMAINS] value: a positive integer
+    (clamped to [1 .. 64]) or ["auto"].
+    @raise Invalid_argument on anything else. *)
+val parse_domains : string -> int
+
+(** Pool size the next {!pool} call will use: the last
+    {!set_default_domains}, else [$ZEBRA_DOMAINS], else 1. *)
+val default_domains : unit -> int
+
+(** [set_default_domains n] shuts the shared pool down (if any) and makes
+    subsequent work use a pool of [n] domains.  Call from the main domain
+    only, outside any parallel region. *)
+val set_default_domains : int -> unit
+
+(** The shared pool, created on first use from {!default_domains} and shut
+    down automatically at exit. *)
+val pool : unit -> Pool.t
+
+(** {1 Primitives}
+
+    Each takes [?pool] (default: the shared pool) and [?min_chunk], the
+    smallest per-chunk iteration count worth shipping to another domain —
+    below it the grid collapses to one chunk and the caller runs it inline.
+    Exceptions raised by any chunk abort the region and re-raise (one of
+    them) on the caller once all claimed chunks have drained; they propagate
+    out of worker domains, never kill them. *)
+
+(** [parallel_for ?pool ?min_chunk n body] runs [body lo hi] over disjoint
+    ranges exactly partitioning [\[0, n)], in parallel.  [body] must touch
+    only state private to its range. *)
+val parallel_for : ?pool:Pool.t -> ?min_chunk:int -> int -> (int -> int -> unit) -> unit
+
+(** [map_reduce ?pool ?min_chunk n ~map ~reduce init] — [map lo hi] per
+    chunk, then a sequential left fold of the chunk results in chunk-index
+    order: [reduce (... (reduce init r0) ...) rk].  Deterministic for any
+    [reduce]; no associativity needed. *)
+val map_reduce :
+  ?pool:Pool.t ->
+  ?min_chunk:int ->
+  int ->
+  map:(int -> int -> 'a) ->
+  reduce:('a -> 'a -> 'a) ->
+  'a ->
+  'a
+
+(** [exists ?pool ?min_chunk n pred] — is there an [i] with [pred i]?
+    Early-aborts across domains through a shared stop flag (and at the
+    first hit when sequential); [pred] must be pure. *)
+val exists : ?pool:Pool.t -> ?min_chunk:int -> int -> (int -> bool) -> bool
+
+(** [both ?pool f g] runs the two thunks (possibly concurrently) and
+    returns both results.  [f] and [g] must not depend on each other. *)
+val both : ?pool:Pool.t -> (unit -> 'a) -> (unit -> 'b) -> 'a * 'b

@@ -56,8 +56,14 @@ let raw_private priv c =
   if Nat.compare c priv.pub.n >= 0 then invalid_arg "Rsa.raw_private: ciphertext too large";
   let ctx_p = Modular.create priv.p in
   let ctx_q = Modular.create priv.q in
-  let m1 = Modular.pow ctx_p (Nat.rem c priv.p) priv.dp in
-  let m2 = Modular.pow ctx_q (Nat.rem c priv.q) priv.dq in
+  (* The two half-size exponentiations are independent; each half is a pure
+     function of (c, key), so running them on separate domains cannot change
+     the result. *)
+  let m1, m2 =
+    Zebra_parallel.Parallel.both
+      (fun () -> Modular.pow ctx_p (Nat.rem c priv.p) priv.dp)
+      (fun () -> Modular.pow ctx_q (Nat.rem c priv.q) priv.dq)
+  in
   (* Garner: m = m2 + q * ((m1 - m2) qinv mod p) *)
   let diff = Modular.sub ctx_p m1 (Nat.rem m2 priv.p) in
   let h = Modular.mul ctx_p diff priv.qinv in

@@ -1,6 +1,23 @@
 module Codec = Zebra_codec.Codec
 module Obs = Zebra_obs.Obs
 module Source = Zebra_rng.Source
+module Parallel = Zebra_parallel.Parallel
+
+(* Field multiplications per chunk below which fanning out is a loss. *)
+let par_min_ops = 1 lsl 10
+
+(* [| f 0; ...; f (n-1) |] with chunks evaluated on the pool.  Every index
+   is written exactly once, so this is observably Array.init. *)
+let par_init n f =
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n (f 0) in
+    Parallel.parallel_for ~min_chunk:par_min_ops n (fun lo hi ->
+        for i = lo to hi - 1 do
+          if i > 0 then out.(i) <- f i
+        done);
+    out
+  end
 
 type proving_key = {
   p_domain : Fft.domain;
@@ -87,10 +104,15 @@ let setup ~random_bytes cs =
         (Cs.constraints cs));
   let powers =
     Obs.with_span "snark.setup.exp" (fun () ->
+        (* Each chunk re-seeds its running power at s^lo, so the table is
+           independent of the chunk grid (and of ZEBRA_DOMAINS). *)
         let powers = Array.make (d + 1) Fp.one in
-        for i = 1 to d do
-          powers.(i) <- Fp.mul powers.(i - 1) s
-        done;
+        Parallel.parallel_for ~min_chunk:par_min_ops (d + 1) (fun lo hi ->
+            let p = ref (Fp.pow_int s lo) in
+            for i = lo to hi - 1 do
+              powers.(i) <- !p;
+              p := Fp.mul !p s
+            done);
         powers)
   in
   let z_s = Fft.vanishing_at domain s in
@@ -102,10 +124,10 @@ let setup ~random_bytes cs =
       a_s;
       b_s;
       c_s;
-      a_s_alpha = Array.map (Fp.mul alpha_a) a_s;
-      b_s_alpha = Array.map (Fp.mul alpha_b) b_s;
-      c_s_alpha = Array.map (Fp.mul alpha_c) c_s;
-      k_beta = Array.init n_vars (fun i -> Fp.mul beta (Fp.add (Fp.add a_s.(i) b_s.(i)) c_s.(i)));
+      a_s_alpha = par_init n_vars (fun i -> Fp.mul alpha_a a_s.(i));
+      b_s_alpha = par_init n_vars (fun i -> Fp.mul alpha_b b_s.(i));
+      c_s_alpha = par_init n_vars (fun i -> Fp.mul alpha_c c_s.(i));
+      k_beta = par_init n_vars (fun i -> Fp.mul beta (Fp.add (Fp.add a_s.(i) b_s.(i)) c_s.(i)));
       powers;
       z_s;
       z_alpha_a = Fp.mul alpha_a z_s;
@@ -140,13 +162,21 @@ let prove ~random_bytes pk cs =
   let delta1 = Fp.random random_bytes in
   let delta2 = Fp.random random_bytes in
   let delta3 = Fp.random random_bytes in
-  (* Aux-only sums at s (the verifier reconstructs the IO part). *)
+  (* Aux-only sums at s (the verifier reconstructs the IO part).  Chunk
+     partial sums fold in chunk-index order; field addition is exact, so
+     the result is the canonical value either way. *)
+  let aux_lo = n_inputs + 1 in
   let aux_sum table =
-    let acc = ref Fp.zero in
-    for i = n_inputs + 1 to pk.p_num_vars - 1 do
-      if not (Fp.is_zero w.(i)) then acc := Fp.add !acc (Fp.mul w.(i) table.(i))
-    done;
-    !acc
+    Parallel.map_reduce ~min_chunk:par_min_ops
+      (pk.p_num_vars - aux_lo)
+      ~map:(fun lo hi ->
+        let acc = ref Fp.zero in
+        for k = lo to hi - 1 do
+          let i = aux_lo + k in
+          if not (Fp.is_zero w.(i)) then acc := Fp.add !acc (Fp.mul w.(i) table.(i))
+        done;
+        !acc)
+      ~reduce:Fp.add Fp.zero
   in
   let pi_a, pi_b, pi_c, pi_a', pi_b', pi_c', pi_k =
     Obs.with_span "snark.prove.exp" (fun () ->
@@ -165,18 +195,19 @@ let prove ~random_bytes pk cs =
      full (IO + aux) witness combinations, evaluated per constraint. *)
   let constrs = Cs.constraints cs in
   let evals_of select =
+    (* Constraint j writes only slot j: rows are independent. *)
     let arr = Array.make d Fp.zero in
-    Array.iteri
-      (fun j triple ->
-        let lc = select triple in
-        let acc = ref Fp.zero in
-        List.iter
-          (fun (coeff, var) ->
-            let i = Cs.int_of_var var in
-            if not (Fp.is_zero w.(i)) then acc := Fp.add !acc (Fp.mul coeff w.(i)))
-          lc;
-        arr.(j) <- !acc)
-      constrs;
+    Parallel.parallel_for ~min_chunk:256 (Array.length constrs) (fun lo hi ->
+        for j = lo to hi - 1 do
+          let lc = select constrs.(j) in
+          let acc = ref Fp.zero in
+          List.iter
+            (fun (coeff, var) ->
+              let i = Cs.int_of_var var in
+              if not (Fp.is_zero w.(i)) then acc := Fp.add !acc (Fp.mul coeff w.(i)))
+            lc;
+          arr.(j) <- !acc
+        done);
     arr
   in
   let a_evals, b_evals, c_evals =
@@ -197,9 +228,10 @@ let prove ~random_bytes pk cs =
         Fft.coset_fft pk.p_domain c_evals;
         let z_inv = Fp.inv (Fft.vanishing_on_coset pk.p_domain) in
         let h = Array.make d Fp.zero in
-        for i = 0 to d - 1 do
-          h.(i) <- Fp.mul (Fp.sub (Fp.mul a_evals.(i) b_evals.(i)) c_evals.(i)) z_inv
-        done;
+        Parallel.parallel_for ~min_chunk:par_min_ops d (fun lo hi ->
+            for i = lo to hi - 1 do
+              h.(i) <- Fp.mul (Fp.sub (Fp.mul a_evals.(i) b_evals.(i)) c_evals.(i)) z_inv
+            done);
         Fft.coset_ifft pk.p_domain h;
         (a_coeffs, b_coeffs, h))
   in
@@ -207,21 +239,26 @@ let prove ~random_bytes pk cs =
      (A + d1 Z)(B + d2 Z) - (C + d3 Z) = Z (H + d1 B + d2 A + d1 d2 Z - d3). *)
   let h_ext = Array.make (d + 1) Fp.zero in
   Array.blit h 0 h_ext 0 d;
-  for i = 0 to d - 1 do
-    h_ext.(i) <-
-      Fp.add h_ext.(i) (Fp.add (Fp.mul delta1 b_coeffs.(i)) (Fp.mul delta2 a_coeffs.(i)))
-  done;
+  Parallel.parallel_for ~min_chunk:par_min_ops d (fun lo hi ->
+      for i = lo to hi - 1 do
+        h_ext.(i) <-
+          Fp.add h_ext.(i) (Fp.add (Fp.mul delta1 b_coeffs.(i)) (Fp.mul delta2 a_coeffs.(i)))
+      done);
   let d1d2 = Fp.mul delta1 delta2 in
   (* d1 d2 Z = d1 d2 x^d - d1 d2 *)
   h_ext.(d) <- Fp.add h_ext.(d) d1d2;
   h_ext.(0) <- Fp.sub (Fp.sub h_ext.(0) d1d2) delta3;
   let pi_h =
     Obs.with_span "snark.prove.exp" (fun () ->
-        let acc = ref Fp.zero in
-        for i = 0 to d do
-          if not (Fp.is_zero h_ext.(i)) then acc := Fp.add !acc (Fp.mul h_ext.(i) pk.powers.(i))
-        done;
-        !acc)
+        Parallel.map_reduce ~min_chunk:par_min_ops (d + 1)
+          ~map:(fun lo hi ->
+            let acc = ref Fp.zero in
+            for i = lo to hi - 1 do
+              if not (Fp.is_zero h_ext.(i)) then
+                acc := Fp.add !acc (Fp.mul h_ext.(i) pk.powers.(i))
+            done;
+            !acc)
+          ~reduce:Fp.add Fp.zero)
   in
   { pi_a; pi_a'; pi_b; pi_b'; pi_c; pi_c'; pi_k; pi_h }
 

@@ -18,16 +18,28 @@
     (O(|public inputs|)) and rejection of bad witnesses are all real; only
     the computational hardness of extracting s from the proving key is
     assumed.  The {!simulate} function demonstrates the zero-knowledge
-    trapdoor property exactly as in the original scheme. *)
+    trapdoor property exactly as in the original scheme.
 
+    {b Parallelism}: [setup] and [prove] fan their table constructions,
+    inner products and FFT passes out over {!Zebra_parallel.Parallel}.
+    Proofs are bit-identical at every [ZEBRA_DOMAINS] setting: all
+    randomness is drawn on the calling domain before fan-out and chunk
+    grids are pool-independent (DESIGN.md, "Multicore prover"). *)
+
+(** Prover material: the QAP evaluated at the secret point (kept in the
+    clear under the designated-verifier caveat above). *)
 type proving_key
 
+(** Verifier material; fixes the public-input count. *)
 type verifying_key
 
+(** The setup secrets, exposed deliberately for {!simulate}. *)
 type trapdoor
 
+(** A constant-size proof: 8 field elements. *)
 type proof
 
+(** Everything one trusted setup produces. *)
 type keypair = { pk : proving_key; vk : verifying_key; trapdoor : trapdoor }
 
 (** [setup ~random_bytes cs] runs the trusted setup for the {e structure} of
@@ -71,19 +83,30 @@ val simulate_rng : rng:Zebra_rng.Source.t -> trapdoor -> public_inputs:Fp.t arra
 
 (** {1 Introspection & serialisation} *)
 
+(** The public-input count the key was set up for. *)
 val num_public_inputs : verifying_key -> int
 
+(** The FFT domain size (power of two >= constraint count). *)
 val domain_size : proving_key -> int
 
+(** Canonical encoding (8 field elements, 32 bytes each framed). *)
 val proof_to_bytes : proof -> bytes
 
 (** @raise Zebra_codec.Codec.Decode_error on malformed input. *)
 val proof_of_bytes : bytes -> proof
 
+(** Canonical encoding, what contracts embed ([auth_vk]/[reward_vk]). *)
 val vk_to_bytes : verifying_key -> bytes
+
+(** Inverse of {!vk_to_bytes}.
+    @raise Zebra_codec.Codec.Decode_error on malformed input. *)
 val vk_of_bytes : bytes -> verifying_key
 
+(** [Bytes.length (proof_to_bytes p)] (Table I's proof column). *)
 val proof_size_bytes : proof -> int
+
+(** [Bytes.length (vk_to_bytes vk)] (Table I's key column). *)
 val vk_size_bytes : verifying_key -> int
 
+(** Field-wise equality of the 8 proof elements. *)
 val equal_proof : proof -> proof -> bool

@@ -1,0 +1,13 @@
+#!/bin/sh
+# Regenerate the committed benchmark artifacts:
+#   BENCH_obs.json       per-phase profile of one end-to-end task
+#   BENCH_parallel.json  1/2/4-domain prover scaling curve
+# Both are written to the repo root; PERFORMANCE.md explains how to read
+# them.  Numbers are hardware-dependent -- commit them together with a note
+# on the machine they came from.
+set -eu
+cd "$(dirname "$0")/.."
+dune build bench/main.exe
+./_build/default/bench/main.exe obs
+./_build/default/bench/main.exe parallel
+echo "wrote $(pwd)/BENCH_obs.json and $(pwd)/BENCH_parallel.json"

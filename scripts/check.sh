@@ -1,5 +1,12 @@
 #!/bin/sh
-# Local CI gate: build everything and run the whole test suite.
+# Local CI gate: build everything, then run the whole test suite twice --
+# once sequential, once over a 4-domain pool.  Results must agree: the
+# parallel primitives guarantee bit-identical output at any ZEBRA_DOMAINS
+# (see DESIGN.md), and this is where that contract is enforced.
 set -eu
 cd "$(dirname "$0")/.."
-exec dune build @check
+dune build @check
+echo "== tests, ZEBRA_DOMAINS=1 =="
+ZEBRA_DOMAINS=1 dune runtest --force
+echo "== tests, ZEBRA_DOMAINS=4 =="
+ZEBRA_DOMAINS=4 dune runtest --force

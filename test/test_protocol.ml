@@ -509,6 +509,16 @@ let test_worker_validates_task () =
        ~expected_root:storage.Task_contract.params.Task_contract.ra_root
     <> Ok ())
 
+(* --- audit --- *)
+
+let test_audit_task () =
+  let sys = Lazy.force sys in
+  let policy = Policy.Majority { choices = 4 } in
+  let task, _wallets, _rewards = Protocol.run_task sys ~policy ~budget:90 ~answers:[ 1; 2; 1 ] in
+  let ok, checked = Protocol.audit_task sys ~task:task.Requester.contract in
+  Alcotest.(check bool) "all attestations re-verify" true ok;
+  Alcotest.(check int) "one per submission" 3 checked
+
 let () =
   Alcotest.run "protocol"
     [
@@ -547,5 +557,6 @@ let () =
           Alcotest.test_case "plain double submission" `Quick test_plain_mode_double_submission_linked;
           Alcotest.test_case "plain disabled by default" `Quick test_plain_mode_disabled_by_default;
           Alcotest.test_case "forged plain certificate" `Quick test_plain_mode_forged_cert_rejected;
+          Alcotest.test_case "batch audit of mined submissions" `Quick test_audit_task;
         ] );
     ]
