@@ -545,6 +545,69 @@ let parallel () =
      honest curve is flat (see PERFORMANCE.md).\n%!"
     (String.length json)
 
+(* --- X10: static-analyzer cost --- *)
+
+let lint () =
+  header "X10: zebra_lint analyzer wall-time across the deployed circuits";
+  let module Lint = Zebra_lint.Lint in
+  let module Json = Zebra_obs.Json in
+  Printf.printf "%-22s %12s %6s %9s %6s %6s %6s\n%!" "circuit" "constraints"
+    "rank" "lint(s)" "err" "warn" "info";
+  let rows =
+    List.map
+      (fun (name, synth) ->
+        let cs = synth () in
+        let report, dt = wall (fun () -> Lint.analyze ~name cs) in
+        Printf.printf "%-22s %12d %6d %9.3f %6d %6d %6d\n%!" name
+          report.Lint.num_constraints report.Lint.jacobian_rank dt
+          (Lint.errors report)
+          (Lint.warnings report)
+          (Lint.infos report);
+        (report, dt))
+      (Deployed.circuits ())
+  in
+  (* The headline number: analyzer cost on the largest deployed circuit,
+     the one that bounds how long the check.sh lint gate can take. *)
+  let largest, largest_dt =
+    List.fold_left
+      (fun ((best, _) as acc) ((r, _) as cand) ->
+        if r.Lint.num_constraints > best.Lint.num_constraints then cand else acc)
+      (List.hd rows) (List.tl rows)
+  in
+  let row_json (r, dt) =
+    Json.Obj
+      [
+        ("circuit", Json.Str r.Lint.circuit);
+        ("constraints", Json.Num (float_of_int r.Lint.num_constraints));
+        ("vars", Json.Num (float_of_int r.Lint.num_vars));
+        ("rank", Json.Num (float_of_int r.Lint.jacobian_rank));
+        ("free_aux_wires", Json.Num (float_of_int r.Lint.free_aux_wires));
+        ("errors", Json.Num (float_of_int (Lint.errors r)));
+        ("warnings", Json.Num (float_of_int (Lint.warnings r)));
+        ("infos", Json.Num (float_of_int (Lint.infos r)));
+        ("seconds", Json.Num dt);
+      ]
+  in
+  let json =
+    Json.to_string
+      (Json.Obj
+         [
+           ("largest_circuit", Json.Str largest.Lint.circuit);
+           ( "largest_constraints",
+             Json.Num (float_of_int largest.Lint.num_constraints) );
+           ("largest_seconds", Json.Num largest_dt);
+           ("circuits", Json.List (List.map row_json rows));
+         ])
+  in
+  let oc = open_out "BENCH_lint.json" in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf
+    "\nlargest circuit %s: %d constraints, linted in %.3fs\nwrote BENCH_lint.json (%d bytes)\n%!"
+    largest.Lint.circuit largest.Lint.num_constraints largest_dt
+    (String.length json)
+
 let all () =
   table1 ();
   fig4 ();
@@ -556,7 +619,8 @@ let all () =
   ablation_hash ();
   nonanon ();
   obs ();
-  parallel ()
+  parallel ();
+  lint ()
 
 let () =
   match if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" with
@@ -571,9 +635,10 @@ let () =
   | "nonanon" -> nonanon ()
   | "obs" -> obs ()
   | "parallel" -> parallel ()
+  | "lint" -> lint ()
   | "all" -> all ()
   | other ->
     Printf.eprintf
-      "unknown bench %S; try: table1 fig4 memory link endtoend ablation-fft ablation-field ablation-hash nonanon obs parallel all\n"
+      "unknown bench %S; try: table1 fig4 memory link endtoend ablation-fft ablation-field ablation-hash nonanon obs parallel lint all\n"
       other;
     exit 1

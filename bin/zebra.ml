@@ -5,6 +5,7 @@
      zebra auction -k 3 --bids 7,2,9,4  reverse auction
      zebra stats                        instrumented run + metric tree
      zebra inspect                      circuit/system parameters
+     zebra lint --strict                static analysis of deployed circuits
 *)
 
 open Cmdliner
@@ -214,6 +215,13 @@ let stats_cmd =
       Protocol.run_task sys ~policy:(Policy.Majority { choices = 4 }) ~budget:90
         ~answers:[ 1; 1; 2 ]
     in
+    (* Lint the circuits this run deployed so the tree shows lint.* too. *)
+    ignore
+      (Zebra_lint.Lint.analyze ~name:"cpla"
+         (Zebra_anonauth.Cpla.constraint_system ~depth:6));
+    ignore
+      (Zebra_lint.Lint.analyze ~name:"reward-majority-n3"
+         (Reward_circuit.constraint_system ~policy:(Policy.Majority { choices = 4 }) ~n:3));
     Obs.set_enabled false;
     if json then print_endline (Obs.to_json_string ())
     else begin
@@ -229,6 +237,76 @@ let stats_cmd =
      per-phase metric tree (spans, counters, histograms)."
   in
   Cmd.v (Cmd.info "stats" ~doc) Term.(ret (const run $ domains_arg $ seed_arg $ json_arg))
+
+(* --- lint --- *)
+
+let lint_cmd =
+  let module Lint = Zebra_lint.Lint in
+  let module Json = Zebra_obs.Json in
+  let strict_arg =
+    let doc = "Exit with status 1 if any $(b,Error)-severity finding is reported." in
+    Arg.(value & flag & info [ "strict" ] ~doc)
+  in
+  let json_arg =
+    let doc = "Print the reports as one JSON array instead of text." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let circuit_arg =
+    let doc =
+      "Only lint the named circuit (see $(b,zebra lint --list) for names); repeatable."
+    in
+    Arg.(value & opt_all string [] & info [ "circuit" ] ~docv:"NAME" ~doc)
+  in
+  let list_arg =
+    let doc = "List the deployed circuit names and exit." in
+    Arg.(value & flag & info [ "list" ] ~doc)
+  in
+  let max_arg =
+    let doc = "Warn/info findings printed per rule before eliding." in
+    Arg.(value & opt int 5 & info [ "max-per-rule" ] ~docv:"K" ~doc)
+  in
+  let run strict json only list max_per_rule =
+    if list then begin
+      List.iter print_endline (Deployed.names ());
+      `Ok ()
+    end
+    else
+      try
+        let selected =
+          match only with
+          | [] -> Deployed.circuits ()
+          | names ->
+            List.map
+              (fun n ->
+                match Deployed.find n with
+                | Some synth -> (n, synth)
+                | None -> failwith (Printf.sprintf "unknown circuit %S (try --list)" n))
+              names
+        in
+        let reports =
+          List.map (fun (name, synth) -> Lint.analyze ~name (synth ())) selected
+        in
+        if json then
+          print_endline (Json.to_string (Json.List (List.map Lint.to_json reports)))
+        else begin
+          List.iter (fun r -> print_string (Lint.render ~max_per_rule r)) reports;
+          let total sel = List.fold_left (fun acc r -> acc + sel r) 0 reports in
+          log "total: %d circuit(s), %d error(s), %d warn(s), %d info(s)"
+            (List.length reports) (total Lint.errors) (total Lint.warnings)
+            (total Lint.infos)
+        end;
+        let errs = List.fold_left (fun acc r -> acc + Lint.errors r) 0 reports in
+        if strict && errs > 0 then
+          `Error (false, Printf.sprintf "%d Error-severity lint finding(s)" errs)
+        else `Ok ()
+      with Failure m -> `Error (false, m)
+  in
+  let doc =
+    "Statically analyze the deployed R1CS circuits (unconstrained wires, degenerate \
+     constraints, Jacobian rank, gadget contracts) before any trusted setup."
+  in
+  Cmd.v (Cmd.info "lint" ~doc)
+    Term.(ret (const run $ strict_arg $ json_arg $ circuit_arg $ list_arg $ max_arg))
 
 (* --- inspect --- *)
 
@@ -271,4 +349,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ demo_cmd; annotate_cmd; auction_cmd; batch_cmd; truth_cmd; stats_cmd; inspect_cmd ]))
+          [
+            demo_cmd; annotate_cmd; auction_cmd; batch_cmd; truth_cmd; stats_cmd; lint_cmd;
+            inspect_cmd;
+          ]))

@@ -19,7 +19,7 @@ let synthesize ~depth ~prefix ~message ~root ~t1 ~t2 ~sk ~index ~path =
   let v_root = Cs.alloc_input cs root in
   let v_t1 = Cs.alloc_input cs t1 in
   let v_t2 = Cs.alloc_input cs t2 in
-  let v_sk = Cs.alloc cs sk in
+  let v_sk = Cs.alloc cs ~label:"sk" sk in
   (* pair(pk, sk): the public key is determined by the secret key. *)
   let pk = mimc_hash cs [ v v_sk ] in
   (* t1 = H(prefix, sk); t2 = H(prefix || m, sk). *)
@@ -27,18 +27,20 @@ let synthesize ~depth ~prefix ~message ~root ~t1 ~t2 ~sk ~index ~path =
   enforce_eq cs ~label:"t2" (mimc_hash cs [ v v_prefix; v v_message; v v_sk ]) (v v_t2);
   (* CertVrfy: pk is a registered leaf under the RA root. *)
   let path_bits = Array.init depth (fun l -> alloc_bit cs ((index lsr l) land 1 = 1)) in
-  let siblings = Array.map (Cs.alloc cs) path in
+  let siblings = Array.map (fun s -> Cs.alloc cs ~label:"sibling" s) path in
   let computed_root = merkle_root cs ~leaf:pk ~path_bits ~siblings in
   enforce_eq cs ~label:"certificate" computed_root (v v_root);
   cs
 
-let setup ~random_bytes ~depth =
-  (* Dummy values: setup only depends on circuit structure. *)
+(* Dummy values: the structure (and hence setup, and the static analyzer's
+   view) only depends on the depth. *)
+let constraint_system ~depth =
   let z = Fp.zero in
-  let cs =
-    synthesize ~depth ~prefix:z ~message:z ~root:z ~t1:z ~t2:z ~sk:z ~index:0
-      ~path:(Array.make depth z)
-  in
+  synthesize ~depth ~prefix:z ~message:z ~root:z ~t1:z ~t2:z ~sk:z ~index:0
+    ~path:(Array.make depth z)
+
+let setup ~random_bytes ~depth =
+  let cs = constraint_system ~depth in
   { depth; keys = Snark.setup ~random_bytes cs; n_constraints = Cs.num_constraints cs }
 
 let depth p = p.depth

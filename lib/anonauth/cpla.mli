@@ -38,6 +38,11 @@ val setup : random_bytes:(int -> bytes) -> depth:int -> params
 (** {!setup} taking a first-class randomness source. *)
 val setup_rng : rng:Zebra_rng.Source.t -> depth:int -> params
 
+(** The Auth circuit synthesised at the setup's dummy assignment — the
+    structure {!setup} compiles, exposed for static analysis
+    ([Zebra_lint]) and introspection.  No keys are generated. *)
+val constraint_system : depth:int -> Zebra_r1cs.Cs.t
+
 val depth : params -> int
 
 (** Number of R1CS constraints of the Auth circuit (reporting). *)

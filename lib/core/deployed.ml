@@ -1,0 +1,44 @@
+module Cs = Zebra_r1cs.Cs
+module Gadgets = Zebra_r1cs.Gadgets
+module Cpla = Zebra_anonauth.Cpla
+
+(* A depth-[d] Merkle membership circuit over the given compression
+   gadget, with fixed (deterministic) leaf and sibling values — the "hash
+   gadget composition" shape the benches profile. *)
+let merkle_circuit ~depth root_gadget () =
+  let cs = Cs.create () in
+  let open Gadgets in
+  let leaf = Cs.alloc cs ~label:"leaf" (Fp.of_int 7) in
+  let bits = Array.init depth (fun i -> alloc_bit cs (i land 1 = 1)) in
+  let siblings =
+    Array.init depth (fun i -> Cs.alloc cs ~label:"sibling" (Fp.of_int (i + 1)))
+  in
+  ignore (root_gadget cs ~leaf:(v leaf) ~path_bits:bits ~siblings : expr);
+  cs
+
+let circuits () =
+  [
+    ("cpla-depth8", fun () -> Cpla.constraint_system ~depth:8);
+    ("cpla-depth16", fun () -> Cpla.constraint_system ~depth:16);
+    ( "reward-majority-n3",
+      fun () -> Reward_circuit.constraint_system ~policy:(Policy.Majority { choices = 4 }) ~n:3
+    );
+    ( "reward-majority-n5",
+      fun () -> Reward_circuit.constraint_system ~policy:(Policy.Majority { choices = 4 }) ~n:5
+    );
+    ( "reward-quota-n3",
+      fun () ->
+        Reward_circuit.constraint_system
+          ~policy:(Policy.Majority_threshold { choices = 4; quota = 2 })
+          ~n:3 );
+    ( "reward-auction-n4",
+      fun () ->
+        Reward_circuit.constraint_system
+          ~policy:(Policy.Reverse_auction { winners = 2; max_bid = 15 })
+          ~n:4 );
+    ("merkle-mimc-16", merkle_circuit ~depth:16 Gadgets.merkle_root);
+    ("merkle-poseidon-16", merkle_circuit ~depth:16 Zebra_poseidon.Poseidon.merkle_root_gadget);
+  ]
+
+let find name = List.assoc_opt name (circuits ())
+let names () = List.map fst (circuits ())

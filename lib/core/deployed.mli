@@ -1,0 +1,19 @@
+(** The registry of circuits the protocol actually deploys, synthesised at
+    the same dummy assignment the trusted setup uses.
+
+    One list, consumed by three tools that must agree on what "deployed"
+    means: the [zebra lint] CLI subcommand, the [scripts/check.sh] CI gate
+    (which fails on any [Error]-severity lint finding), and the [bench
+    lint] analyzer-cost benchmark.  Synthesis is cheap — no SNARK setup
+    runs — so the registry is rebuilt on demand. *)
+
+(** [(name, synthesise)] pairs, in a stable order: the CPLA attestation
+    circuit at the demo and deployment tree depths, the reward circuit
+    under each supported policy family, and the two hash-gadget Merkle
+    compositions (MiMC and Poseidon) the benchmarks exercise. *)
+val circuits : unit -> (string * (unit -> Zebra_r1cs.Cs.t)) list
+
+(** [find name] — the synthesiser registered under [name]. *)
+val find : string -> (unit -> Zebra_r1cs.Cs.t) option
+
+val names : unit -> string list

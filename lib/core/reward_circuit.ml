@@ -49,7 +49,7 @@ let synthesize_common ~n ~epk ~rho ~cts ~rewards ~esk_bits ~plaintexts =
   let v_m =
     Array.mapi
       (fun j (c1, c2) ->
-        let m = Cs.alloc cs plaintexts.(j) in
+        let m = Cs.alloc cs ~label:(Printf.sprintf "answer[%d]" j) plaintexts.(j) in
         let pow = exp cs ~base:(v c1) ~bits in
         Cs.enforce cs ~label:(Printf.sprintf "decrypt[%d]" j) (v m) (v pow) (v c2);
         let miss = is_zero cs (v c1) in
@@ -186,14 +186,17 @@ let synthesize ~policy ~n ~epk ~rho ~cts ~rewards ~esk_bits ~plaintexts =
 
 let dummy_ct = Elgamal.missing
 
+(* The structure the trusted setup compiles (dummy inputs) — also what the
+   static analyzer inspects. *)
+let constraint_system ~policy ~n =
+  if n <= 0 then invalid_arg "Reward_circuit.constraint_system: need n > 0";
+  synthesize ~policy ~n ~epk:Fp.one ~rho:0 ~cts:(Array.make n dummy_ct)
+    ~rewards:(Array.make n 0)
+    ~esk_bits:(Array.make Elgamal.exponent_bits false)
+    ~plaintexts:(Array.make n Fp.zero)
+
 let setup ~random_bytes ~policy ~n =
-  if n <= 0 then invalid_arg "Reward_circuit.setup: need n > 0";
-  let cs =
-    synthesize ~policy ~n ~epk:Fp.one ~rho:0 ~cts:(Array.make n dummy_ct)
-      ~rewards:(Array.make n 0)
-      ~esk_bits:(Array.make Elgamal.exponent_bits false)
-      ~plaintexts:(Array.make n Fp.zero)
-  in
+  let cs = constraint_system ~policy ~n in
   { policy; n; keys = Snark.setup ~random_bytes cs; n_constraints = Cs.num_constraints cs }
 
 let policy t = t.policy

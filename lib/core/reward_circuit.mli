@@ -28,6 +28,11 @@ type t
     "establishments of zk-SNARKs"). *)
 val setup : random_bytes:(int -> bytes) -> policy:Policy.t -> n:int -> t
 
+(** The circuit synthesised at the setup's dummy assignment — the structure
+    {!setup} compiles, exposed for static analysis ([Zebra_lint]).
+    @raise Invalid_argument when [n <= 0]. *)
+val constraint_system : policy:Policy.t -> n:int -> Zebra_r1cs.Cs.t
+
 val policy : t -> Policy.t
 val n : t -> int
 val num_constraints : t -> int

@@ -11,6 +11,7 @@ type t = {
   mutable has_aux : bool;
   mutable constrs : cstr list; (* reversed *)
   mutable n_constrs : int;
+  wire_labels : (int, string) Hashtbl.t;
 }
 
 let one_var = 0
@@ -23,6 +24,7 @@ let create () =
     has_aux = false;
     constrs = [];
     n_constrs = 0;
+    wire_labels = Hashtbl.create 16;
   }
 
 let grow cs =
@@ -32,22 +34,26 @@ let grow cs =
     cs.values <- bigger
   end
 
-let alloc cs v =
+let alloc cs ?label v =
   grow cs;
   let idx = cs.num_vars in
   cs.values.(idx) <- v;
   cs.num_vars <- idx + 1;
   cs.has_aux <- true;
+  Option.iter (fun l -> Hashtbl.replace cs.wire_labels idx l) label;
   idx
 
-let alloc_input cs v =
+let alloc_input cs ?label v =
   if cs.has_aux then invalid_arg "Cs.alloc_input: auxiliary wires already allocated";
   grow cs;
   let idx = cs.num_vars in
   cs.values.(idx) <- v;
   cs.num_vars <- idx + 1;
   cs.num_inputs <- cs.num_inputs + 1;
+  Option.iter (fun l -> Hashtbl.replace cs.wire_labels idx l) label;
   idx
+
+let wire_label cs v = Hashtbl.find_opt cs.wire_labels v
 
 let enforce cs ?label a b c =
   cs.constrs <- { a; b; c; label } :: cs.constrs;
@@ -69,6 +75,14 @@ let num_constraints cs = cs.n_constrs
 let constraints cs =
   let arr = Array.of_list (List.rev_map (fun c -> (c.a, c.b, c.c)) cs.constrs) in
   arr
+
+let iter_constraints cs f =
+  List.iteri (fun i c -> f ~index:i ~label:c.label c.a c.b c.c) (List.rev cs.constrs)
+
+let fold_constraints cs ~init ~f =
+  let acc = ref init in
+  iter_constraints cs (fun ~index ~label a b c -> acc := f !acc ~index ~label a b c);
+  !acc
 
 let assignment cs =
   let a = Array.sub cs.values 0 cs.num_vars in

@@ -23,11 +23,18 @@ val one_var : var
 (** [alloc_input cs v] allocates the next public-input wire with value [v].
     All public inputs must be allocated before any auxiliary wire (this
     convention is what lets the verifier reconstruct the input part).
+    [?label] attaches a debug/provenance name visible to diagnostics and the
+    static analyzer ({!wire_label}).
     @raise Invalid_argument if an auxiliary wire exists already. *)
-val alloc_input : t -> Fp.t -> var
+val alloc_input : t -> ?label:string -> Fp.t -> var
 
-(** [alloc cs v] allocates an auxiliary wire with value [v]. *)
-val alloc : t -> Fp.t -> var
+(** [alloc cs v] allocates an auxiliary wire with value [v].  [?label] as in
+    {!alloc_input}; labels with the ["bit"] prefix additionally declare a
+    booleanity contract that [Zebra_lint] checks (see {!Gadgets.alloc_bit}). *)
+val alloc : t -> ?label:string -> Fp.t -> var
+
+(** The provenance label attached at allocation time, if any. *)
+val wire_label : t -> var -> string option
 
 (** [enforce cs ?label a b c] adds the constraint [a * b = c]. *)
 val enforce : t -> ?label:string -> lc -> lc -> lc -> unit
@@ -48,6 +55,23 @@ val num_constraints : t -> int
 
 (** [constraints cs] in insertion order. *)
 val constraints : t -> (lc * lc * lc) array
+
+(** {1 Read-only traversal}
+
+    [iter_constraints]/[fold_constraints] visit every constraint in
+    insertion order together with its index and optional label, without
+    copying or exposing the internal representation — the traversal the
+    static analyzer ([Zebra_lint]) and future tooling are built on.  The
+    callback must not add constraints or allocate wires on [cs]. *)
+
+val iter_constraints :
+  t -> (index:int -> label:string option -> lc -> lc -> lc -> unit) -> unit
+
+val fold_constraints :
+  t ->
+  init:'a ->
+  f:('a -> index:int -> label:string option -> lc -> lc -> lc -> 'a) ->
+  'a
 
 (** Full assignment, indexed by wire; entry 0 is 1. *)
 val assignment : t -> Fp.t array

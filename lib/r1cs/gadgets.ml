@@ -27,7 +27,7 @@ let simplify (e : expr) : expr =
   |> List.filter (fun ((c : Fp.t), _) -> not (Fp.is_zero c))
 
 let mul cs ?label a b =
-  let out = Cs.alloc cs (Fp.mul (eval cs a) (eval cs b)) in
+  let out = Cs.alloc cs ?label (Fp.mul (eval cs a) (eval cs b)) in
   Cs.enforce cs ?label a b (v out);
   out
 
@@ -35,7 +35,7 @@ let square cs a = mul cs a a
 
 let inverse cs a =
   let x = eval cs a in
-  let out = Cs.alloc cs (if Fp.is_zero x then Fp.zero else Fp.inv x) in
+  let out = Cs.alloc cs ~label:"inverse" (if Fp.is_zero x then Fp.zero else Fp.inv x) in
   Cs.enforce cs ~label:"inverse" a (v out) (c Fp.one);
   out
 
@@ -43,8 +43,11 @@ let enforce_eq cs ?label a b = Cs.enforce cs ?label (a -: b) (c Fp.one) []
 
 let enforce_bit cs x = Cs.enforce cs ~label:"booleanity" x (x -: c Fp.one) []
 
-let alloc_bit cs b =
-  let var = Cs.alloc cs (if b then Fp.one else Fp.zero) in
+(* The "bit" wire-label prefix is a contract: Zebra_lint checks every wire
+   so labelled carries a booleanity constraint. *)
+let alloc_bit cs ?label b =
+  let label = match label with None -> "bit" | Some l -> "bit:" ^ l in
+  let var = Cs.alloc cs ~label (if b then Fp.one else Fp.zero) in
   enforce_bit cs (v var);
   var
 
@@ -53,8 +56,8 @@ let alloc_bit cs b =
 let is_zero cs a =
   let x = eval cs a in
   let zero = Fp.is_zero x in
-  let out = Cs.alloc cs (if zero then Fp.one else Fp.zero) in
-  let invw = Cs.alloc cs (if zero then Fp.zero else Fp.inv x) in
+  let out = Cs.alloc cs ~label:"is_zero.out" (if zero then Fp.one else Fp.zero) in
+  let invw = Cs.alloc cs ~label:"is_zero.inv" (if zero then Fp.zero else Fp.inv x) in
   Cs.enforce cs ~label:"is_zero/inv" a (v invw) (c Fp.one -: v out);
   Cs.enforce cs ~label:"is_zero/out" a (v out) [];
   out
@@ -64,7 +67,7 @@ let eq cs a b = is_zero cs (a -: b)
 (* out = b + cond * (a - b): one constraint. *)
 let select cs ~cond a b =
   let cv = Cs.value cs cond in
-  let out = Cs.alloc cs (if Fp.equal cv Fp.one then eval cs a else eval cs b) in
+  let out = Cs.alloc cs ~label:"select" (if Fp.equal cv Fp.one then eval cs a else eval cs b) in
   Cs.enforce cs ~label:"select" (v cond) (a -: b) (v out -: b);
   out
 
@@ -92,7 +95,7 @@ let less_than cs a b ~bits =
   let d = a -: b +: c shift in
   let dbits = bits_of_expr cs d (bits + 1) in
   let msb = dbits.(bits) in
-  let out = Cs.alloc cs (Fp.sub Fp.one (Cs.value cs msb)) in
+  let out = Cs.alloc cs ~label:"less_than" (Fp.sub Fp.one (Cs.value cs msb)) in
   enforce_eq cs ~label:"less_than" (v out) (c Fp.one -: v msb);
   out
 
@@ -122,7 +125,7 @@ let exp cs ~base ~bits =
   match !acc with
   | [ (k, var) ] when Fp.equal k Fp.one -> var
   | e ->
-    let out = Cs.alloc cs (eval cs e) in
+    let out = Cs.alloc cs ~label:"exp" (eval cs e) in
     enforce_eq cs (v out) e;
     out
 

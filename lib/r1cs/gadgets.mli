@@ -47,8 +47,11 @@ val enforce_eq : Cs.t -> ?label:string -> expr -> expr -> unit
 (** [enforce_bit cs x]: [x * (x - 1) = 0]. *)
 val enforce_bit : Cs.t -> expr -> unit
 
-(** [alloc_bit cs b] allocates a wire constrained to {0,1}. *)
-val alloc_bit : Cs.t -> bool -> Cs.var
+(** [alloc_bit cs b] allocates a wire constrained to {0,1}.  The wire is
+    labelled with the ["bit"] prefix (optionally extended by [?label]),
+    which declares the booleanity contract that [Zebra_lint]'s ZL030 rule
+    audits — keep the prefix if you label boolean wires by hand. *)
+val alloc_bit : Cs.t -> ?label:string -> bool -> Cs.var
 
 (** [is_zero cs a] is a bit wire: 1 iff [a = 0] (2 constraints). *)
 val is_zero : Cs.t -> expr -> Cs.var

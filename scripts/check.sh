@@ -1,11 +1,14 @@
 #!/bin/sh
-# Local CI gate: build everything, then run the whole test suite twice --
-# once sequential, once over a 4-domain pool.  Results must agree: the
-# parallel primitives guarantee bit-identical output at any ZEBRA_DOMAINS
-# (see DESIGN.md), and this is where that contract is enforced.
+# Local CI gate: build everything, lint every deployed circuit, then run
+# the whole test suite twice -- once sequential, once over a 4-domain
+# pool.  Results must agree: the parallel primitives guarantee
+# bit-identical output at any ZEBRA_DOMAINS (see DESIGN.md), and this is
+# where that contract is enforced.
 set -eu
 cd "$(dirname "$0")/.."
 dune build @check
+echo "== circuit lint (zebra lint --strict) =="
+dune exec bin/zebra.exe -- lint --strict
 echo "== tests, ZEBRA_DOMAINS=1 =="
 ZEBRA_DOMAINS=1 dune runtest --force
 echo "== tests, ZEBRA_DOMAINS=4 =="
