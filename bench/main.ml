@@ -608,6 +608,79 @@ let lint () =
     largest.Lint.circuit largest.Lint.num_constraints largest_dt
     (String.length json)
 
+(* --- chaos: cost of riding out fault plans (BENCH_chaos.json) ---
+
+   One end-to-end round per plan, same seed: the wall-clock delta against
+   the fault-free row is the price of retries/backoff blocks, and the
+   retry counters say where it went.  Every row must still settle with the
+   invariants intact — a bench that needed an unbounded plan would be a
+   bug, not a data point. *)
+
+let chaos () =
+  header "chaos: end-to-end round under seeded fault plans";
+  let module Json = Zebra_obs.Json in
+  let module Obs = Zebra_obs.Obs in
+  let module Faults = Zebra_faults.Faults in
+  let plans =
+    [
+      ("0%", "none");
+      ("5%", "drop=0.05,delay=0.05:2,dup=0.02");
+      ("20%", "drop=0.2,delay=0.2:2,dup=0.1");
+    ]
+  in
+  Printf.printf "%-4s %-32s %8s %7s %7s %10s  %s\n%!" "rate" "plan" "seconds" "height"
+    "faults" "resubmits" "settlement";
+  let rows =
+    List.map
+      (fun (rate, plan) ->
+        Obs.reset ();
+        Obs.set_enabled true;
+        let outcome, dt =
+          wall (fun () ->
+              Chaos.run ~seed:"bench-chaos" ~plan:(Faults.spec_of_string plan) ())
+        in
+        Obs.set_enabled false;
+        let counter name =
+          match Obs.counters_with_prefix name with (_, v) :: _ -> v | [] -> 0
+        in
+        let resubmits = counter "protocol.retry.resubmits" in
+        let injected = List.length outcome.Chaos.trace in
+        Printf.printf "%-4s %-32s %8.3f %7d %7d %10d  %s\n%!" rate plan dt
+          outcome.Chaos.final_height injected resubmits
+          (Chaos.settlement_to_string outcome.Chaos.settlement);
+        (rate, plan, dt, outcome, resubmits, injected))
+      plans
+  in
+  let json =
+    Json.to_string
+      (Json.Obj
+         [
+           ("seed", Json.Str "bench-chaos");
+           ( "rows",
+             Json.List
+               (List.map
+                  (fun (rate, plan, dt, (o : Chaos.outcome), resubmits, injected) ->
+                    Json.Obj
+                      [
+                        ("rate", Json.Str rate);
+                        ("plan", Json.Str plan);
+                        ("seconds", Json.Num dt);
+                        ("settlement", Json.Str (Chaos.settlement_to_string o.settlement));
+                        ("final_height", Json.Num (float_of_int o.final_height));
+                        ("faults_injected", Json.Num (float_of_int injected));
+                        ("resubmits", Json.Num (float_of_int resubmits));
+                        ("replicas_agree", Json.Bool o.replicas_agree);
+                        ("supply_conserved", Json.Bool o.supply_conserved);
+                      ])
+                  rows) );
+         ])
+  in
+  let oc = open_out "BENCH_chaos.json" in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote BENCH_chaos.json (%d bytes)\n%!" (String.length json)
+
 let all () =
   table1 ();
   fig4 ();
@@ -620,7 +693,8 @@ let all () =
   nonanon ();
   obs ();
   parallel ();
-  lint ()
+  lint ();
+  chaos ()
 
 let () =
   match if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" with
@@ -636,9 +710,10 @@ let () =
   | "obs" -> obs ()
   | "parallel" -> parallel ()
   | "lint" -> lint ()
+  | "chaos" -> chaos ()
   | "all" -> all ()
   | other ->
     Printf.eprintf
-      "unknown bench %S; try: table1 fig4 memory link endtoend ablation-fft ablation-field ablation-hash nonanon obs parallel lint all\n"
+      "unknown bench %S; try: table1 fig4 memory link endtoend ablation-fft ablation-field ablation-hash nonanon obs parallel lint chaos all\n"
       other;
     exit 1

@@ -4,6 +4,7 @@
      zebra annotate -n 5 --budget 150   one image-annotation task
      zebra auction -k 3 --bids 7,2,9,4  reverse auction
      zebra stats                        instrumented run + metric tree
+     zebra chaos --seed s1 --plan ...   seeded fault-injection round
      zebra inspect                      circuit/system parameters
      zebra lint --strict                static analysis of deployed circuits
 *)
@@ -308,6 +309,56 @@ let lint_cmd =
   Cmd.v (Cmd.info "lint" ~doc)
     Term.(ret (const run $ strict_arg $ json_arg $ circuit_arg $ list_arg $ max_arg))
 
+(* --- chaos --- *)
+
+let chaos_cmd =
+  let module Obs = Zebra_obs.Obs in
+  let module Faults = Zebra_faults.Faults in
+  let plan_arg =
+    let doc =
+      "Fault plan: comma-separated $(b,drop=P), $(b,delay=P:K), $(b,dup=P), \
+       $(b,reorder=P), $(b,lose=P), $(b,corrupt=P), $(b,crash=NODE:FROM-TO), \
+       $(b,withhold), $(b,noinstruct); or $(b,none)."
+    in
+    Arg.(value & opt string "drop=0.15,delay=0.15:2,dup=0.1" & info [ "plan" ] ~docv:"PLAN" ~doc)
+  in
+  let n_arg =
+    Arg.(value & opt int 3 & info [ "n" ] ~docv:"N" ~doc:"Number of workers.")
+  in
+  let budget_arg =
+    Arg.(value & opt int 60 & info [ "budget" ] ~docv:"TOKENS" ~doc:"Task budget.")
+  in
+  let run () seed quiet plan n budget =
+    try
+      let spec = Faults.spec_of_string plan in
+      Obs.reset ();
+      Obs.set_enabled true;
+      let outcome = Chaos.run ~n ~budget ~seed ~plan:spec () in
+      Obs.set_enabled false;
+      if quiet then log "settlement: %s" (Chaos.settlement_to_string outcome.Chaos.settlement)
+      else begin
+        log "chaos run: seed=%s plan=%s" seed (Faults.spec_to_string spec);
+        print_endline (Chaos.outcome_to_string outcome);
+        let dump prefix =
+          List.iter (fun (k, v) -> log "  %-34s %d" k v) (Obs.counters_with_prefix prefix)
+        in
+        log "fault counters:";
+        dump "faults.";
+        log "retry counters:";
+        dump "protocol.retry."
+      end;
+      if outcome.Chaos.replicas_agree && outcome.Chaos.supply_conserved then `Ok ()
+      else `Error (false, "chaos invariants violated (replica agreement / supply conservation)")
+    with Invalid_argument m | Failure m -> `Error (false, m)
+  in
+  let doc =
+    "Run one crowdsourcing round under a seeded fault plan and print the injected-fault \
+     trace, the settlement and the invariant checks.  The same $(b,--seed)/$(b,--plan) \
+     pair always reproduces the identical trace and outcome."
+  in
+  Cmd.v (Cmd.info "chaos" ~doc)
+    Term.(ret (const run $ domains_arg $ seed_arg $ quiet_arg $ plan_arg $ n_arg $ budget_arg))
+
 (* --- inspect --- *)
 
 let inspect_cmd =
@@ -351,5 +402,5 @@ let () =
        (Cmd.group info
           [
             demo_cmd; annotate_cmd; auction_cmd; batch_cmd; truth_cmd; stats_cmd; lint_cmd;
-            inspect_cmd;
+            chaos_cmd; inspect_cmd;
           ]))

@@ -10,7 +10,14 @@ let m_txs = Obs.Counter.make "chain.txs"
 let m_mempool_depth = Obs.Gauge.make "chain.mempool.depth"
 let m_txs_per_block = Obs.Histogram.make "chain.mine.txs_per_block"
 
-type node = { id : int; state : State.t }
+type node = {
+  id : int;
+  state : State.t;
+  mutable up : bool;
+  mutable applied_height : int;  (** last block height executed on [state] *)
+}
+
+type mempool_fault = height:int -> Tx.t list -> Tx.t list * (int * Tx.t) list
 
 type t = {
   genesis : (Address.t * int) list;
@@ -18,6 +25,9 @@ type t = {
   nodes : node array;
   mutable mempool : Tx.t list; (* reversed arrival order *)
   mutable adversary : (Tx.t list -> Tx.t list) option;
+  mutable fault : mempool_fault option;
+  mutable delayed : (int * Tx.t) list; (* (release_height, tx), oldest first *)
+  mutable block_hook : (height:int -> unit) option;
   mutable chain : Block.t list; (* newest first *)
   receipts : (string, State.receipt) Hashtbl.t;
   mutable logs : string list; (* reversed *)
@@ -29,9 +39,14 @@ let create ?(difficulty = 0) ~num_nodes ~genesis () =
   {
     genesis;
     difficulty;
-    nodes = Array.init num_nodes (fun id -> { id; state = State.create ~genesis });
+    nodes =
+      Array.init num_nodes (fun id ->
+          { id; state = State.create ~genesis; up = true; applied_height = 0 });
     mempool = [];
     adversary = None;
+    fault = None;
+    delayed = [];
+    block_hook = None;
     chain = [];
     receipts = Hashtbl.create 64;
     logs = [];
@@ -49,42 +64,140 @@ let submit t tx =
   Obs.Gauge.set m_mempool_depth (float_of_int (List.length t.mempool))
 
 let pending t = List.length t.mempool
+let delayed t = List.length t.delayed
 
 let set_adversary t f = t.adversary <- f
+let set_mempool_fault t f = t.fault <- f
+let set_block_hook t f = t.block_hook <- f
 
 let tip_hash t = match t.chain with [] -> Block.genesis_hash | b :: _ -> Block.hash b
 
+(* The first live replica: the node every read-only view answers from.
+   [crash_node] refuses to take the last replica down, so this is total. *)
+let live_node t =
+  let rec find i =
+    if i >= Array.length t.nodes then
+      raise (Consensus_failure "no live replica")
+    else if t.nodes.(i).up then t.nodes.(i)
+    else find (i + 1)
+  in
+  find 0
+
+let node_up t i = t.nodes.(i).up
+
+let node_state_root t i = State.root (t.nodes.(i).state)
+
+let live_count t = Array.fold_left (fun acc n -> if n.up then acc + 1 else acc) 0 t.nodes
+
+let crash_node t ~node =
+  if node < 0 || node >= Array.length t.nodes then
+    invalid_arg "Network.crash_node: no such node";
+  let n = t.nodes.(node) in
+  if n.up then begin
+    if live_count t <= 1 then
+      invalid_arg "Network.crash_node: cannot crash the last live replica";
+    n.up <- false
+  end
+
+let blocks t = List.rev t.chain
+
+let restart_node t ~node =
+  if node < 0 || node >= Array.length t.nodes then
+    invalid_arg "Network.restart_node: no such node";
+  let n = t.nodes.(node) in
+  if not n.up then begin
+    (* Re-sync from peers: replay every block mined while the node was
+       down.  Deterministic execution means the node must land on the
+       canonical state root recorded in the tip header. *)
+    List.iter
+      (fun (b : Block.t) ->
+        if b.Block.header.Block.height > n.applied_height then
+          List.iter
+            (fun tx ->
+              ignore (State.apply_tx n.state ~height:b.Block.header.Block.height tx))
+            b.Block.txs)
+      (blocks t);
+    n.applied_height <- height t;
+    (match t.chain with
+    | [] -> ()
+    | tip :: _ ->
+      if not (Bytes.equal (State.root n.state) tip.Block.header.Block.state_root) then
+        raise
+          (Consensus_failure
+             (Printf.sprintf "node %d failed to resync: state root diverges at height %d"
+                node (height t))));
+    n.up <- true
+  end
+
 let mine t =
   Obs.with_span "chain.mine" @@ fun () ->
+  let new_height = height t + 1 in
+  (* The block hook fires before the block forms so a fault controller can
+     take a replica down (or bring one back) effective this very height. *)
+  (match t.block_hook with None -> () | Some f -> f ~height:new_height);
   let fifo = List.rev t.mempool in
   t.mempool <- [];
   Obs.Gauge.set m_mempool_depth 0.;
-  let ordered = match t.adversary with None -> fifo | Some f -> f fifo in
+  (* Delayed transactions whose release height arrived rejoin ahead of the
+     fresh mempool (they were broadcast earlier).  They do NOT pass through
+     the fault pipeline again: a delay fault holds a transaction back
+     exactly its k blocks — re-drawing the coin on release would turn the
+     bounded delay into possible censorship. *)
+  let released, still = List.partition (fun (h, _) -> h <= new_height) t.delayed in
+  t.delayed <- still;
+  let scheduled =
+    match t.fault with
+    | None -> List.map snd released @ fifo
+    | Some f ->
+      let now, postponed = f ~height:new_height fifo in
+      t.delayed <- t.delayed @ postponed;
+      List.map snd released @ now
+  in
+  let ordered =
+    match t.adversary with
+    | None -> scheduled
+    | Some f ->
+      let out = f scheduled in
+      (* A reordering adversary may also omit or duplicate transactions,
+         but cannot censor under synchrony: anything it left out of this
+         block stays pending for a later one. *)
+      let kept = Hashtbl.create 16 in
+      List.iter (fun tx -> Hashtbl.replace kept (Sha256.to_hex (Tx.hash tx)) ()) out;
+      let omitted =
+        List.filter (fun tx -> not (Hashtbl.mem kept (Sha256.to_hex (Tx.hash tx)))) scheduled
+      in
+      t.mempool <- List.rev omitted;
+      out
+  in
   let ordered = List.filter Tx.validate ordered in
   Obs.Histogram.observe m_txs_per_block (float_of_int (List.length ordered));
   Obs.Counter.add m_txs (List.length ordered);
-  let new_height = height t + 1 in
-  (* Every node executes the block independently; receipts must agree.
+  let live = Array.to_list t.nodes |> List.filter (fun n -> n.up) in
+  (* Every live node executes the block independently; receipts must agree.
      The exec span gets one sample per node per block, so its histogram is
      the distribution of per-node block execution time. *)
   let all_receipts =
-    Array.map
+    List.map
       (fun node ->
         Obs.with_span "chain.mine.exec" (fun () ->
             List.map (State.apply_tx node.state ~height:new_height) ordered))
-      t.nodes
+      live
   in
   let block =
     Obs.with_span "chain.mine.consensus" @@ fun () ->
-    let roots = Array.map (fun node -> State.root node.state) t.nodes in
-    Array.iteri
+    let roots = List.map (fun node -> State.root node.state) live in
+    let root0 = List.hd roots in
+    List.iteri
       (fun i r ->
-        if not (Bytes.equal r roots.(0)) then
-          raise (Consensus_failure (Printf.sprintf "node %d state root diverges at height %d" i new_height)))
+        if not (Bytes.equal r root0) then
+          raise
+            (Consensus_failure
+               (Printf.sprintf "node %d state root diverges at height %d"
+                  (List.nth live i).id new_height)))
       roots;
     let block =
       Block.make ~difficulty:t.difficulty ~height:new_height ~prev_hash:(tip_hash t)
-        ~state_root:roots.(0) ordered
+        ~state_root:root0 ordered
     in
     (match Block.validate ~difficulty:t.difficulty ~prev_hash:(tip_hash t) ~prev_height:(height t) block with
     | Ok () -> ()
@@ -92,11 +205,16 @@ let mine t =
     block
   in
   t.chain <- block :: t.chain;
+  List.iter (fun n -> n.applied_height <- new_height) live;
   Obs.Counter.incr m_blocks;
-  let rs = all_receipts.(0) in
+  let rs = List.hd all_receipts in
+  (* First-wins per transaction hash: a duplicated transaction (fault
+     injection) re-executes and fails on nonce replay, but must not
+     overwrite the canonical receipt of its first execution. *)
   List.iter
     (fun (r : State.receipt) ->
-      Hashtbl.replace t.receipts (Sha256.to_hex r.State.tx_hash) r;
+      let k = Sha256.to_hex r.State.tx_hash in
+      if not (Hashtbl.mem t.receipts k) then Hashtbl.replace t.receipts k r;
       t.logs <- List.rev_append r.State.logs t.logs)
     rs;
   rs
@@ -106,7 +224,7 @@ let mine_until t ~height:target =
     ignore (mine t)
   done
 
-let node0 t = t.nodes.(0).state
+let node0 t = (live_node t).state
 
 let balance t addr = State.balance (node0 t) addr
 let nonce t addr = State.nonce (node0 t) addr
@@ -114,8 +232,6 @@ let contract_storage t addr = State.contract_storage (node0 t) addr
 let is_contract t addr = State.is_contract (node0 t) addr
 
 let receipt t tx_hash = Hashtbl.find_opt t.receipts (Sha256.to_hex tx_hash)
-
-let blocks t = List.rev t.chain
 
 let total_supply t = State.total_supply (node0 t)
 

@@ -4,15 +4,28 @@
     This provides exactly the ideal-public-ledger abstraction of the paper's
     Section III: (1) a valid transaction submitted to the network is
     included in the next mined block (liveness under synchrony); (2) every
-    node executes every block deterministically and the simulator asserts
-    their state roots agree (correct computation); (3) anyone can read all
-    state (transparency); and (4) a network adversary may reorder the
-    transactions of a pending block ({!set_adversary}) but cannot forge
-    signatures. *)
+    live node executes every block deterministically and the simulator
+    asserts their state roots agree (correct computation); (3) anyone can
+    read all state (transparency); and (4) a network adversary may reorder
+    the transactions of a pending block ({!set_adversary}) but cannot forge
+    signatures.
+
+    {b Fault injection} relaxes (1): a mempool fault pipeline
+    ({!set_mempool_fault}) can drop, delay, duplicate or reorder pending
+    transactions, and replicas can be crashed for a block range and
+    re-synced ({!crash_node}, {!restart_node}).  [Zebra_faults] builds
+    deterministic, seed-keyed pipelines over these hooks. *)
 
 type t
 
 exception Consensus_failure of string
+
+(** A mempool fault pipeline, applied to the candidate transactions of each
+    block being mined: returns the transactions to include now plus
+    [(release_height, tx)] pairs to hold back.  Held-back transactions
+    rejoin the candidates of the first block at or after their release
+    height (and run through the pipeline again). *)
+type mempool_fault = height:int -> Tx.t list -> Tx.t list * (int * Tx.t) list
 
 (** [create ?difficulty ~num_nodes ~genesis ()] — all nodes start from the
     same funded genesis state.  [difficulty] (default 0) makes miners grind
@@ -32,27 +45,70 @@ val submit : t -> Tx.t -> unit
 
 val pending : t -> int
 
-(** [set_adversary t f] lets [f] reorder (or drop/duplicate — the miner
-    will still reject invalid ones) the pending transactions of each block
-    before execution.  [None] restores first-come-first-served order. *)
+(** Transactions currently held back by the fault pipeline. *)
+val delayed : t -> int
+
+(** [set_adversary t f] lets [f] reorder the pending transactions of each
+    block before execution.  The adversary may also duplicate or omit
+    transactions, but gains nothing by either: a duplicate is rejected by
+    nonce replay when it executes (the first execution's receipt is
+    canonical), and an omitted transaction stays pending for a later block
+    — the adversary can delay but not censor.  Invalidly-signed injections
+    are filtered by the miner.  [None] restores first-come-first-served
+    order. *)
 val set_adversary : t -> (Tx.t list -> Tx.t list) option -> unit
 
+(** [set_mempool_fault t f] installs (or, with [None], removes) the fault
+    pipeline run on every block's fresh mempool transactions before the
+    adversary and the miner see them.  Dropped transactions are gone — the
+    network lost the broadcast; clients must resubmit (see [Protocol]'s
+    retry drivers).  Postponed transactions rejoin at their release height
+    {e ahead} of the fresh mempool and are exempt from further fault
+    decisions, so a delay fault holds a transaction back exactly its k
+    blocks (bounded delay, never censorship). *)
+val set_mempool_fault : t -> mempool_fault option -> unit
+
+(** [set_block_hook t f] — [f ~height] fires at the start of mining block
+    [height], before execution, so a fault controller can apply scheduled
+    node crashes/restarts effective that height.  The hook must not mine. *)
+val set_block_hook : t -> (height:int -> unit) option -> unit
+
+(** [crash_node t ~node] takes a replica down: it stops executing blocks
+    and its state goes stale until {!restart_node}.  Idempotent.
+    @raise Invalid_argument if [node] is the last live replica. *)
+val crash_node : t -> node:int -> unit
+
+(** [restart_node t ~node] brings a crashed replica back: it re-syncs by
+    replaying every block mined while it was down and must land on the tip
+    header's state root.  Idempotent on live nodes.
+    @raise Consensus_failure if the re-synced root diverges. *)
+val restart_node : t -> node:int -> unit
+
+val node_up : t -> int -> bool
+
+(** State root of node [i] (stale while the node is down) — lets tests
+    assert per-replica agreement. *)
+val node_state_root : t -> int -> bytes
+
 (** [mine t] seals the mempool into the next block, executes it on every
-    node, checks replica agreement and returns the receipts (node 0's).
+    live node, checks replica agreement and returns the receipts (first
+    live node's).
     @raise Consensus_failure if replicas diverge. *)
 val mine : t -> State.receipt list
 
 (** [mine_until t ~height] mines (possibly empty) blocks up to [height]. *)
 val mine_until : t -> height:int -> unit
 
-(** {1 Read-only views (node 0)} *)
+(** {1 Read-only views (first live node)} *)
 
 val balance : t -> Address.t -> int
 val nonce : t -> Address.t -> int
 val contract_storage : t -> Address.t -> bytes option
 val is_contract : t -> Address.t -> bool
 
-(** Receipt by transaction hash, once mined. *)
+(** Receipt by transaction hash, once mined.  Per hash, the first
+    execution's receipt wins: a faulty duplicate's nonce-replay failure
+    does not shadow the canonical outcome. *)
 val receipt : t -> bytes -> State.receipt option
 
 val blocks : t -> Block.t list
@@ -65,7 +121,7 @@ val total_supply : t -> int
     path.  Determinism means it must equal the live nodes' root. *)
 val replay : t -> bytes
 
-(** Current state root of node 0. *)
+(** Current state root of the first live node. *)
 val state_root : t -> bytes
 
 (** All logs emitted so far, oldest first (test/diagnostic helper). *)

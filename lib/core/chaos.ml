@@ -1,0 +1,157 @@
+module Network = Zebra_chain.Network
+module Sha256 = Zebra_hashing.Sha256
+module Faults = Zebra_faults.Faults
+module Store = Zebra_store.Store
+
+type settlement =
+  | Rewarded of int array
+  | Finalized
+  | Aborted of Protocol.error
+
+type outcome = {
+  settlement : settlement;
+  final_height : int;
+  state_root : string;
+  replicas_agree : bool;
+  supply_conserved : bool;
+  store_fetch_attempts : int;
+  store_recovered : bool;
+  trace : string list;
+}
+
+let settlement_to_string = function
+  | Rewarded rewards ->
+    Printf.sprintf "rewarded [%s]"
+      (String.concat ";" (List.map string_of_int (Array.to_list rewards)))
+  | Finalized -> "finalized (timeout fallback)"
+  | Aborted e -> "aborted: " ^ Protocol.error_to_string e
+
+let outcome_to_string o =
+  let b = Buffer.create 512 in
+  Buffer.add_string b (Printf.sprintf "fault trace (%d events):\n" (List.length o.trace));
+  List.iter (fun line -> Buffer.add_string b ("  " ^ line ^ "\n")) o.trace;
+  Buffer.add_string b (Printf.sprintf "settlement: %s\n" (settlement_to_string o.settlement));
+  Buffer.add_string b (Printf.sprintf "final height: %d\n" o.final_height);
+  Buffer.add_string b (Printf.sprintf "state root: %s\n" o.state_root);
+  Buffer.add_string b (Printf.sprintf "replicas agree: %b\n" o.replicas_agree);
+  Buffer.add_string b (Printf.sprintf "supply conserved: %b\n" o.supply_conserved);
+  Buffer.add_string b
+    (Printf.sprintf "store fetch: %s after %d attempt(s)"
+       (if o.store_recovered then "recovered" else "NOT recovered")
+       o.store_fetch_attempts);
+  Buffer.contents b
+
+let ( let* ) r f = match r with Ok v -> f v | Error e -> Error e
+
+(* One fetch of the task blob, healing a lost/corrupted chunk by
+   re-[put]ting the content (what a provider re-seeding the CAS does).
+   Bounded like every other retry loop in the chaos layer. *)
+let fetch_with_heal store ~blob ~digest ~max_attempts =
+  let rec go attempts =
+    match Store.get store digest with
+    | Some bytes ->
+      assert (Bytes.equal bytes blob);
+      (attempts, true)
+    | None ->
+      if attempts >= max_attempts then (attempts, false)
+      else begin
+        ignore (Store.put store blob);
+        go (attempts + 1)
+      end
+  in
+  go 1
+
+let run ?(n = 3) ?(budget = 60) ?(answer_window = 20) ?(instruct_window = 12)
+    ?(retry = Protocol.default_retry) ~seed ~plan () =
+  let faults = Faults.create ~seed plan in
+  let sys = Protocol.create_system ~seed ~retry () in
+  let supply0 = Network.total_supply sys.Protocol.net in
+  (* The task's off-chain payload: a multi-chunk blob whose root hash is
+     anchored in the contract's [data_digest]. *)
+  let store = Store.create ~chunk_size:64 () in
+  let blob = Protocol.random_bytes sys 300 in
+  let digest = Store.put store blob in
+  Faults.attach faults sys.Protocol.net;
+  Faults.attach_store faults store;
+  let spec = Faults.spec faults in
+  let rec enroll_many acc k =
+    if k = 0 then Ok (List.rev acc)
+    else
+      let* id = Protocol.enroll_r sys in
+      enroll_many (id :: acc) (k - 1)
+  in
+  let round () =
+    let* requester = Protocol.enroll_r sys in
+    let* workers = enroll_many [] n in
+    let* task =
+      Protocol.publish_task_r sys ~requester
+        ~policy:(Policy.Majority { choices = 4 })
+        ~n ~budget ~answer_window ~instruct_window ~data_digest:digest ()
+    in
+    (* Workers fetch the payload off-chain before answering. *)
+    let store_fetch_attempts, store_recovered =
+      fetch_with_heal store ~blob ~digest ~max_attempts:8
+    in
+    let answering =
+      if spec.Faults.withhold_worker && n > 1 then
+        List.filteri (fun i _ -> i < n - 1) workers
+      else workers
+    in
+    let* _wallets =
+      Protocol.submit_answers_r sys ~task:task.Requester.contract
+        ~workers:(List.map (fun w -> (w, 1)) answering)
+    in
+    (* With a withheld answer the collection never fills, so the requester
+       may only instruct once the answer deadline passes. *)
+    let* () =
+      if List.length answering < n then
+        Protocol.mine_to_r sys
+          ~height:(task.Requester.params.Task_contract.answer_deadline + 1)
+      else Ok ()
+    in
+    if spec.Faults.no_instruction then
+      let* () = Protocol.finalize_r sys task in
+      Ok (Finalized, store_fetch_attempts, store_recovered)
+    else
+      let* rewards = Protocol.reward_r sys task in
+      Ok (Rewarded rewards, store_fetch_attempts, store_recovered)
+  in
+  let settlement, store_fetch_attempts, store_recovered =
+    match round () with
+    | Ok (s, a, r) -> (s, a, r)
+    | Error e -> (Aborted e, 0, false)
+  in
+  (* End of run: bring every crashed replica back and check the global
+     invariants a chaos plan must never break. *)
+  let settlement =
+    match Faults.finish faults sys.Protocol.net with
+    | () -> settlement
+    | exception Network.Consensus_failure why -> (
+      match settlement with
+      | Aborted _ -> settlement
+      | _ -> Aborted (Protocol.Node_down why))
+  in
+  Faults.detach sys.Protocol.net;
+  Faults.detach_store store;
+  let net = sys.Protocol.net in
+  let root = Network.state_root net in
+  let replicas_agree =
+    let agree = ref true in
+    for node = 0 to Network.num_nodes net - 1 do
+      agree :=
+        !agree
+        && Network.node_up net node
+        && Bytes.equal (Network.node_state_root net node) root
+    done;
+    !agree
+  in
+  {
+    settlement;
+    final_height = Network.height net;
+    state_root = Sha256.to_hex root;
+    replicas_agree;
+    supply_conserved = Network.total_supply net = supply0;
+    store_fetch_attempts;
+    store_recovered;
+    trace = Faults.trace faults;
+  }

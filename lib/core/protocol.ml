@@ -9,6 +9,10 @@ module Source = Zebra_rng.Source
 module Obs = Zebra_obs.Obs
 module Parallel = Zebra_parallel.Parallel
 
+type retry_policy = { max_attempts : int; backoff_blocks : int }
+
+let default_retry = { max_attempts = 3; backoff_blocks = 2 }
+
 type system = {
   net : Network.t;
   cpla : Cpla.params;
@@ -17,6 +21,7 @@ type system = {
   faucet : Wallet.t;
   ra_rsa : Zebra_rsa.Rsa.private_key;
   rng : Source.t;
+  mutable retry : retry_policy;
 }
 
 type identity = { key : Cpla.user_key; cert_index : int }
@@ -25,12 +30,17 @@ type error =
   | Deploy_rejected of string
   | Submission_rejected of { worker : int; reason : string }
   | Instruction_rejected of string
+  | Timed_out of { phase : string; attempts : int }
+  | Node_down of string
 
 let error_to_string = function
   | Deploy_rejected reason -> "task deployment rejected: " ^ reason
   | Submission_rejected { worker; reason } ->
     Printf.sprintf "submission of worker %d rejected: %s" worker reason
   | Instruction_rejected reason -> "reward instruction rejected: " ^ reason
+  | Timed_out { phase; attempts } ->
+    Printf.sprintf "%s timed out: transaction not mined after %d broadcast(s)" phase attempts
+  | Node_down reason -> "replica failure: " ^ reason
 
 let random_bytes sys n = Source.bytes sys.rng n
 
@@ -39,8 +49,17 @@ let m_enrolled = Obs.Counter.make "protocol.enrolled"
 let m_tasks = Obs.Counter.make "protocol.tasks"
 let m_answers = Obs.Counter.make "protocol.answers"
 let m_audited = Obs.Counter.make "protocol.audit.attestations"
+let m_resubmits = Obs.Counter.make "protocol.retry.resubmits"
+let m_recovered = Obs.Counter.make "protocol.retry.recovered"
+let m_timeouts = Obs.Counter.make "protocol.retry.timeouts"
+let m_node_down = Obs.Counter.make "protocol.retry.node_down"
 
 let faucet_supply = 1_000_000_000
+
+let set_retry sys retry =
+  if retry.max_attempts < 1 then invalid_arg "Protocol.set_retry: max_attempts must be >= 1";
+  if retry.backoff_blocks < 0 then invalid_arg "Protocol.set_retry: backoff_blocks must be >= 0";
+  sys.retry <- retry
 
 (* Mines the pending block and returns the receipt of [tx]. *)
 let mine_for sys tx =
@@ -54,7 +73,62 @@ let expect_ok what (r : State.receipt) =
   | State.Ok addr -> addr
   | State.Failed e -> failwith (Printf.sprintf "Protocol: %s failed: %s" what e)
 
-let create_system ?(num_nodes = 3) ?(tree_depth = 6) ?(wallet_bits = 512) ?rng ~seed () =
+(* Mine one block, mapping a replica divergence (a crashed node whose
+   re-sync failed, or diverging live replicas) to the typed error —
+   permanent faults retries cannot ride out. *)
+let mine_r sys =
+  match Network.mine sys.net with
+  | (_ : State.receipt list) -> Ok ()
+  | exception Network.Consensus_failure why ->
+    Obs.Counter.incr m_node_down;
+    Error (Node_down why)
+
+(* [submit_confirm_r sys ~phase tx] broadcasts [tx] and mines until its
+   receipt appears: exactly one block on the happy path.  When the receipt
+   is missing (the broadcast was dropped, or the transaction is being held
+   back by a delay fault) it waits up to [retry.backoff_blocks] further
+   blocks — the synchrony bound — then rebroadcasts, up to
+   [retry.max_attempts] broadcasts in total before [Timed_out].
+   Rebroadcasting a transaction whose delayed copy later arrives is safe:
+   the duplicate fails nonce replay and the first receipt is canonical. *)
+let submit_confirm_r sys ~phase tx =
+  let hash = Tx.hash tx in
+  let waited = ref false in
+  (* Receipt check first, so the happy path mines no extra blocks. *)
+  let rec backoff k =
+    match Network.receipt sys.net hash with
+    | Some r -> Some (Ok r)
+    | None ->
+      if k = 0 then None
+      else begin
+        waited := true;
+        match mine_r sys with
+        | Error e -> Some (Error e)
+        | Ok () -> backoff (k - 1)
+      end
+  in
+  let rec attempt n =
+    Network.submit sys.net tx;
+    if n > 1 then Obs.Counter.incr m_resubmits;
+    match mine_r sys with
+    | Error e -> Error e
+    | Ok () -> (
+      match backoff sys.retry.backoff_blocks with
+      | Some (Ok r) ->
+        if n > 1 || !waited then Obs.Counter.incr m_recovered;
+        Ok r
+      | Some (Error e) -> Error e
+      | None ->
+        if n >= sys.retry.max_attempts then begin
+          Obs.Counter.incr m_timeouts;
+          Error (Timed_out { phase; attempts = n })
+        end
+        else attempt (n + 1))
+  in
+  attempt 1
+
+let create_system ?(num_nodes = 3) ?(tree_depth = 6) ?(wallet_bits = 512) ?rng
+    ?(retry = default_retry) ~seed () =
   Task_contract.register ();
   Ra_contract.register ();
   let rng = match rng with Some s -> s | None -> Source.of_seed seed in
@@ -86,6 +160,7 @@ let create_system ?(num_nodes = 3) ?(tree_depth = 6) ?(wallet_bits = 512) ?rng ~
       faucet;
       ra_rsa;
       rng;
+      retry;
     }
   in
   (match expect_ok "RA contract deployment" (mine_for sys deploy) with
@@ -95,23 +170,33 @@ let create_system ?(num_nodes = 3) ?(tree_depth = 6) ?(wallet_bits = 512) ?rng ~
 
 (* The RA operator (we reuse the faucet wallet as the operator) posts the
    new root after each registration. *)
-let post_root sys =
+let post_root_r sys =
   let tx =
     Tx.make ~wallet:sys.faucet
       ~nonce:(Network.nonce sys.net (Wallet.address sys.faucet))
       ~dst:(Tx.Call sys.ra_contract) ~value:0
       ~payload:(Ra_contract.set_root_msg (Ra.root sys.ra))
   in
-  Network.submit sys.net tx;
-  ignore (expect_ok "RA root update" (mine_for sys tx))
+  match submit_confirm_r sys ~phase:"ra_root_update" tx with
+  | Error err -> Error err
+  | Ok { State.status = State.Ok _; _ } -> Ok ()
+  | Ok { State.status = State.Failed e; _ } ->
+    failwith (Printf.sprintf "Protocol: RA root update failed: %s" e)
 
-let enroll sys =
+let enroll_r sys =
   Obs.with_span "protocol.register" @@ fun () ->
   let key = Cpla.keygen_rng ~rng:sys.rng in
   let cert_index = Ra.register sys.ra key.Cpla.pk in
-  post_root sys;
-  Obs.Counter.incr m_enrolled;
-  { key; cert_index }
+  match post_root_r sys with
+  | Error err -> Error err
+  | Ok () ->
+    Obs.Counter.incr m_enrolled;
+    Ok { key; cert_index }
+
+let enroll sys =
+  match enroll_r sys with
+  | Ok id -> id
+  | Error e -> failwith ("Protocol: " ^ error_to_string e)
 
 let enroll_plain sys =
   Obs.with_span "protocol.register" @@ fun () ->
@@ -122,7 +207,7 @@ let enroll_plain sys =
 
 let ra_rsa_pub_bytes sys = Zebra_rsa.Rsa.public_key_to_bytes sys.ra_rsa.Zebra_rsa.Rsa.pub
 
-let fresh_funded_wallet sys ~amount =
+let fresh_funded_wallet_r sys ~phase ~amount =
   let wallet = Wallet.generate ~random_bytes:(random_bytes sys) () in
   let tx =
     Tx.make ~wallet:sys.faucet
@@ -130,9 +215,16 @@ let fresh_funded_wallet sys ~amount =
       ~dst:(Tx.Call (Wallet.address wallet))
       ~value:amount ~payload:Bytes.empty
   in
-  Network.submit sys.net tx;
-  ignore (expect_ok "faucet funding" (mine_for sys tx));
-  wallet
+  match submit_confirm_r sys ~phase tx with
+  | Error err -> Error err
+  | Ok { State.status = State.Ok _; _ } -> Ok wallet
+  | Ok { State.status = State.Failed e; _ } ->
+    failwith (Printf.sprintf "Protocol: faucet funding failed: %s" e)
+
+let fresh_funded_wallet sys ~amount =
+  match fresh_funded_wallet_r sys ~phase:"faucet_funding" ~amount with
+  | Ok wallet -> wallet
+  | Error e -> failwith ("Protocol: " ^ error_to_string e)
 
 let task_storage sys contract =
   match Network.contract_storage sys.net contract with
@@ -145,31 +237,31 @@ let publish_task_r sys ~requester ~policy ~n ~budget ?(answer_window = 20)
     ?(instruct_window = 40) ?(max_per_worker = 1) ?(ra_rsa_pub = Bytes.empty)
     ?(data_digest = Bytes.empty) ?circuit () =
   Obs.with_span "protocol.task_publish" @@ fun () ->
-  let wallet = fresh_funded_wallet sys ~amount:(budget + 1) in
-  let height = Network.height sys.net in
-  let task, tx =
-    Requester.create_task ?circuit ~max_per_worker ~ra_rsa_pub ~data_digest
-      ~random_bytes:(random_bytes sys) ~cpla:sys.cpla
-      ~key:requester.key ~cert_index:requester.cert_index
-      ~ra_path:(Ra.path sys.ra requester.cert_index)
-      ~ra_root:(Ra.root sys.ra) ~wallet ~nonce:0 ~policy ~n ~budget
-      ~answer_deadline:(height + answer_window)
-      ~instruct_deadline:(height + answer_window + instruct_window)
-      ()
-  in
-  Network.submit sys.net tx;
-  ignore (Network.mine sys.net);
-  match Network.receipt sys.net (Tx.hash tx) with
-  | Some { State.status = State.Ok (Some addr); _ }
-    when Address.equal addr task.Requester.contract ->
-    Obs.Counter.incr m_tasks;
-    Ok task
-  | Some { State.status = State.Ok (Some _); _ } ->
-    Error (Deploy_rejected "contract address prediction failed")
-  | Some { State.status = State.Ok None; _ } ->
-    Error (Deploy_rejected "deployment returned no address")
-  | Some { State.status = State.Failed e; _ } -> Error (Deploy_rejected e)
-  | None -> Error (Deploy_rejected "deployment transaction was not mined")
+  match fresh_funded_wallet_r sys ~phase:"task_publish" ~amount:(budget + 1) with
+  | Error err -> Error err
+  | Ok wallet -> (
+    let height = Network.height sys.net in
+    let task, tx =
+      Requester.create_task ?circuit ~max_per_worker ~ra_rsa_pub ~data_digest
+        ~random_bytes:(random_bytes sys) ~cpla:sys.cpla
+        ~key:requester.key ~cert_index:requester.cert_index
+        ~ra_path:(Ra.path sys.ra requester.cert_index)
+        ~ra_root:(Ra.root sys.ra) ~wallet ~nonce:0 ~policy ~n ~budget
+        ~answer_deadline:(height + answer_window)
+        ~instruct_deadline:(height + answer_window + instruct_window)
+        ()
+    in
+    match submit_confirm_r sys ~phase:"task_publish" tx with
+    | Error err -> Error err
+    | Ok { State.status = State.Ok (Some addr); _ }
+      when Address.equal addr task.Requester.contract ->
+      Obs.Counter.incr m_tasks;
+      Ok task
+    | Ok { State.status = State.Ok (Some _); _ } ->
+      Error (Deploy_rejected "contract address prediction failed")
+    | Ok { State.status = State.Ok None; _ } ->
+      Error (Deploy_rejected "deployment returned no address")
+    | Ok { State.status = State.Failed e; _ } -> Error (Deploy_rejected e))
 
 let publish_task sys ~requester ~policy ~n ~budget ?answer_window ?instruct_window
     ?max_per_worker ?ra_rsa_pub ?data_digest ?circuit () =
@@ -190,45 +282,81 @@ let submit_answers_r sys ~task ~workers =
   let rec prepare i acc = function
     | [] -> Ok (List.rev acc)
     | (identity, answer) :: rest -> (
-      let wallet = fresh_funded_wallet sys ~amount:10 in
-      match
-        Worker.validate_task ~storage ~contract:task ~balance:(Network.balance sys.net task)
-          ~height:(Network.height sys.net) ~expected_root:root
-      with
-      | Error e ->
-        Error
-          (Submission_rejected
-             {
-               worker = i;
-               reason = "task validation failed: " ^ Worker.validation_error_to_string e;
-             })
-      | Ok () ->
-        let tx =
-          Worker.submit_tx ~random_bytes:(random_bytes sys) ~cpla:sys.cpla ~storage
-            ~contract:task ~wallet ~key:identity.key ~cert_index:identity.cert_index
-            ~ra_path:(Ra.path sys.ra identity.cert_index)
-            ~answer ~nonce:0
-        in
-        Network.submit sys.net tx;
-        prepare (i + 1) ((tx, wallet) :: acc) rest)
+      match fresh_funded_wallet_r sys ~phase:"answer_collection" ~amount:10 with
+      | Error err -> Error err
+      | Ok wallet -> (
+        match
+          Worker.validate_task ~storage ~contract:task ~balance:(Network.balance sys.net task)
+            ~height:(Network.height sys.net) ~expected_root:root
+        with
+        | Error e ->
+          Error
+            (Submission_rejected
+               {
+                 worker = i;
+                 reason = "task validation failed: " ^ Worker.validation_error_to_string e;
+               })
+        | Ok () ->
+          let tx =
+            Worker.submit_tx ~random_bytes:(random_bytes sys) ~cpla:sys.cpla ~storage
+              ~contract:task ~wallet ~key:identity.key ~cert_index:identity.cert_index
+              ~ra_path:(Ra.path sys.ra identity.cert_index)
+              ~answer ~nonce:0
+          in
+          Network.submit sys.net tx;
+          prepare (i + 1) ((i, tx, wallet) :: acc) rest))
   in
   match prepare 0 [] workers with
   | Error _ as e -> e
-  | Ok txs_wallets -> (
-    ignore (Network.mine sys.net);
-    let rec collect i acc = function
-      | [] -> Ok (List.rev acc)
-      | (tx, wallet) :: rest -> (
-        match Network.receipt sys.net (Tx.hash tx) with
-        | Some { State.status = State.Ok _; _ } ->
-          Obs.Counter.incr m_answers;
-          collect (i + 1) (wallet :: acc) rest
-        | Some { State.status = State.Failed e; _ } ->
-          Error (Submission_rejected { worker = i; reason = e })
-        | None ->
-          Error (Submission_rejected { worker = i; reason = "submission was not mined" }))
+  | Ok entries ->
+    (* Settle the batch: one block on the happy path, then — while any
+       receipt is still missing — wait out the synchrony bound and
+       rebroadcast the stragglers, up to [retry.max_attempts] broadcasts. *)
+    let receipt (_, tx, _) = Network.receipt sys.net (Tx.hash tx) in
+    let first_failure () =
+      List.find_map
+        (fun ((i, _, _) as e) ->
+          match receipt e with
+          | Some { State.status = State.Failed reason; _ } ->
+            Some (Submission_rejected { worker = i; reason })
+          | _ -> None)
+        entries
     in
-    collect 0 [] txs_wallets)
+    let missing () = List.filter (fun e -> receipt e = None) entries in
+    let rec drain k =
+      if missing () = [] || k = 0 then Ok ()
+      else match mine_r sys with Error e -> Error e | Ok () -> drain (k - 1)
+    in
+    let rec settle n =
+      match mine_r sys with
+      | Error e -> Error e
+      | Ok () -> (
+        match drain sys.retry.backoff_blocks with
+        | Error e -> Error e
+        | Ok () -> (
+          match first_failure () with
+          | Some e -> Error e
+          | None -> (
+            match missing () with
+            | [] ->
+              List.iter (fun _ -> Obs.Counter.incr m_answers) entries;
+              if n > 1 then Obs.Counter.incr m_recovered;
+              Ok (List.map (fun (_, _, w) -> w) entries)
+            | stragglers ->
+              if n >= sys.retry.max_attempts then begin
+                Obs.Counter.incr m_timeouts;
+                Error (Timed_out { phase = "answer_collection"; attempts = n })
+              end
+              else begin
+                List.iter
+                  (fun (_, tx, _) ->
+                    Obs.Counter.incr m_resubmits;
+                    Network.submit sys.net tx)
+                  stragglers;
+                settle (n + 1)
+              end)))
+    in
+    settle 1
 
 let submit_answers sys ~task ~workers =
   match submit_answers_r sys ~task ~workers with
@@ -244,29 +372,48 @@ let reward_r sys (task : Requester.task) =
     Requester.instruct ~random_bytes:(random_bytes sys) task ~storage
       ~nonce:(Network.nonce sys.net (Wallet.address task.Requester.wallet))
   in
-  Network.submit sys.net tx;
-  ignore (Network.mine sys.net);
-  match Network.receipt sys.net (Tx.hash tx) with
-  | Some { State.status = State.Ok _; _ } -> Ok rewards
-  | Some { State.status = State.Failed e; _ } -> Error (Instruction_rejected e)
-  | None -> Error (Instruction_rejected "instruction transaction was not mined")
+  match submit_confirm_r sys ~phase:"reward" tx with
+  | Error err -> Error err
+  | Ok { State.status = State.Ok _; _ } -> Ok rewards
+  | Ok { State.status = State.Failed e; _ } -> Error (Instruction_rejected e)
 
 let reward sys task =
   match reward_r sys task with
   | Ok rewards -> rewards
   | Error e -> failwith ("Protocol: " ^ error_to_string e)
 
-let finalize sys (task : Requester.task) =
-  Obs.with_span "protocol.finalize" @@ fun () ->
-  Network.mine_until sys.net
-    ~height:(task.Requester.params.Task_contract.instruct_deadline + 1);
-  let caller = fresh_funded_wallet sys ~amount:10 in
-  let tx =
-    Tx.make ~wallet:caller ~nonce:0 ~dst:(Tx.Call task.Requester.contract) ~value:0
-      ~payload:(Task_contract.message_to_bytes Task_contract.Finalize)
+(* Result-aware [Network.mine_until]: the block clock may trip a scheduled
+   crash window, so each tick can surface a replica failure. *)
+let mine_to_r sys ~height =
+  let rec go () =
+    if Network.height sys.net >= height then Ok ()
+    else match mine_r sys with Error e -> Error e | Ok () -> go ()
   in
-  Network.submit sys.net tx;
-  ignore (expect_ok "finalize" (mine_for sys tx))
+  go ()
+
+let finalize_r sys (task : Requester.task) =
+  Obs.with_span "protocol.finalize" @@ fun () ->
+  match
+    mine_to_r sys ~height:(task.Requester.params.Task_contract.instruct_deadline + 1)
+  with
+  | Error err -> Error err
+  | Ok () -> (
+    match fresh_funded_wallet_r sys ~phase:"finalize" ~amount:10 with
+    | Error err -> Error err
+    | Ok caller -> (
+      let tx =
+        Tx.make ~wallet:caller ~nonce:0 ~dst:(Tx.Call task.Requester.contract) ~value:0
+          ~payload:(Task_contract.message_to_bytes Task_contract.Finalize)
+      in
+      match submit_confirm_r sys ~phase:"finalize" tx with
+      | Error err -> Error err
+      | Ok { State.status = State.Ok _; _ } -> Ok ()
+      | Ok { State.status = State.Failed e; _ } -> Error (Instruction_rejected e)))
+
+let finalize sys task =
+  match finalize_r sys task with
+  | Ok () -> ()
+  | Error e -> failwith ("Protocol: " ^ error_to_string e)
 
 (* --- Audit --- *)
 

@@ -12,10 +12,31 @@
     functions are thin wrappers that [failwith] on [Error] and remain
     source-compatible.
 
+    {b Fault tolerance}: the [_r] drivers ride out transient network
+    faults (see [Zebra_faults]).  Each broadcast is confirmed by receipt;
+    a missing receipt is waited out for [retry.backoff_blocks] further
+    blocks — the synchrony bound — then rebroadcast, up to
+    [retry.max_attempts] broadcasts before [Timed_out].  Rebroadcasts are
+    idempotent: a late-arriving delayed copy fails nonce replay and the
+    first mined receipt is canonical.  A replica divergence the chain
+    cannot mask surfaces as [Node_down].  On the fault-free happy path the
+    drivers mine exactly the same blocks as before the retry layer
+    existed, so deterministic block-layout expectations hold.
+
     {b Observability}: each phase runs under a [Zebra_obs] span
     ([protocol.register], [protocol.task_publish],
     [protocol.answer_collection], [protocol.reward], [protocol.finalize]) —
     inert until [Zebra_obs.Obs.set_enabled true]. *)
+
+(** Bounded-retry policy for the [_r] phase drivers: up to [max_attempts]
+    broadcasts of a transaction, each followed by at most [backoff_blocks]
+    extra blocks of waiting for the receipt. *)
+type retry_policy = { max_attempts : int; backoff_blocks : int }
+
+(** [{ max_attempts = 3; backoff_blocks = 2 }] — rides out any delay fault
+    with [delay_blocks <= 2] and any drop rate that spares one of three
+    broadcasts. *)
+val default_retry : retry_policy
 
 type system = {
   net : Zebra_chain.Network.t;
@@ -26,6 +47,7 @@ type system = {
   ra_rsa : Zebra_rsa.Rsa.private_key;
       (** the RA's classical signing key for the non-anonymous mode *)
   rng : Zebra_rng.Source.t;
+  mutable retry : retry_policy;
 }
 
 (** A registered participant: long-term CPLA identity plus certificate. *)
@@ -38,8 +60,19 @@ type error =
       (** AnswerCollection: the [worker]-th submission (0-based, in
           submission order) was declined client-side or reverted on-chain *)
   | Instruction_rejected of string  (** Reward: the instruction reverted *)
+  | Timed_out of { phase : string; attempts : int }
+      (** the phase's transaction was never mined despite [attempts]
+          broadcasts — the fault plan exceeded the retry policy's
+          synchrony bound *)
+  | Node_down of string
+      (** a replica failure the chain could not mask (a crashed node whose
+          re-sync diverged, or live replicas disagreeing) *)
 
 val error_to_string : error -> string
+
+(** Replace the retry policy (default {!default_retry}).
+    @raise Invalid_argument if [max_attempts < 1] or [backoff_blocks < 0]. *)
+val set_retry : system -> retry_policy -> unit
 
 (** [create_system ~seed ()] boots a fresh chain (default 3 nodes), runs the
     CPLA trusted setup (default RA tree depth 6), deploys the RA interface
@@ -50,6 +83,7 @@ val create_system :
   ?tree_depth:int ->
   ?wallet_bits:int ->
   ?rng:Zebra_rng.Source.t ->
+  ?retry:retry_policy ->
   seed:string ->
   unit ->
   system
@@ -58,6 +92,9 @@ val random_bytes : system -> int -> bytes
 
 (** Register phase: one-off identity creation at the RA (off-chain), with
     the new tree root posted to the RA contract. *)
+val enroll_r : system -> (identity, error) result
+
+(** Raising wrapper around {!enroll_r}. *)
 val enroll : system -> identity
 
 (** Register for the non-anonymous mode: an RSA keypair plus the RA's
@@ -70,6 +107,11 @@ val ra_rsa_pub_bytes : system -> bytes
 (** [fresh_funded_wallet sys ~amount] — a new one-task-only address funded
     from the faucet (one block is mined). *)
 val fresh_funded_wallet : system -> amount:int -> Zebra_chain.Wallet.t
+
+(** Like {!fresh_funded_wallet} but fault-tolerant; [phase] labels a
+    [Timed_out]. *)
+val fresh_funded_wallet_r :
+  system -> phase:string -> amount:int -> (Zebra_chain.Wallet.t, error) result
 
 (** Read and decode a task contract's storage from the chain. *)
 val task_storage : system -> Zebra_chain.Address.t -> Task_contract.storage
@@ -135,8 +177,19 @@ val reward_r : system -> Requester.task -> (int array, error) result
     @raise Failure if the contract rejects the instruction. *)
 val reward : system -> Requester.task -> int array
 
+(** [mine_to_r sys ~height] mines (possibly empty) blocks up to [height].
+    Unlike [Network.mine_until] it surfaces a replica failure tripped by
+    the block clock (a scheduled crash whose re-sync diverges) as
+    [Error (Node_down _)]. *)
+val mine_to_r : system -> height:int -> (unit, error) result
+
 (** Fallback: mine past the instruction deadline and have anyone call
-    Finalize. *)
+    Finalize — refunds the untouched budget to the requester and pays the
+    flat fallback to each submitted worker (the paper's timeout path when
+    the requester never instructs). *)
+val finalize_r : system -> Requester.task -> (unit, error) result
+
+(** Raising wrapper around {!finalize_r}. *)
 val finalize : system -> Requester.task -> unit
 
 (** Audit: re-verify every submission attestation mined for [task], the way

@@ -1,0 +1,333 @@
+module Chacha20 = Zebra_rng.Chacha20
+module Sha256 = Zebra_hashing.Sha256
+module Network = Zebra_chain.Network
+module Tx = Zebra_chain.Tx
+module Store = Zebra_store.Store
+module Obs = Zebra_obs.Obs
+
+(* Metrics (inert until [Obs.set_enabled true]). *)
+let m_dropped = Obs.Counter.make "faults.mempool.dropped"
+let m_delayed = Obs.Counter.make "faults.mempool.delayed"
+let m_duplicated = Obs.Counter.make "faults.mempool.duplicated"
+let m_reordered = Obs.Counter.make "faults.mempool.reordered"
+let m_crashes = Obs.Counter.make "faults.node.crashes"
+let m_restarts = Obs.Counter.make "faults.node.restarts"
+let m_lost = Obs.Counter.make "faults.store.lost"
+let m_corrupted = Obs.Counter.make "faults.store.corrupted"
+
+type crash_window = { node : int; from_height : int; to_height : int }
+
+type spec = {
+  drop : float;
+  delay : float;
+  delay_blocks : int;
+  duplicate : float;
+  reorder : float;
+  store_lose : float;
+  store_corrupt : float;
+  crashes : crash_window list;
+  withhold_worker : bool;
+  no_instruction : bool;
+}
+
+let none =
+  {
+    drop = 0.;
+    delay = 0.;
+    delay_blocks = 2;
+    duplicate = 0.;
+    reorder = 0.;
+    store_lose = 0.;
+    store_corrupt = 0.;
+    crashes = [];
+    withhold_worker = false;
+    no_instruction = false;
+  }
+
+let check_spec s =
+  let prob name p =
+    if not (p >= 0. && p <= 1.) then
+      invalid_arg (Printf.sprintf "Faults: %s=%g is not a probability" name p)
+  in
+  prob "drop" s.drop;
+  prob "delay" s.delay;
+  prob "dup" s.duplicate;
+  prob "reorder" s.reorder;
+  prob "lose" s.store_lose;
+  prob "corrupt" s.store_corrupt;
+  if s.delay_blocks < 1 then invalid_arg "Faults: delay needs k >= 1 blocks";
+  List.iter
+    (fun { node; from_height; to_height } ->
+      if node < 0 then invalid_arg "Faults: crash node must be >= 0";
+      if from_height < 1 || to_height < from_height then
+        invalid_arg "Faults: crash range must be 1 <= from <= to")
+    s.crashes;
+  s
+
+(* --- plan DSL ---
+
+   A plan is a comma-separated list of clauses:
+     drop=P | delay=P:K | dup=P | reorder=P | lose=P | corrupt=P
+     | crash=NODE:FROM-TO | withhold | noinstruct
+   and the empty plan spells "none".  [spec_to_string] renders the
+   canonical form, so (seed, plan) is a complete, printable repro. *)
+
+let spec_of_string str =
+  let str = String.trim str in
+  if str = "" || str = "none" then none
+  else
+    let parse_float what v =
+      match float_of_string_opt v with
+      | Some f -> f
+      | None -> invalid_arg (Printf.sprintf "Faults: bad %s value %S" what v)
+    in
+    let parse_int what v =
+      match int_of_string_opt v with
+      | Some i -> i
+      | None -> invalid_arg (Printf.sprintf "Faults: bad %s value %S" what v)
+    in
+    let clause acc item =
+      match String.index_opt item '=' with
+      | None -> (
+        match item with
+        | "withhold" -> { acc with withhold_worker = true }
+        | "noinstruct" -> { acc with no_instruction = true }
+        | other -> invalid_arg (Printf.sprintf "Faults: unknown plan clause %S" other))
+      | Some i -> (
+        let k = String.sub item 0 i in
+        let v = String.sub item (i + 1) (String.length item - i - 1) in
+        match k with
+        | "drop" -> { acc with drop = parse_float k v }
+        | "dup" -> { acc with duplicate = parse_float k v }
+        | "reorder" -> { acc with reorder = parse_float k v }
+        | "lose" -> { acc with store_lose = parse_float k v }
+        | "corrupt" -> { acc with store_corrupt = parse_float k v }
+        | "delay" -> (
+          match String.split_on_char ':' v with
+          | [ p ] -> { acc with delay = parse_float k p }
+          | [ p; blocks ] ->
+            { acc with delay = parse_float k p; delay_blocks = parse_int "delay blocks" blocks }
+          | _ -> invalid_arg (Printf.sprintf "Faults: bad delay clause %S" item))
+        | "crash" -> (
+          match String.split_on_char ':' v with
+          | [ node; range ] -> (
+            match String.split_on_char '-' range with
+            | [ f; t ] ->
+              let w =
+                {
+                  node = parse_int "crash node" node;
+                  from_height = parse_int "crash from" f;
+                  to_height = parse_int "crash to" t;
+                }
+              in
+              { acc with crashes = acc.crashes @ [ w ] }
+            | _ -> invalid_arg (Printf.sprintf "Faults: bad crash range %S" range))
+          | _ -> invalid_arg (Printf.sprintf "Faults: bad crash clause %S (want crash=NODE:FROM-TO)" item))
+        | other -> invalid_arg (Printf.sprintf "Faults: unknown plan clause %S" other))
+    in
+    check_spec
+      (List.fold_left clause none
+         (List.filter (fun s -> s <> "") (List.map String.trim (String.split_on_char ',' str))))
+
+let spec_to_string s =
+  let parts = ref [] in
+  let add p = parts := p :: !parts in
+  if s.drop > 0. then add (Printf.sprintf "drop=%g" s.drop);
+  if s.delay > 0. then add (Printf.sprintf "delay=%g:%d" s.delay s.delay_blocks);
+  if s.duplicate > 0. then add (Printf.sprintf "dup=%g" s.duplicate);
+  if s.reorder > 0. then add (Printf.sprintf "reorder=%g" s.reorder);
+  if s.store_lose > 0. then add (Printf.sprintf "lose=%g" s.store_lose);
+  if s.store_corrupt > 0. then add (Printf.sprintf "corrupt=%g" s.store_corrupt);
+  List.iter
+    (fun { node; from_height; to_height } ->
+      add (Printf.sprintf "crash=%d:%d-%d" node from_height to_height))
+    s.crashes;
+  if s.withhold_worker then add "withhold";
+  if s.no_instruction then add "noinstruct";
+  match List.rev !parts with [] -> "none" | ps -> String.concat "," ps
+
+(* --- the controller --- *)
+
+type t = {
+  spec : spec;
+  key : bytes;  (* 32-byte ChaCha20 key derived from the seed *)
+  mutable trace : string list;  (* newest first *)
+  mutable store_ops : int;  (* occurrence index for store-fetch decisions *)
+}
+
+let create ~seed spec =
+  ignore (check_spec spec);
+  { spec; key = Sha256.digest (Bytes.of_string seed); trace = []; store_ops = 0 }
+
+let spec t = t.spec
+
+let trace t = List.rev t.trace
+
+let record t fmt = Printf.ksprintf (fun line -> t.trace <- line :: t.trace) fmt
+
+(* --- the schedule ---
+
+   Every decision is one ChaCha20 block keyed by the seed, with the nonce
+   naming the decision site and its coordinates (block height and index
+   within the block for mempool faults; an occurrence index for store
+   fetches).  Decisions are therefore a pure function of
+   (seed, site, height, index): order-independent, replayable from the
+   (seed, plan) pair alone, and — because no decision ever reads the
+   protocol's RNG stream or the domain pool — invariant under
+   ZEBRA_DOMAINS (the same rule PR 2 imposes on the prover's RNG). *)
+
+let site_drop = 1l
+and site_delay = 2l
+and site_dup = 3l
+and site_reorder = 4l
+and site_shuffle = 5l
+and site_store_lose = 6l
+and site_store_corrupt = 7l
+
+let unit_float t ~site ~a ~b =
+  let nonce = Bytes.create 12 in
+  Bytes.set_int32_be nonce 0 site;
+  Bytes.set_int32_be nonce 4 (Int32.of_int a);
+  Bytes.set_int32_be nonce 8 (Int32.of_int b);
+  let block = Chacha20.block ~key:t.key ~counter:0l ~nonce in
+  (* top 53 bits of the first 8 bytes -> uniform in [0, 1) *)
+  let u = Bytes.get_int64_be block 0 in
+  Int64.to_float (Int64.shift_right_logical u 11) /. 9007199254740992.
+
+let rand_below t ~site ~a ~b bound =
+  int_of_float (unit_float t ~site ~a ~b *. float_of_int bound)
+
+let short_hash tx = String.sub (Sha256.to_hex (Tx.hash tx)) 0 8
+
+(* Deterministic Fisher-Yates keyed on (height, position). *)
+let shuffle t ~height txs =
+  let a = Array.of_list txs in
+  for i = Array.length a - 1 downto 1 do
+    let j = rand_below t ~site:site_shuffle ~a:height ~b:i (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list a
+
+(* The mempool pipeline: per transaction, at most one of drop / delay /
+   duplicate fires (in that precedence), then the surviving block order may
+   be shuffled as a whole. *)
+let pipeline t ~height txs =
+  let now = ref [] and postponed = ref [] in
+  List.iteri
+    (fun i tx ->
+      if t.spec.drop > 0. && unit_float t ~site:site_drop ~a:height ~b:i < t.spec.drop
+      then begin
+        Obs.Counter.incr m_dropped;
+        record t "h=%d mempool.drop tx=%s" height (short_hash tx)
+      end
+      else if
+        t.spec.delay > 0. && unit_float t ~site:site_delay ~a:height ~b:i < t.spec.delay
+      then begin
+        let release = height + t.spec.delay_blocks in
+        Obs.Counter.incr m_delayed;
+        record t "h=%d mempool.delay tx=%s until=%d" height (short_hash tx) release;
+        postponed := (release, tx) :: !postponed
+      end
+      else begin
+        now := tx :: !now;
+        if
+          t.spec.duplicate > 0.
+          && unit_float t ~site:site_dup ~a:height ~b:i < t.spec.duplicate
+        then begin
+          Obs.Counter.incr m_duplicated;
+          record t "h=%d mempool.dup tx=%s" height (short_hash tx);
+          now := tx :: !now
+        end
+      end)
+    txs;
+  let now = List.rev !now in
+  let now =
+    if
+      t.spec.reorder > 0.
+      && List.length now > 1
+      && unit_float t ~site:site_reorder ~a:height ~b:0 < t.spec.reorder
+    then begin
+      Obs.Counter.incr m_reordered;
+      record t "h=%d mempool.reorder n=%d" height (List.length now);
+      shuffle t ~height now
+    end
+    else now
+  in
+  (now, List.rev !postponed)
+
+(* The crash schedule, driven off the network's block clock: a window
+   [from-to] means the node misses exactly blocks from..to and re-syncs
+   before block to+1 forms. *)
+let on_block t net ~height =
+  List.iter
+    (fun { node; from_height; to_height } ->
+      if height = from_height then begin
+        match Network.crash_node net ~node with
+        | () ->
+          Obs.Counter.incr m_crashes;
+          record t "h=%d node.crash node=%d until=%d" height node to_height
+        | exception Invalid_argument why ->
+          record t "h=%d node.crash node=%d refused (%s)" height node why
+      end
+      else if height = to_height + 1 then begin
+        match Network.restart_node net ~node with
+        | () ->
+          Obs.Counter.incr m_restarts;
+          record t "h=%d node.restart node=%d resync=ok" height node
+        | exception Network.Consensus_failure why ->
+          record t "h=%d node.restart node=%d resync=FAILED (%s)" height node why;
+          raise (Network.Consensus_failure why)
+      end)
+    t.spec.crashes
+
+let attach t net =
+  Network.set_mempool_fault net (Some (fun ~height txs -> pipeline t ~height txs));
+  Network.set_block_hook net (Some (fun ~height -> on_block t net ~height))
+
+let detach net =
+  Network.set_mempool_fault net None;
+  Network.set_block_hook net None
+
+(* Restart every still-crashed node so end-of-run invariants can assert
+   full replica agreement.  Raises if a resync diverges. *)
+let finish t net =
+  for node = 0 to Network.num_nodes net - 1 do
+    if not (Network.node_up net node) then begin
+      match Network.restart_node net ~node with
+      | () ->
+        Obs.Counter.incr m_restarts;
+        record t "h=%d node.restart node=%d resync=ok (end of run)" (Network.height net) node
+      | exception Network.Consensus_failure why ->
+        record t "h=%d node.restart node=%d resync=FAILED (%s)" (Network.height net) node why;
+        raise (Network.Consensus_failure why)
+    end
+  done
+
+let attach_store t store =
+  Store.set_fault store
+    (Some
+       (fun h ->
+         let i = t.store_ops in
+         t.store_ops <- i + 1;
+         let short = String.sub (Sha256.to_hex h) 0 8 in
+         if
+           t.spec.store_lose > 0.
+           && unit_float t ~site:site_store_lose ~a:0 ~b:i < t.spec.store_lose
+         then begin
+           Obs.Counter.incr m_lost;
+           record t "op=%d store.lose obj=%s" i short;
+           Store.Lose
+         end
+         else if
+           t.spec.store_corrupt > 0.
+           && unit_float t ~site:site_store_corrupt ~a:0 ~b:i < t.spec.store_corrupt
+         then begin
+           Obs.Counter.incr m_corrupted;
+           record t "op=%d store.corrupt obj=%s" i short;
+           Store.Corrupt
+         end
+         else Store.Pass))
+
+let detach_store store = Store.set_fault store None

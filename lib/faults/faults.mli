@@ -1,0 +1,100 @@
+(** Deterministic, seed-driven fault injection for the simulated stack.
+
+    The paper argues its guarantees (Section III's ideal-ledger
+    assumptions; Theorem 1) under a synchronous, well-behaved network.
+    This module is the adversarial weather that tests those arguments: a
+    {e fault plan} ({!spec}) names which faults exist and at what rates,
+    and a {!t} controller turns the plan into concrete injections against a
+    {!Zebra_chain.Network} (mempool drop / delay-by-k-blocks / duplicate /
+    reorder, and replica crash + re-sync over scheduled block ranges) and a
+    {!Zebra_store.Store} (probabilistic chunk loss / corruption).
+
+    {b Determinism.}  Every decision is one ChaCha20 block keyed by the
+    controller's seed with a nonce naming the decision site and its
+    coordinates on the discrete block clock — a pure function of
+    [(seed, site, height, index)].  A chaos run is therefore replayable
+    from the [(seed, plan)] pair alone ([zebra chaos --seed S --plan P]
+    prints the identical fault {!trace} every time), and the schedule is
+    invariant under [ZEBRA_DOMAINS] because no decision reads the
+    protocol's RNG stream or the domain pool.
+
+    {b Synchrony bound.}  Delay faults hold a transaction back a fixed
+    [k] blocks; [Protocol]'s retry drivers ride out any fault plan whose
+    [k] is within their backoff window, and report a typed
+    [Timed_out] / [Node_down] error past it — never an exception.
+
+    Participant-level faults (a worker who registers but withholds her
+    submission, a requester who never sends the reward instruction) are
+    plan {e flags} ({!field-withhold_worker}, {!field-no_instruction});
+    they are acted on by the scenario driver ([Zebralancer.Chaos]), not by
+    this controller, since they are protocol behaviours rather than
+    substrate faults. *)
+
+(** Take replica [node] down for blocks [from_height..to_height]
+    inclusive; it re-syncs from peers before block [to_height + 1]. *)
+type crash_window = { node : int; from_height : int; to_height : int }
+
+(** A fault plan.  All probabilities are per decision (per transaction per
+    block for mempool faults, per object fetch for store faults). *)
+type spec = {
+  drop : float;  (** broadcast lost; the sender must resubmit *)
+  delay : float;  (** held back [delay_blocks] blocks, then re-offered *)
+  delay_blocks : int;  (** the synchrony bound k of delay faults *)
+  duplicate : float;  (** included twice; the copy fails nonce replay *)
+  reorder : float;  (** per block: shuffle the included transactions *)
+  store_lose : float;  (** chunk deleted; heals on re-[put] *)
+  store_corrupt : float;  (** chunk byte-flipped; detected, heals on re-[put] *)
+  crashes : crash_window list;
+  withhold_worker : bool;  (** one enrolled worker never submits *)
+  no_instruction : bool;  (** the requester never instructs; timeout path *)
+}
+
+(** The all-zero plan (prints as ["none"]). *)
+val none : spec
+
+(** Parse the plan DSL: comma-separated
+    [drop=P | delay=P:K | dup=P | reorder=P | lose=P | corrupt=P |
+     crash=NODE:FROM-TO | withhold | noinstruct]
+    (empty or ["none"] is {!none}; [crash] clauses may repeat).
+    @raise Invalid_argument on malformed or out-of-range clauses. *)
+val spec_of_string : string -> spec
+
+(** Canonical rendering; [spec_of_string (spec_to_string s)] is [s]. *)
+val spec_to_string : spec -> string
+
+(** A fault controller: one plan, one seed, one replayable trace. *)
+type t
+
+(** @raise Invalid_argument if the spec is malformed (probability outside
+    [0,1], [delay_blocks < 1], bad crash window). *)
+val create : seed:string -> spec -> t
+
+val spec : t -> spec
+
+(** [attach t net] installs the mempool fault pipeline and the crash
+    schedule on [net]'s block clock. *)
+val attach : t -> Zebra_chain.Network.t -> unit
+
+(** Remove the hooks installed by {!attach}. *)
+val detach : Zebra_chain.Network.t -> unit
+
+(** [attach_store t store] installs the chunk loss/corruption decider. *)
+val attach_store : t -> Zebra_store.Store.t -> unit
+
+val detach_store : Zebra_store.Store.t -> unit
+
+(** [finish t net] restarts any replica still down so end-of-run
+    invariants can assert full agreement.
+    @raise Zebra_chain.Network.Consensus_failure if a re-sync diverges. *)
+val finish : t -> Zebra_chain.Network.t -> unit
+
+(** Every fault injected so far, oldest first — one line per event
+    ([h=12 mempool.drop tx=1a2b3c4d], [h=9 node.crash node=2 until=12],
+    [op=3 store.lose obj=99aabbcc], ...).  Identical across replays of the
+    same [(seed, plan, workload)]. *)
+val trace : t -> string list
+
+(**/**)
+
+(** Exposed for the property tests: the raw per-site uniform draw. *)
+val unit_float : t -> site:int32 -> a:int -> b:int -> float

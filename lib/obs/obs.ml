@@ -204,6 +204,16 @@ let snapshot () =
 
 let to_json_string () = Json.to_string (snapshot ())
 
+let counters_with_prefix prefix =
+  let plen = String.length prefix in
+  locked @@ fun () ->
+  List.filter_map
+    (fun (k, c) ->
+      if String.length k >= plen && String.sub k 0 plen = prefix then
+        Some (k, Atomic.get c)
+      else None)
+    (sorted_bindings counters)
+
 (* --- pretty tree --- *)
 
 let pretty_seconds s =

@@ -99,5 +99,10 @@ val snapshot : unit -> Json.t
 
 val to_json_string : unit -> string
 
+(** All registered counters whose dotted name starts with [prefix], with
+    their current values, sorted by name — e.g.
+    [counters_with_prefix "faults."] for a fault-injection summary line. *)
+val counters_with_prefix : string -> (string * int) list
+
 (** Pretty metric tree grouped on the dots of the naming convention. *)
 val render_tree : unit -> string

@@ -3,9 +3,15 @@ module Codec = Zebra_codec.Codec
 
 type hash = bytes
 
+type fault_action =
+  | Pass
+  | Lose
+  | Corrupt
+
 type t = {
   chunk_size : int;
   objects : (string, bytes) Hashtbl.t; (* hex hash -> encoded object *)
+  mutable fault : (hash -> fault_action) option;
 }
 
 (* Object encoding: tag 0 = leaf carrying data, tag 1 = node carrying the
@@ -39,7 +45,9 @@ let decode_obj b =
 
 let create ?(chunk_size = 4096) () =
   if chunk_size < 1 then invalid_arg "Store.create: chunk_size must be positive";
-  { chunk_size; objects = Hashtbl.create 64 }
+  { chunk_size; objects = Hashtbl.create 64; fault = None }
+
+let set_fault t f = t.fault <- f
 
 let key h = Sha256.to_hex h
 
@@ -63,7 +71,29 @@ let put t blob =
     put_object t (encode_node (List.rev !children))
   end
 
+let flip_middle_byte t h =
+  match Hashtbl.find_opt t.objects (key h) with
+  | None -> ()
+  | Some encoded ->
+    let b = Bytes.copy encoded in
+    let i = Bytes.length b / 2 in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 1));
+    Hashtbl.replace t.objects (key h) b
+
+(* Faults fire per object fetch, before the integrity check, so a corrupted
+   object is always *detected* (never served) and a lost one stays lost
+   until the same content is re-put. *)
+let apply_fault t h =
+  match t.fault with
+  | None -> ()
+  | Some f -> (
+    match f h with
+    | Pass -> ()
+    | Lose -> Hashtbl.remove t.objects (key h)
+    | Corrupt -> flip_middle_byte t h)
+
 let get_object t h =
+  apply_fault t h;
   match Hashtbl.find_opt t.objects (key h) with
   | None -> None
   | Some encoded ->
@@ -92,12 +122,7 @@ let num_objects t = Hashtbl.length t.objects
 let stored_bytes t = Hashtbl.fold (fun _ v acc -> acc + Bytes.length v) t.objects 0
 
 let corrupt t h =
-  match Hashtbl.find_opt t.objects (key h) with
-  | None -> raise Not_found
-  | Some encoded ->
-    let b = Bytes.copy encoded in
-    let i = Bytes.length b / 2 in
-    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 1));
-    Hashtbl.replace t.objects (key h) b
+  if not (Hashtbl.mem t.objects (key h)) then raise Not_found;
+  flip_middle_byte t h
 
 let pp_hash fmt h = Format.pp_print_string fmt (Sha256.to_hex h)

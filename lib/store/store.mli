@@ -38,4 +38,22 @@ val stored_bytes : t -> int
     this hash.  @raise Not_found if absent. *)
 val corrupt : t -> hash -> unit
 
+(** {1 Fault injection}
+
+    What a fault decision does to the object about to be fetched.  Because
+    every [get] re-verifies content hashes, neither action can ever make
+    [get] return wrong bytes — only [None]. *)
+type fault_action =
+  | Pass  (** healthy fetch *)
+  | Lose  (** the object is deleted (chunk loss); a re-[put] of the same
+              content heals it *)
+  | Corrupt  (** one byte of the stored object flips; detected by the
+                 integrity check, healed by re-[put] *)
+
+(** [set_fault t f] installs (or, with [None], removes) a per-fetch fault
+    decision, consulted once per object (manifest or chunk) that a [get] /
+    [has]-path fetch touches.  [Zebra_faults] supplies deterministic
+    seed-keyed deciders. *)
+val set_fault : t -> (hash -> fault_action) option -> unit
+
 val pp_hash : Format.formatter -> hash -> unit

@@ -2,7 +2,8 @@
 # Regenerate the committed benchmark artifacts:
 #   BENCH_obs.json       per-phase profile of one end-to-end task
 #   BENCH_parallel.json  1/2/4-domain prover scaling curve
-# Both are written to the repo root; PERFORMANCE.md explains how to read
+#   BENCH_chaos.json     end-to-end wall clock at 0/5/20% fault rates
+# All are written to the repo root; PERFORMANCE.md explains how to read
 # them.  Numbers are hardware-dependent -- commit them together with a note
 # on the machine they came from.
 set -eu
@@ -10,4 +11,5 @@ cd "$(dirname "$0")/.."
 dune build bench/main.exe
 ./_build/default/bench/main.exe obs
 ./_build/default/bench/main.exe parallel
-echo "wrote $(pwd)/BENCH_obs.json and $(pwd)/BENCH_parallel.json"
+./_build/default/bench/main.exe chaos
+echo "wrote $(pwd)/BENCH_obs.json, $(pwd)/BENCH_parallel.json and $(pwd)/BENCH_chaos.json"

@@ -1,9 +1,10 @@
 #!/bin/sh
-# Local CI gate: build everything, lint every deployed circuit, then run
-# the whole test suite twice -- once sequential, once over a 4-domain
-# pool.  Results must agree: the parallel primitives guarantee
-# bit-identical output at any ZEBRA_DOMAINS (see DESIGN.md), and this is
-# where that contract is enforced.
+# Local CI gate: build everything, lint every deployed circuit, run the
+# whole test suite twice -- once sequential, once over a 4-domain pool --
+# then replay the chaos suite at fixed seeds across both pool sizes.
+# Results must agree: the parallel primitives guarantee bit-identical
+# output at any ZEBRA_DOMAINS (see DESIGN.md), the fault schedule is keyed
+# by the seed alone, and this is where both contracts are enforced.
 set -eu
 cd "$(dirname "$0")/.."
 dune build @check
@@ -13,3 +14,28 @@ echo "== tests, ZEBRA_DOMAINS=1 =="
 ZEBRA_DOMAINS=1 dune runtest --force
 echo "== tests, ZEBRA_DOMAINS=4 =="
 ZEBRA_DOMAINS=4 dune runtest --force
+
+# Chaos gate: each (seed, plan) pair must print the identical fault trace
+# and settlement at ZEBRA_DOMAINS=1 and =4 -- the fault schedule may not
+# leak pool-size dependence -- and the run itself must keep the chaos
+# invariants (the CLI exits non-zero on a violation).
+echo "== chaos gate (fixed seeds, pool-size-invariant traces) =="
+ZEBRA="./_build/default/bin/zebra.exe"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+i=0
+for spec in \
+  "ci-1|drop=0.15,delay=0.15:2,dup=0.1" \
+  "ci-2|crash=1:6-9,drop=0.1,reorder=0.3" \
+  "ci-3|delay=1.0:2,lose=0.2,withhold,noinstruct"; do
+  seed="${spec%%|*}"
+  plan="${spec#*|}"
+  i=$((i + 1))
+  ZEBRA_DOMAINS=1 "$ZEBRA" chaos --seed "$seed" --plan "$plan" >"$tmp/d1-$i.txt"
+  ZEBRA_DOMAINS=4 "$ZEBRA" chaos --seed "$seed" --plan "$plan" >"$tmp/d4-$i.txt"
+  if ! diff -u "$tmp/d1-$i.txt" "$tmp/d4-$i.txt"; then
+    echo "chaos gate FAILED: seed=$seed plan=$plan differs across pool sizes" >&2
+    exit 1
+  fi
+  echo "seed=$seed plan=$plan: trace identical at 1 and 4 domains"
+done

@@ -280,6 +280,46 @@ let test_adversary_cannot_forge () =
   let receipts = Network.mine net in
   Alcotest.(check int) "only the honest tx executed" 1 (List.length receipts)
 
+(* Regression for the set_adversary contract: a duplicated transaction is
+   mined twice but executes once — the copy fails nonce replay and the
+   canonical receipt stays the first, successful one. *)
+let test_adversary_duplicate_rejected () =
+  let net = fresh_net () in
+  Network.set_adversary net (Some (fun txs -> txs @ txs));
+  let a1 = Wallet.address (wallet 1) in
+  let tx =
+    Tx.make ~wallet:(wallet 0) ~nonce:0 ~dst:(Tx.Call a1) ~value:5 ~payload:Bytes.empty
+  in
+  Network.submit net tx;
+  let receipts = Network.mine net in
+  Alcotest.(check int) "both copies mined" 2 (List.length receipts);
+  Alcotest.(check int) "value moved exactly once" 1_000_005 (Network.balance net a1);
+  Alcotest.(check int) "sender nonce advanced once" 1
+    (Network.nonce net (Wallet.address (wallet 0)));
+  match Network.receipt net (Tx.hash tx) with
+  | Some { State.status = State.Ok _; _ } -> ()
+  | Some { State.status = State.Failed e; _ } ->
+    Alcotest.failf "canonical receipt overwritten by the duplicate: %s" e
+  | None -> Alcotest.fail "no receipt recorded"
+
+(* Regression for the other half of the contract: an omitted transaction is
+   requeued, so the adversary can delay but not censor. *)
+let test_adversary_drop_requeues () =
+  let net = fresh_net () in
+  let calls = ref 0 in
+  Network.set_adversary net
+    (Some (fun txs -> (incr calls; if !calls = 1 then [] else txs)));
+  let a1 = Wallet.address (wallet 1) in
+  Network.submit net
+    (Tx.make ~wallet:(wallet 0) ~nonce:0 ~dst:(Tx.Call a1) ~value:3 ~payload:Bytes.empty);
+  let r1 = Network.mine net in
+  Alcotest.(check int) "censored block is empty" 0 (List.length r1);
+  Alcotest.(check int) "tx back in the mempool" 1 (Network.pending net);
+  Alcotest.(check int) "no transfer yet" 1_000_000 (Network.balance net a1);
+  let r2 = Network.mine net in
+  Alcotest.(check int) "included in the next block" 1 (List.length r2);
+  Alcotest.(check int) "delayed, not censored" 1_000_003 (Network.balance net a1)
+
 let test_block_chain_integrity () =
   let net = fresh_net () in
   Network.submit net
@@ -396,6 +436,9 @@ let () =
           Alcotest.test_case "replicas agree" `Quick test_replicas_agree;
           Alcotest.test_case "adversary reorder" `Quick test_adversary_reorder;
           Alcotest.test_case "adversary cannot forge" `Quick test_adversary_cannot_forge;
+          Alcotest.test_case "adversary duplicate rejected" `Quick
+            test_adversary_duplicate_rejected;
+          Alcotest.test_case "adversary drop requeues" `Quick test_adversary_drop_requeues;
           Alcotest.test_case "block linkage" `Quick test_block_chain_integrity;
           Alcotest.test_case "tx inclusion proof" `Quick test_tx_inclusion_proof;
           Alcotest.test_case "replay determinism" `Quick test_replay_determinism;

@@ -1,0 +1,329 @@
+(* Fault-injection layer tests: the deterministic schedule, the network
+   and store fault hooks, the protocol retry drivers that ride the faults
+   out, and the end-to-end chaos invariants (settle-or-typed-error,
+   replica agreement, supply conservation, trace replayability). *)
+
+open Zebralancer
+open Zebra_chain
+module Faults = Zebra_faults.Faults
+
+let rng = Zebra_rng.Chacha20.create ~seed:"test_faults"
+let random_bytes n = Zebra_rng.Chacha20.bytes rng n
+
+let qtest name ?(count = 50) gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen f)
+
+let wallet_pool = lazy (Array.init 3 (fun _ -> Wallet.generate ~bits:512 ~random_bytes ()))
+let wallet i = (Lazy.force wallet_pool).(i)
+
+let fresh_net ?(num_nodes = 3) () =
+  let genesis = List.init 3 (fun i -> (Wallet.address (wallet i), 1_000_000)) in
+  Network.create ~num_nodes ~genesis ()
+
+let transfer ~from ~to_ ~nonce ~value =
+  Tx.make ~wallet:(wallet from) ~nonce ~dst:(Tx.Call (Wallet.address (wallet to_))) ~value
+    ~payload:Bytes.empty
+
+(* --- plan DSL --- *)
+
+let test_plan_roundtrip () =
+  List.iter
+    (fun s ->
+      let spec = Faults.spec_of_string s in
+      Alcotest.(check string) s s (Faults.spec_to_string spec))
+    [
+      "none";
+      "drop=0.1";
+      "drop=0.2,delay=0.1:3,dup=0.05,reorder=0.5";
+      "lose=0.3,corrupt=0.1";
+      "crash=1:5-9,crash=2:12-14,withhold,noinstruct";
+    ];
+  Alcotest.(check string) "empty spells none" "none" (Faults.spec_to_string (Faults.spec_of_string ""))
+
+let test_plan_rejects_malformed () =
+  List.iter
+    (fun s ->
+      match Faults.spec_of_string s with
+      | _ -> Alcotest.failf "accepted malformed plan %S" s
+      | exception Invalid_argument _ -> ())
+    [ "drop=1.5"; "drop=x"; "delay=0.1:0"; "crash=1:9-5"; "crash=-1:2-3"; "warp=0.1"; "withhold=1" ]
+
+let prop_schedule_deterministic =
+  qtest "unit_float: pure function of (seed, site, a, b)" ~count:200
+    QCheck2.Gen.(triple (int_range 1 7) (int_range 0 1000) (int_range 0 1000))
+    (fun (site, a, b) ->
+      let t1 = Faults.create ~seed:"s" Faults.none in
+      let t2 = Faults.create ~seed:"s" Faults.none in
+      let t3 = Faults.create ~seed:"other" Faults.none in
+      let site = Int32.of_int site in
+      let u1 = Faults.unit_float t1 ~site ~a ~b in
+      let u2 = Faults.unit_float t2 ~site ~a ~b in
+      let u3 = Faults.unit_float t3 ~site ~a ~b in
+      u1 = u2 && u1 >= 0. && u1 < 1. && (u1 <> u3 || a = b (* different seeds: collisions only by chance *)))
+
+(* --- network faults --- *)
+
+let test_delay_exactly_k_blocks () =
+  let net = fresh_net () in
+  let f = Faults.create ~seed:"delay" { Faults.none with Faults.delay = 1.0; delay_blocks = 2 } in
+  Faults.attach f net;
+  let tx = transfer ~from:0 ~to_:1 ~nonce:0 ~value:5 in
+  Network.submit net tx;
+  ignore (Network.mine net);
+  (* postponed at height 1, release 3 *)
+  Alcotest.(check int) "held in the delay buffer" 1 (Network.delayed net);
+  Alcotest.(check (option reject)) "not mined at height 1" None (Network.receipt net (Tx.hash tx));
+  ignore (Network.mine net);
+  Alcotest.(check (option reject)) "not mined at height 2" None (Network.receipt net (Tx.hash tx));
+  ignore (Network.mine net);
+  (* the release is exempt from a fresh delay draw: exactly k blocks late *)
+  (match Network.receipt net (Tx.hash tx) with
+  | Some { State.status = State.Ok _; _ } -> ()
+  | _ -> Alcotest.fail "released transaction must execute at height 3");
+  Alcotest.(check int) "value arrived" 1_000_005 (Network.balance net (Wallet.address (wallet 1)));
+  Alcotest.(check int) "one delay event" 1
+    (List.length (List.filter (fun l -> String.length l >= 4) (Faults.trace f)))
+
+let test_drop_needs_resubmit () =
+  let net = fresh_net () in
+  let f = Faults.create ~seed:"drop" { Faults.none with Faults.drop = 1.0 } in
+  Faults.attach f net;
+  let tx = transfer ~from:0 ~to_:1 ~nonce:0 ~value:5 in
+  Network.submit net tx;
+  ignore (Network.mine net);
+  Alcotest.(check (option reject)) "dropped" None (Network.receipt net (Tx.hash tx));
+  Alcotest.(check int) "not pending either: the broadcast is gone" 0 (Network.pending net);
+  Alcotest.(check int) "not delayed" 0 (Network.delayed net);
+  (* the client's resubmission after the fault clears succeeds *)
+  Faults.detach net;
+  Network.submit net tx;
+  ignore (Network.mine net);
+  match Network.receipt net (Tx.hash tx) with
+  | Some { State.status = State.Ok _; _ } -> ()
+  | _ -> Alcotest.fail "resubmission must mine"
+
+let test_crash_and_resync () =
+  let net = fresh_net ~num_nodes:3 () in
+  let f =
+    Faults.create ~seed:"crash"
+      { Faults.none with Faults.crashes = [ { Faults.node = 1; from_height = 2; to_height = 3 } ] }
+  in
+  Faults.attach f net;
+  Network.submit net (transfer ~from:0 ~to_:1 ~nonce:0 ~value:1);
+  ignore (Network.mine net);
+  Alcotest.(check bool) "up at height 1" true (Network.node_up net 1);
+  Network.submit net (transfer ~from:0 ~to_:1 ~nonce:1 ~value:2);
+  ignore (Network.mine net);
+  Alcotest.(check bool) "down during the window" false (Network.node_up net 1);
+  Network.submit net (transfer ~from:2 ~to_:0 ~nonce:0 ~value:3);
+  ignore (Network.mine net);
+  Alcotest.(check bool) "still down at the window end" false (Network.node_up net 1);
+  ignore (Network.mine net);
+  (* restarted before block 4 formed: replayed blocks 2-3 from peers *)
+  Alcotest.(check bool) "back up at height 4" true (Network.node_up net 1);
+  let root = Network.state_root net in
+  for node = 0 to Network.num_nodes net - 1 do
+    Alcotest.(check bytes)
+      (Printf.sprintf "node %d agrees after resync" node)
+      root
+      (Network.node_state_root net node)
+  done;
+  let trace = Faults.trace f in
+  Alcotest.(check bool) "crash traced" true
+    (List.exists (fun l -> l = "h=2 node.crash node=1 until=3") trace);
+  Alcotest.(check bool) "resync traced" true
+    (List.exists (fun l -> l = "h=4 node.restart node=1 resync=ok") trace)
+
+let test_crash_refuses_last_replica () =
+  let net = fresh_net ~num_nodes:1 () in
+  let f =
+    Faults.create ~seed:"last"
+      { Faults.none with Faults.crashes = [ { Faults.node = 0; from_height = 1; to_height = 2 } ] }
+  in
+  Faults.attach f net;
+  Network.submit net (transfer ~from:0 ~to_:1 ~nonce:0 ~value:1);
+  let receipts = Network.mine net in
+  (* the schedule wanted node 0 down, the network refused, the block mined *)
+  Alcotest.(check int) "block still executed" 1 (List.length receipts);
+  let has_prefix p l = String.length l >= String.length p && String.sub l 0 (String.length p) = p in
+  Alcotest.(check bool) "refusal traced" true
+    (List.exists (has_prefix "h=1 node.crash node=0 refused") (Faults.trace f));
+  Alcotest.(check bool) "node stayed up" true (Network.node_up net 0)
+
+let test_finish_restarts_down_nodes () =
+  let net = fresh_net ~num_nodes:3 () in
+  let f =
+    Faults.create ~seed:"finish"
+      { Faults.none with Faults.crashes = [ { Faults.node = 2; from_height = 1; to_height = 99 } ] }
+  in
+  Faults.attach f net;
+  Network.submit net (transfer ~from:0 ~to_:1 ~nonce:0 ~value:4);
+  ignore (Network.mine net);
+  ignore (Network.mine net);
+  Alcotest.(check bool) "down mid-run" false (Network.node_up net 2);
+  Faults.finish f net;
+  Alcotest.(check bool) "finish brings it back" true (Network.node_up net 2);
+  Alcotest.(check bytes) "and it agrees" (Network.state_root net) (Network.node_state_root net 2)
+
+(* --- protocol retry over faults --- *)
+
+let test_protocol_timeout_is_typed () =
+  (* Total broadcast loss: every phase must fail with Timed_out after
+     exactly max_attempts broadcasts — never an exception. *)
+  let sys = Protocol.create_system ~seed:"test-faults-timeout" () in
+  let f = Faults.create ~seed:"timeout" { Faults.none with Faults.drop = 1.0 } in
+  Faults.attach f sys.Protocol.net;
+  (match Protocol.enroll_r sys with
+  | Error (Protocol.Timed_out { attempts; _ }) ->
+    Alcotest.(check int) "gave up after max_attempts" Protocol.default_retry.Protocol.max_attempts
+      attempts
+  | Error e -> Alcotest.failf "wrong error: %s" (Protocol.error_to_string e)
+  | Ok _ -> Alcotest.fail "cannot succeed under total loss");
+  Faults.detach sys.Protocol.net;
+  (* the same system recovers once the fault clears *)
+  match Protocol.enroll_r sys with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "clean retry failed: %s" (Protocol.error_to_string e)
+
+let test_protocol_rides_out_bounded_delay () =
+  let sys = Protocol.create_system ~seed:"test-faults-delay" () in
+  let f =
+    Faults.create ~seed:"ride" { Faults.none with Faults.delay = 1.0; delay_blocks = 2 }
+  in
+  Faults.attach f sys.Protocol.net;
+  (* delay_blocks = backoff_blocks: every transaction arrives exactly at
+     the edge of the confirmation window *)
+  (match Protocol.enroll_r sys with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "bounded delay must be ridden out: %s" (Protocol.error_to_string e));
+  Faults.detach sys.Protocol.net
+
+(* --- end-to-end chaos rounds --- *)
+
+let check_invariants name (o : Chaos.outcome) =
+  Alcotest.(check bool) (name ^ ": replicas agree") true o.Chaos.replicas_agree;
+  Alcotest.(check bool) (name ^ ": supply conserved") true o.Chaos.supply_conserved
+
+let test_chaos_drop_recovers () =
+  let plan = Faults.spec_of_string "drop=0.15,delay=0.15:2,dup=0.1" in
+  let o = Chaos.run ~seed:"chaos-smoke" ~plan () in
+  (match o.Chaos.settlement with
+  | Chaos.Rewarded rewards -> Alcotest.(check int) "all three rewarded" 3 (Array.length rewards)
+  | s -> Alcotest.failf "expected rewards, got %s" (Chaos.settlement_to_string s));
+  check_invariants "drop" o;
+  Alcotest.(check bool) "faults actually fired" true (o.Chaos.trace <> [])
+
+let test_chaos_crash_restart_agreement () =
+  let plan = Faults.spec_of_string "crash=1:6-9,drop=0.1" in
+  let o = Chaos.run ~seed:"chaos-crash" ~plan () in
+  (match o.Chaos.settlement with
+  | Chaos.Rewarded _ -> ()
+  | s -> Alcotest.failf "expected rewards, got %s" (Chaos.settlement_to_string s));
+  check_invariants "crash" o;
+  Alcotest.(check bool) "crash traced" true
+    (List.exists (fun l -> l = "h=6 node.crash node=1 until=9") o.Chaos.trace);
+  Alcotest.(check bool) "resync traced" true
+    (List.exists (fun l -> l = "h=10 node.restart node=1 resync=ok") o.Chaos.trace)
+
+let test_chaos_withholding_worker () =
+  let plan = Faults.spec_of_string "withhold" in
+  let o = Chaos.run ~n:3 ~seed:"chaos-withhold" ~plan () in
+  (match o.Chaos.settlement with
+  | Chaos.Rewarded rewards ->
+    (* the circuit arity stays n; the withheld slot is a zero pad *)
+    Alcotest.(check int) "reward vector keeps the circuit arity" 3 (Array.length rewards);
+    Alcotest.(check bool) "payout within budget" true
+      (Array.fold_left ( + ) 0 rewards <= 60)
+  | s -> Alcotest.failf "expected rewards, got %s" (Chaos.settlement_to_string s));
+  check_invariants "withhold" o
+
+let test_chaos_timeout_fallback_payout () =
+  let plan = Faults.spec_of_string "noinstruct" in
+  let o = Chaos.run ~seed:"chaos-noinstruct" ~plan () in
+  (match o.Chaos.settlement with
+  | Chaos.Finalized -> ()
+  | s -> Alcotest.failf "expected the timeout fallback, got %s" (Chaos.settlement_to_string s));
+  check_invariants "noinstruct" o
+
+let test_chaos_trace_replays () =
+  let plan = Faults.spec_of_string "drop=0.2,delay=0.2:2,dup=0.1,reorder=0.3,lose=0.1" in
+  let o1 = Chaos.run ~seed:"chaos-replay" ~plan () in
+  let o2 = Chaos.run ~seed:"chaos-replay" ~plan () in
+  Alcotest.(check (list string)) "identical fault trace" o1.Chaos.trace o2.Chaos.trace;
+  Alcotest.(check string) "identical state root" o1.Chaos.state_root o2.Chaos.state_root;
+  Alcotest.(check string) "identical settlement"
+    (Chaos.settlement_to_string o1.Chaos.settlement)
+    (Chaos.settlement_to_string o2.Chaos.settlement);
+  Alcotest.(check int) "identical height" o1.Chaos.final_height o2.Chaos.final_height
+
+(* The tentpole property: ANY bounded seeded plan settles with a payout or
+   a typed error — no exception — and never breaks replica agreement or
+   supply conservation.  Expensive (a full system boot per case), so the
+   case count stays small; the seeds still vary per run via qcheck. *)
+let prop_bounded_plans_settle_or_typed_error =
+  qtest "bounded plans: settle or typed error, invariants hold" ~count:4
+    QCheck2.Gen.(
+      map2
+        (fun (drop, delay, dup) (reorder, crash, flags) -> (drop, delay, dup, reorder, crash, flags))
+        (triple (int_range 0 25) (int_range 0 25) (int_range 0 15))
+        (triple (int_range 0 50) (int_range 0 2) (int_range 0 3)))
+    (fun (drop, delay, dup, reorder, crash, flags) ->
+      let pct x = float_of_int x /. 100. in
+      let plan =
+        {
+          Faults.none with
+          Faults.drop = pct drop;
+          delay = pct delay;
+          delay_blocks = 2;
+          duplicate = pct dup;
+          reorder = pct reorder;
+          crashes =
+            (match crash with
+            | 1 -> [ { Faults.node = 1; from_height = 6; to_height = 8 } ]
+            | 2 -> [ { Faults.node = 2; from_height = 5; to_height = 9 } ]
+            | _ -> []);
+          withhold_worker = flags land 1 = 1;
+          no_instruction = flags land 2 = 2;
+        }
+      in
+      let seed = Printf.sprintf "prop-%d-%d-%d-%d-%d-%d" drop delay dup reorder crash flags in
+      let o = Chaos.run ~n:2 ~budget:40 ~seed ~plan () in
+      let settled_or_typed =
+        match o.Chaos.settlement with
+        | Chaos.Rewarded _ | Chaos.Finalized | Chaos.Aborted _ -> true
+      in
+      settled_or_typed && o.Chaos.replicas_agree && o.Chaos.supply_conserved)
+
+let () =
+  Alcotest.run "faults"
+    [
+      ( "plan",
+        [
+          Alcotest.test_case "DSL roundtrip" `Quick test_plan_roundtrip;
+          Alcotest.test_case "DSL rejects malformed" `Quick test_plan_rejects_malformed;
+          prop_schedule_deterministic;
+        ] );
+      ( "network",
+        [
+          Alcotest.test_case "delay is exactly k blocks" `Quick test_delay_exactly_k_blocks;
+          Alcotest.test_case "drop needs resubmit" `Quick test_drop_needs_resubmit;
+          Alcotest.test_case "crash and resync" `Quick test_crash_and_resync;
+          Alcotest.test_case "last replica protected" `Quick test_crash_refuses_last_replica;
+          Alcotest.test_case "finish restarts down nodes" `Quick test_finish_restarts_down_nodes;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "timeout is typed" `Quick test_protocol_timeout_is_typed;
+          Alcotest.test_case "bounded delay ridden out" `Quick
+            test_protocol_rides_out_bounded_delay;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "drop plan recovers" `Quick test_chaos_drop_recovers;
+          Alcotest.test_case "crash-restart agreement" `Quick test_chaos_crash_restart_agreement;
+          Alcotest.test_case "withholding worker" `Quick test_chaos_withholding_worker;
+          Alcotest.test_case "timeout fallback payout" `Quick test_chaos_timeout_fallback_payout;
+          Alcotest.test_case "trace replays" `Quick test_chaos_trace_replays;
+          prop_bounded_plans_settle_or_typed_error;
+        ] );
+    ]

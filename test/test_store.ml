@@ -69,6 +69,77 @@ let prop_roundtrip =
       let blob = random_bytes len in
       Store.get s (Store.put s blob) = Some blob)
 
+(* --- fault injection (Store.set_fault) --- *)
+
+let test_fault_chunk_loss_heals () =
+  let s = Store.create ~chunk_size:64 () in
+  let blob = random_bytes 400 in
+  (* 7 chunks + 1 manifest *)
+  let h = Store.put s blob in
+  (* Lose the third object the fetch touches (a mid-blob chunk). *)
+  let ops = ref 0 in
+  Store.set_fault s
+    (Some (fun _ -> (incr ops; if !ops = 3 then Store.Lose else Store.Pass)));
+  Alcotest.(check (option bytes)) "one lost chunk fails the whole get" None (Store.get s h);
+  Store.set_fault s None;
+  Alcotest.(check (option bytes)) "chunk stays lost without the fault" None (Store.get s h);
+  let h' = Store.put s blob in
+  Alcotest.(check bytes) "re-put is the same address" h h';
+  Alcotest.(check (option bytes)) "re-put heals" (Some blob) (Store.get s h)
+
+let test_fault_corruption_detected_heals () =
+  let s = Store.create ~chunk_size:64 () in
+  let blob = random_bytes 300 in
+  let h = Store.put s blob in
+  let ops = ref 0 in
+  Store.set_fault s
+    (Some (fun _ -> (incr ops; if !ops = 2 then Store.Corrupt else Store.Pass)));
+  Alcotest.(check (option bytes)) "corrupted chunk detected, not served" None (Store.get s h);
+  Store.set_fault s None;
+  ignore (Store.put s blob);
+  Alcotest.(check (option bytes)) "re-put heals corruption" (Some blob) (Store.get s h)
+
+let test_fault_manifest_loss_heals () =
+  let s = Store.create ~chunk_size:64 () in
+  let blob = random_bytes 500 in
+  let h = Store.put s blob in
+  (* The first object a fetch touches is the manifest itself. *)
+  let ops = ref 0 in
+  Store.set_fault s
+    (Some (fun _ -> (incr ops; if !ops = 1 then Store.Lose else Store.Pass)));
+  Alcotest.(check (option bytes)) "lost manifest" None (Store.get s h);
+  Store.set_fault s None;
+  ignore (Store.put s blob);
+  Alcotest.(check (option bytes)) "re-put heals the manifest" (Some blob) (Store.get s h)
+
+(* The fault-layer contract: under ANY per-fetch fault pattern a [get] is
+   complete-or-nothing — the exact blob or [None], never different bytes —
+   and a re-[put] of the same content always heals. *)
+let prop_fault_never_wrong_bytes =
+  qtest "faulty get is all-or-nothing; re-put heals" ~count:40
+    QCheck2.Gen.(
+      triple (int_range 65 2000)
+        (list_size (int_range 1 24) (int_range 0 2))
+        (int_range 1 128))
+    (fun (len, pattern, chunk) ->
+      let s = Store.create ~chunk_size:chunk () in
+      let blob = random_bytes len in
+      let h = Store.put s blob in
+      let pat = Array.of_list pattern in
+      let i = ref 0 in
+      Store.set_fault s
+        (Some
+           (fun _ ->
+             let a = pat.(!i mod Array.length pat) in
+             incr i;
+             match a with 0 -> Store.Pass | 1 -> Store.Lose | _ -> Store.Corrupt));
+      let all_or_nothing =
+        match Store.get s h with None -> true | Some b -> Bytes.equal b blob
+      in
+      Store.set_fault s None;
+      ignore (Store.put s blob);
+      all_or_nothing && Store.get s h = Some blob)
+
 (* --- light client --- *)
 
 let wallets = lazy (Array.init 2 (fun _ -> Wallet.generate ~bits:512 ~random_bytes ()))
@@ -166,6 +237,14 @@ let () =
           Alcotest.test_case "corruption detected" `Quick test_corruption_detected;
           Alcotest.test_case "chunk corruption" `Quick test_chunk_corruption_detected;
           prop_roundtrip;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "chunk loss heals on re-put" `Quick test_fault_chunk_loss_heals;
+          Alcotest.test_case "corruption detected, heals" `Quick
+            test_fault_corruption_detected_heals;
+          Alcotest.test_case "manifest loss heals" `Quick test_fault_manifest_loss_heals;
+          prop_fault_never_wrong_bytes;
         ] );
       ( "light-client",
         [
