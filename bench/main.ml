@@ -547,6 +547,157 @@ let parallel () =
 
 (* --- X10: static-analyzer cost --- *)
 
+(* --- snark: sparse kernels, keypair cache, batched audit (BENCH_snark.json) ---
+
+   Guards the PR-5 optimisation triple: sparse prover kernels + twiddle
+   tables (>= 1.5x prove on the largest deployed reward circuit), the
+   content-addressed keypair cache (hit >= 100x cheaper than a setup miss),
+   and RLC-batched audit verification (>= 2x over stateless per-proof
+   verification at 8 submissions).  The baseline block is the pre-PR
+   measurement this tree is compared against; the proof digest must not
+   move at all — the optimisations are exact rewrites. *)
+
+let snark_prove_seed = "bench-snark-prove"
+let snark_setup_seed = "bench-snark-setup"
+
+(* Pre-PR numbers, measured at commit ce50ef0 (min/median of 9 runs,
+   ZEBRA_DOMAINS=1, single-core container) with the same seeds. *)
+let snark_baseline_min = 0.5338
+let snark_baseline_median = 0.6145
+let snark_expected_digest = "52f41f239632bc240ea480422ff03953dbc1320cf825b79bae15b8a209c5ad92"
+
+let snark_reward_circuit () =
+  Reward_circuit.constraint_system ~policy:(Policy.Majority { choices = 4 }) ~n:5
+
+let snark_prove_digest () =
+  let cs = snark_reward_circuit () in
+  let kp = Snark.setup_rng ~rng:(Zebra_rng.Source.of_seed snark_setup_seed) cs in
+  let proof = Snark.prove_rng ~rng:(Zebra_rng.Source.of_seed snark_prove_seed) kp.Snark.pk cs in
+  Zebra_hashing.Sha256.to_hex (Zebra_hashing.Sha256.digest (Snark.proof_to_bytes proof))
+
+let snark () =
+  header "X11: sparse prover kernels, keypair cache, batched audit";
+  let module Json = Zebra_obs.Json in
+  let module Source = Zebra_rng.Source in
+  let cs = snark_reward_circuit () in
+  (* Prover: min/median of 7 runs against the recorded pre-PR baseline. *)
+  let kp, setup_miss =
+    wall (fun () -> Snark.setup_rng ~rng:(Source.of_seed snark_setup_seed) cs)
+  in
+  let digest = ref "" in
+  let times =
+    Array.init 7 (fun _ ->
+        let proof, dt =
+          wall (fun () -> Snark.prove_rng ~rng:(Source.of_seed snark_prove_seed) kp.Snark.pk cs)
+        in
+        digest :=
+          Zebra_hashing.Sha256.to_hex
+            (Zebra_hashing.Sha256.digest (Snark.proof_to_bytes proof));
+        dt)
+  in
+  Array.sort compare times;
+  let prove_min = times.(0) and prove_med = times.(3) in
+  if !digest <> snark_expected_digest then begin
+    Printf.eprintf "FATAL: proof digest moved: %s (expected %s)\n%!" !digest
+      snark_expected_digest;
+    exit 1
+  end;
+  Printf.printf
+    "reward-majority-n5 (%d constraints): prove min %.3fs med %.3fs (baseline %.3f/%.3f -> %.2fx)\n\
+     proof digest unchanged: %s\n%!"
+    (Cs.num_constraints cs) prove_min prove_med snark_baseline_min snark_baseline_median
+    (snark_baseline_min /. prove_min)
+    (String.sub !digest 0 16);
+  (* Keypair cache: a named hit skips synthesis and setup entirely. *)
+  let cache = Snark.Keycache.create ~capacity:4 () in
+  let _ =
+    Snark.Keycache.setup_named cache ~circuit_id:"bench/reward-n5" ~seed:snark_setup_seed
+      snark_reward_circuit
+  in
+  let hit_ns =
+    bechamel_ns "keycache-hit" (fun () ->
+        ignore
+          (Snark.Keycache.setup_named cache ~circuit_id:"bench/reward-n5"
+             ~seed:snark_setup_seed snark_reward_circuit))
+  in
+  let hit_s = hit_ns /. 1e9 in
+  Printf.printf "keycache: setup miss %.3fs, named hit %.1f us (%.0fx cheaper)\n%!" setup_miss
+    (hit_ns /. 1e3) (setup_miss /. hit_s);
+  (* Decoded-VK cache. *)
+  let vk_bytes = Snark.vk_to_bytes kp.Snark.vk in
+  let decode_ns = bechamel_ns "vk-decode" (fun () -> ignore (Snark.vk_of_bytes vk_bytes)) in
+  let cached_ns =
+    bechamel_ns "vk-cached" (fun () -> ignore (Snark.vk_of_bytes_cached vk_bytes))
+  in
+  Printf.printf "vk decode: %.1f us cold, %.2f us cached\n%!" (decode_ns /. 1e3)
+    (cached_ns /. 1e3);
+  (* Batched audit: 8 attestations under the contract's one CPLA key.
+     Sequential = the stateless pre-batching path (decode + verify per
+     proof); batched = one decode plus one RLC check, the audit_task path. *)
+  let atts = Array.init 8 (fun _ -> make_attestation ()) in
+  let params, _, _, _, _ = atts.(0) in
+  let auth_vk = Cpla.vk_to_bytes params in
+  let items =
+    Array.map
+      (fun (_, prefix, message, root, att) ->
+        (Cpla.public_inputs ~prefix ~message ~root att, att.Cpla.proof))
+      atts
+  in
+  let seq_ns =
+    bechamel_ns "audit-sequential" (fun () ->
+        Array.iter
+          (fun (pi, proof) ->
+            let vk = Snark.vk_of_bytes auth_vk in
+            assert (Snark.verify vk ~public_inputs:pi proof))
+          items)
+  in
+  let batch_ns =
+    bechamel_ns "audit-batched" (fun () ->
+        let vk = Snark.vk_of_bytes_cached auth_vk in
+        assert (Snark.batch_verify ~rng:(Source.of_seed "bench-snark-audit") vk items))
+  in
+  Printf.printf "audit of 8: sequential %.1f us, batched %.1f us (%.1fx)\n%!" (seq_ns /. 1e3)
+    (batch_ns /. 1e3) (seq_ns /. batch_ns);
+  let json =
+    Json.to_string
+      (Json.Obj
+         [
+           ( "baseline",
+             Json.Obj
+               [
+                 ("commit", Json.Str "ce50ef0");
+                 ("prove_seconds_min", Json.Num snark_baseline_min);
+                 ("prove_seconds_median", Json.Num snark_baseline_median);
+                 ("proof_sha256", Json.Str snark_expected_digest);
+                 ( "note",
+                   Json.Str
+                     "pre-PR tree, ZEBRA_DOMAINS=1, reward-majority-n5, seeds \
+                      bench-snark-setup/bench-snark-prove" );
+               ] );
+           ("circuit", Json.Str "reward-majority-n5");
+           ("constraints", Json.Num (float_of_int (Cs.num_constraints cs)));
+           ("prove_seconds_min", Json.Num prove_min);
+           ("prove_seconds_median", Json.Num prove_med);
+           ("prove_speedup_min", Json.Num (snark_baseline_min /. prove_min));
+           ("proof_sha256", Json.Str !digest);
+           ("proof_digest_unchanged", Json.Bool (!digest = snark_expected_digest));
+           ("setup_miss_seconds", Json.Num setup_miss);
+           ("keycache_hit_seconds", Json.Num hit_s);
+           ("keycache_hit_speedup", Json.Num (setup_miss /. hit_s));
+           ("vk_decode_us", Json.Num (decode_ns /. 1e3));
+           ("vk_cached_us", Json.Num (cached_ns /. 1e3));
+           ("audit_batch_size", Json.Num 8.);
+           ("audit_sequential_us", Json.Num (seq_ns /. 1e3));
+           ("audit_batched_us", Json.Num (batch_ns /. 1e3));
+           ("audit_batch_speedup", Json.Num (seq_ns /. batch_ns));
+         ])
+  in
+  let oc = open_out "BENCH_snark.json" in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote BENCH_snark.json (%d bytes)\n%!" (String.length json)
+
 let lint () =
   header "X10: zebra_lint analyzer wall-time across the deployed circuits";
   let module Lint = Zebra_lint.Lint in
@@ -694,6 +845,7 @@ let all () =
   obs ();
   parallel ();
   lint ();
+  snark ();
   chaos ()
 
 let () =
@@ -710,10 +862,16 @@ let () =
   | "obs" -> obs ()
   | "parallel" -> parallel ()
   | "lint" -> lint ()
+  | "snark" -> snark ()
+  | "snark-digest" ->
+    (* Fast path for the check.sh determinism gate: print only the proof
+       digest, so runs under different ZEBRA_DOMAINS / ZEBRA_KEYCACHE
+       settings can be diffed. *)
+    print_endline (snark_prove_digest ())
   | "chaos" -> chaos ()
   | "all" -> all ()
   | other ->
     Printf.eprintf
-      "unknown bench %S; try: table1 fig4 memory link endtoend ablation-fft ablation-field ablation-hash nonanon obs parallel lint chaos all\n"
+      "unknown bench %S; try: table1 fig4 memory link endtoend ablation-fft ablation-field ablation-hash nonanon obs parallel lint snark chaos all\n"
       other;
     exit 1

@@ -87,7 +87,7 @@ let attestation_size_bytes att = Bytes.length (attestation_to_bytes att)
 let vk_to_bytes p = Snark.vk_to_bytes p.keys.Snark.vk
 
 let verify_with_vk ~vk_bytes ~prefix ~message ~root att =
-  match Snark.vk_of_bytes vk_bytes with
+  match Snark.vk_of_bytes_cached vk_bytes with
   | vk -> Snark.verify vk ~public_inputs:(public_inputs ~prefix ~message ~root att) att.proof
   | exception Codec.Decode_error _ -> false
 

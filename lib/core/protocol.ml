@@ -21,6 +21,8 @@ type system = {
   faucet : Wallet.t;
   ra_rsa : Zebra_rsa.Rsa.private_key;
   rng : Source.t;
+  setup_seed : string;
+  keycache : Zebra_snark.Snark.Keycache.t;
   mutable retry : retry_policy;
 }
 
@@ -160,6 +162,8 @@ let create_system ?(num_nodes = 3) ?(tree_depth = 6) ?(wallet_bits = 512) ?rng
       faucet;
       ra_rsa;
       rng;
+      setup_seed = seed;
+      keycache = Zebra_snark.Snark.Keycache.create ();
       retry;
     }
   in
@@ -240,6 +244,19 @@ let publish_task_r sys ~requester ~policy ~n ~budget ?(answer_window = 20)
   match fresh_funded_wallet_r sys ~phase:"task_publish" ~amount:(budget + 1) with
   | Error err -> Error err
   | Ok wallet -> (
+    (* When the caller supplies no circuit, go through the system keypair
+       cache: repeat publications of the same (policy, n) shape skip the
+       trusted setup entirely.  Setup randomness derives from the system
+       seed (not the shared [sys.rng] stream), so the keys are the same
+       whether or not the cache retains anything. *)
+    let circuit =
+      match circuit with
+      | Some _ -> circuit
+      | None ->
+        Some
+          (Reward_circuit.setup_cached sys.keycache
+             ~seed:(sys.setup_seed ^ "/reward-circuit") ~policy ~n)
+    in
     let height = Network.height sys.net in
     let task, tx =
       Requester.create_task ?circuit ~max_per_worker ~ra_rsa_pub ~data_digest
@@ -417,7 +434,20 @@ let finalize sys task =
 
 (* --- Audit --- *)
 
-let audit_task sys ~task =
+type audit_report = {
+  all_valid : bool;
+  checked : int;
+  batches : int;
+  fallbacks : int;
+  offenders : int list;
+}
+
+let m_batches = Obs.Counter.make "audit.batch.batches"
+let m_fallbacks = Obs.Counter.make "audit.batch.fallbacks"
+let m_offenders = Obs.Counter.make "audit.batch.offenders"
+
+let audit_task_report ?(batch_size = 32) ?seed sys ~task =
+  if batch_size < 1 then invalid_arg "Protocol.audit_task_report: batch_size must be >= 1";
   Obs.with_span "protocol.audit" @@ fun () ->
   let params = (task_storage sys task).Task_contract.params in
   let prefix = Address.to_field task in
@@ -443,42 +473,99 @@ let audit_task sys ~task =
     |> Array.of_list
   in
   let count = Array.length submissions in
-  (* Each attestation re-verifies independently (a SNARK verification each:
-     coarse enough that one submission per chunk is the right grain).
-     [reduce] is conjunction, so fold order is irrelevant — but the ordered
-     chunk fold makes it deterministic regardless. *)
-  let all_ok =
-    Parallel.map_reduce ~min_chunk:1 count
-      ~map:(fun lo hi ->
-        let ok = ref true in
-        for i = lo to hi - 1 do
-          let verdict =
-            match submissions.(i) with
-            | `Anon (sender, ciphertext, attestation) -> (
-              match Cpla.attestation_of_bytes attestation with
-              | att ->
-                Cpla.verify_with_vk ~vk_bytes:params.Task_contract.auth_vk ~prefix
-                  ~message:(Task_contract.submission_digest sender ciphertext)
-                  ~root:params.Task_contract.ra_root att
-              | exception Zebra_codec.Codec.Decode_error _ -> false)
-            | `Plain (sender, ciphertext, attestation) -> (
-              match
-                ( Plain_auth.attestation_of_bytes attestation,
-                  Zebra_rsa.Rsa.public_key_of_bytes params.Task_contract.ra_rsa_pub )
-              with
-              | att, ra_pub ->
-                Plain_auth.verify ~ra_pub ~prefix
-                  ~message:(Task_contract.submission_digest sender ciphertext)
-                  att
-              | exception Zebra_codec.Codec.Decode_error _ -> false)
+  let bad = ref [] in
+  let mark i = bad := i :: !bad in
+  (* Partition: anonymous attestations that decode share the contract's
+     CPLA key, so they batch; malformed ones are offenders outright and
+     classical (RSA) ones verify individually below. *)
+  let anon = ref [] in
+  let plain = ref [] in
+  Array.iteri
+    (fun i sub ->
+      match sub with
+      | `Anon (sender, ciphertext, attestation) -> (
+        match Cpla.attestation_of_bytes attestation with
+        | att ->
+          let message = Task_contract.submission_digest sender ciphertext in
+          let pi =
+            Cpla.public_inputs ~prefix ~message ~root:params.Task_contract.ra_root att
           in
-          ok := !ok && verdict
-        done;
-        !ok)
-      ~reduce:( && ) true
-  in
+          anon := (i, pi, att.Cpla.proof) :: !anon
+        | exception Zebra_codec.Codec.Decode_error _ -> mark i)
+      | `Plain (sender, ciphertext, attestation) -> (
+        match
+          ( Plain_auth.attestation_of_bytes attestation,
+            Zebra_rsa.Rsa.public_key_of_bytes params.Task_contract.ra_rsa_pub )
+        with
+        | att, ra_pub ->
+          plain := (i, Task_contract.submission_digest sender ciphertext, att, ra_pub) :: !plain
+        | exception Zebra_codec.Codec.Decode_error _ -> mark i))
+    submissions;
+  let anon = Array.of_list (List.rev !anon) in
+  let plain = Array.of_list (List.rev !plain) in
+  (* Classical signatures have no shared key to combine under; they verify
+     independently, fanned out over the pool (slot-disjoint writes, so the
+     verdict is pool-independent). *)
+  let plain_ok = Array.make (Array.length plain) false in
+  Parallel.parallel_for ~min_chunk:1 (Array.length plain) (fun lo hi ->
+      for k = lo to hi - 1 do
+        let _, message, att, ra_pub = plain.(k) in
+        plain_ok.(k) <- Plain_auth.verify ~ra_pub ~prefix ~message att
+      done);
+  Array.iteri (fun k (i, _, _, _) -> if not plain_ok.(k) then mark i) plain;
+  let n_batches = ref 0 in
+  let n_fallbacks = ref 0 in
+  (match Zebra_snark.Snark.vk_of_bytes_cached params.Task_contract.auth_vk with
+  | vk ->
+    (* One random-linear-combination check per block of [batch_size]
+       attestations.  The RLC scalar comes from a seed derived per batch
+       (default: the task address), never from [sys.rng] — replaying the
+       audit is deterministic, at any ZEBRA_DOMAINS, and batching on or
+       off cannot shift the system's shared randomness stream. *)
+    let base_seed =
+      match seed with Some s -> s | None -> "audit/" ^ Address.to_hex task
+    in
+    let total = Array.length anon in
+    let b = ref 0 in
+    while !b * batch_size < total do
+      let lo = !b * batch_size in
+      let len = min batch_size (total - lo) in
+      let block = Array.sub anon lo len in
+      let items = Array.map (fun (_, pi, proof) -> (pi, proof)) block in
+      let rng = Source.of_seed (Printf.sprintf "%s#%d" base_seed !b) in
+      incr n_batches;
+      if not (Zebra_snark.Snark.batch_verify ~rng vk items) then begin
+        (* The batch test has one-sided error: a failure proves at least
+           one bad proof but not which, so re-verify each member to name
+           the offenders exactly. *)
+        incr n_fallbacks;
+        Array.iter
+          (fun (i, pi, proof) ->
+            if not (Zebra_snark.Snark.verify vk ~public_inputs:pi proof) then mark i)
+          block
+      end;
+      incr b
+    done
+  | exception Zebra_codec.Codec.Decode_error _ ->
+    (* Malformed contract key: every anonymous attestation fails, exactly
+       as per-submission [Cpla.verify_with_vk] would have reported. *)
+    Array.iter (fun (i, _, _) -> mark i) anon);
+  let offenders = List.sort_uniq compare !bad in
   Obs.Counter.add m_audited count;
-  (all_ok, count)
+  Obs.Counter.add m_batches !n_batches;
+  Obs.Counter.add m_fallbacks !n_fallbacks;
+  Obs.Counter.add m_offenders (List.length offenders);
+  {
+    all_valid = offenders = [];
+    checked = count;
+    batches = !n_batches;
+    fallbacks = !n_fallbacks;
+    offenders;
+  }
+
+let audit_task sys ~task =
+  let report = audit_task_report sys ~task in
+  (report.all_valid, report.checked)
 
 let run_batch sys ~policy ~budget_per_task ~answer_sets =
   (match answer_sets with

@@ -47,6 +47,12 @@ type system = {
   ra_rsa : Zebra_rsa.Rsa.private_key;
       (** the RA's classical signing key for the non-anonymous mode *)
   rng : Zebra_rng.Source.t;
+  setup_seed : string;
+      (** the [~seed] passed to {!create_system} — trusted-setup randomness
+          for cached circuits derives from it, never from [rng] *)
+  keycache : Zebra_snark.Snark.Keycache.t;
+      (** keypair cache behind {!publish_task}; capacity from
+          [ZEBRA_KEYCACHE] *)
   mutable retry : retry_policy;
 }
 
@@ -192,16 +198,42 @@ val finalize_r : system -> Requester.task -> (unit, error) result
 (** Raising wrapper around {!finalize_r}. *)
 val finalize : system -> Requester.task -> unit
 
+(** What an audit found.  [offenders] are indices into the chain-ordered
+    submission list (the order {!audit_task_report} scanned the blocks in),
+    sorted ascending; [batches]/[fallbacks] count the random-linear-
+    combination blocks checked and how many of them failed and were
+    re-verified proof by proof. *)
+type audit_report = {
+  all_valid : bool;
+  checked : int;
+  batches : int;
+  fallbacks : int;
+  offenders : int list;
+}
+
 (** Audit: re-verify every submission attestation mined for [task], the way
     an external verifier (or a full node replaying the chain) would — walks
     the blocks for Submit/Submit_plain transactions addressed to the task
     contract and re-checks each attestation against the contract's
     verification key, root and the actual sender/ciphertext digest.
-    Verifications fan out over the parallel pool (one submission per
-    chunk); the verdict is the conjunction and is independent of
-    [ZEBRA_DOMAINS].  Returns [(all_valid, attestations_checked)].  Runs
-    under the [protocol.audit] span and bumps the
-    [protocol.audit.attestations] counter. *)
+
+    Anonymous attestations all verify under the contract's one CPLA key, so
+    they are checked in blocks of [batch_size] (default 32) with a single
+    random-linear-combination test per block
+    ({!Zebra_snark.Snark.batch_verify}); a failed block falls back to
+    per-proof verification, so [offenders] names exactly the bad
+    submissions.  Classical (RSA) attestations verify individually.  The
+    RLC randomness is seeded from [seed] (default: derived from the task
+    address) plus the batch number — the audit is replayable and its result
+    independent of [ZEBRA_DOMAINS] and of [batch_size].  Runs under the
+    [protocol.audit] span; bumps [protocol.audit.attestations] and the
+    [audit.batch.*] counters.
+    @raise Invalid_argument when [batch_size < 1]. *)
+val audit_task_report :
+  ?batch_size:int -> ?seed:string -> system -> task:Zebra_chain.Address.t -> audit_report
+
+(** [audit_task sys ~task] is {!audit_task_report} reduced to
+    [(all_valid, attestations_checked)] (the pre-batching interface). *)
 val audit_task : system -> task:Zebra_chain.Address.t -> bool * int
 
 (** Batch driver for same-shape tasks: one requester, one worker pool, one

@@ -20,10 +20,20 @@ let synthesize ~task_tag ~pseudonym ~task_prefix ~epoch ~sk =
   enforce_eq cs ~label:"epoch pseudonym" (mimc_hash cs [ v v_epoch; v v_sk ]) (v v_pseudo);
   cs
 
-let setup ~random_bytes =
+let constraint_system () =
   let z = Fp.zero in
-  let cs = synthesize ~task_tag:z ~pseudonym:z ~task_prefix:z ~epoch:z ~sk:z in
+  synthesize ~task_tag:z ~pseudonym:z ~task_prefix:z ~epoch:z ~sk:z
+
+let setup ~random_bytes =
+  let cs = constraint_system () in
   { keys = Snark.setup ~random_bytes cs; n_constraints = Cs.num_constraints cs }
+
+(* The link circuit has a single fixed structure, so a constant id keys it. *)
+let setup_cached cache ~seed =
+  let keys, shape =
+    Snark.Keycache.setup_named cache ~circuit_id:"reputation/link" ~seed constraint_system
+  in
+  { keys; n_constraints = shape.Snark.Keycache.constraints }
 
 let circuit_size p = p.n_constraints
 let vk_bytes p = Snark.vk_to_bytes p.keys.Snark.vk
@@ -47,7 +57,7 @@ let prove_link ~random_bytes p ~key ~task_prefix ~epoch =
   Snark.prove ~random_bytes p.keys.Snark.pk cs
 
 let verify_link ~vk_bytes ~task_tag ~pseudonym ~task_prefix ~epoch proof =
-  match Snark.vk_of_bytes vk_bytes with
+  match Snark.vk_of_bytes_cached vk_bytes with
   | vk ->
     Snark.verify vk
       ~public_inputs:[| task_tag; pseudonym; task_prefix; epoch_field epoch |]

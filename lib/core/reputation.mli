@@ -29,6 +29,11 @@ type params
 
 val setup : random_bytes:(int -> bytes) -> params
 
+(** {!setup} through a keypair cache under the fixed id ["reputation/link"];
+    randomness derives from [seed] alone, so results are byte-identical to
+    a fresh seeded setup (see {!Zebra_snark.Snark.Keycache}). *)
+val setup_cached : Zebra_snark.Snark.Keycache.t -> seed:string -> params
+
 val circuit_size : params -> int
 val vk_bytes : params -> bytes
 

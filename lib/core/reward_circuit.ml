@@ -199,6 +199,22 @@ let setup ~random_bytes ~policy ~n =
   let cs = constraint_system ~policy ~n in
   { policy; n; keys = Snark.setup ~random_bytes cs; n_constraints = Cs.num_constraints cs }
 
+(* (policy, n) determines the synthesised structure, so a digest of the
+   policy encoding plus n is a sound cache identifier — the named path lets
+   a hit skip synthesis as well as setup. *)
+let circuit_id ~policy ~n =
+  Printf.sprintf "reward/%s/n=%d"
+    (Zebra_hashing.Sha256.to_hex (Zebra_hashing.Sha256.digest (Policy.to_bytes policy)))
+    n
+
+let setup_cached cache ~seed ~policy ~n =
+  if n <= 0 then invalid_arg "Reward_circuit.setup_cached: need n > 0";
+  let keys, shape =
+    Snark.Keycache.setup_named cache ~circuit_id:(circuit_id ~policy ~n) ~seed (fun () ->
+        constraint_system ~policy ~n)
+  in
+  { policy; n; keys; n_constraints = shape.Snark.Keycache.constraints }
+
 let policy t = t.policy
 let n t = t.n
 let num_constraints t = t.n_constraints
@@ -237,6 +253,6 @@ let prove ~random_bytes t ~esk ~rho ~cts ~rewards =
   Snark.prove ~random_bytes t.keys.Snark.pk cs
 
 let verify ~vk_bytes ~epk ~rho ~cts ~rewards proof =
-  match Snark.vk_of_bytes vk_bytes with
+  match Snark.vk_of_bytes_cached vk_bytes with
   | vk -> Snark.verify vk ~public_inputs:(public_inputs ~epk ~rho ~cts ~rewards) proof
   | exception Zebra_codec.Codec.Decode_error _ -> false

@@ -28,6 +28,15 @@ type t
     "establishments of zk-SNARKs"). *)
 val setup : random_bytes:(int -> bytes) -> policy:Policy.t -> n:int -> t
 
+(** [setup_cached cache ~seed ~policy ~n] — {!setup} through a keypair
+    cache.  The cache key is derived from the policy encoding, [n] and
+    [seed]; on a hit, both circuit synthesis and the trusted setup are
+    skipped.  Setup randomness comes from [seed] alone, so hit and miss
+    produce byte-identical keys (see {!Zebra_snark.Snark.Keycache}).
+    @raise Invalid_argument when [n <= 0]. *)
+val setup_cached :
+  Zebra_snark.Snark.Keycache.t -> seed:string -> policy:Policy.t -> n:int -> t
+
 (** The circuit synthesised at the setup's dummy assignment — the structure
     {!setup} compiles, exposed for static analysis ([Zebra_lint]).
     @raise Invalid_argument when [n <= 0]. *)

@@ -7,12 +7,26 @@ module Parallel = Zebra_parallel.Parallel
 let par_min_butterflies = 1 lsl 12
 let par_min_pointwise = 1 lsl 13
 
+(* A domain carries lazily-built power tables ([||] = not built yet):
+   - [tw] / [tw_inv]: omega^i (resp. omega^-i) for i < size/2, shared by
+     every butterfly stage via stride indexing — without them each
+     butterfly pays an extra multiplication stepping its twiddle.
+   - [coset_pows]: g^i for i < size (coset_fft input scaling).
+   - [coset_unscale]: size_inv * g^-i (coset_ifft output scaling with the
+     inverse-NTT 1/n factor folded in — field multiplication is exact and
+     associative, so folding changes no output byte).
+   Tables hold the exact values the replaced running products computed, so
+   results are limb-identical to the table-free code path. *)
 type domain = {
   log_size : int;
   size : int;
   omega : Fp.t;
   omega_inv : Fp.t;
   size_inv : Fp.t;
+  mutable tw : Fp.t array;
+  mutable tw_inv : Fp.t array;
+  mutable coset_pows : Fp.t array;
+  mutable coset_unscale : Fp.t array;
 }
 
 let domain n =
@@ -22,11 +36,49 @@ let domain n =
   if log_size > Fp.two_adicity then invalid_arg "Fft.domain: exceeds field 2-adicity";
   let size = 1 lsl log_size in
   let omega = Fp.root_of_unity log_size in
-  { log_size; size; omega; omega_inv = Fp.inv omega; size_inv = Fp.inv (Fp.of_int size) }
+  {
+    log_size;
+    size;
+    omega;
+    omega_inv = Fp.inv omega;
+    size_inv = Fp.inv (Fp.of_int size);
+    tw = [||];
+    tw_inv = [||];
+    coset_pows = [||];
+    coset_unscale = [||];
+  }
 
 let size d = d.size
 let omega d = d.omega
 let element d i = Fp.pow_int d.omega i
+
+(* [| init; init*base; ...; init*base^(n-1) |].  Each chunk re-seeds its
+   running power with the fixed-base table, so the result is independent of
+   the chunk grid (and of ZEBRA_DOMAINS). *)
+let power_table ?(init = Fp.one) base n =
+  if n = 0 then [||]
+  else begin
+    let t = Array.make n init in
+    let fb = Fp.fixed_base base in
+    Parallel.parallel_for ~min_chunk:par_min_pointwise n (fun lo hi ->
+        let p = ref (Fp.mul init (Fp.fixed_base_pow fb lo)) in
+        for i = lo to hi - 1 do
+          t.(i) <- !p;
+          p := Fp.mul !p base
+        done);
+    t
+  end
+
+(* Lazy table accessors.  Tables are built on the calling domain (never
+   inside a butterfly fan-out), then only read concurrently. *)
+let twiddles d =
+  if Array.length d.tw = 0 && d.size >= 2 then d.tw <- power_table d.omega (d.size / 2);
+  d.tw
+
+let twiddles_inv d =
+  if Array.length d.tw_inv = 0 && d.size >= 2 then
+    d.tw_inv <- power_table d.omega_inv (d.size / 2);
+  d.tw_inv
 
 let bit_reverse_permute a =
   let n = Array.length a in
@@ -49,24 +101,26 @@ let bit_reverse_permute a =
     end
   done
 
-let ntt_in_place a root =
+(* [tw] holds root^i for i < n/2; the stage with block size [blk] reads its
+   twiddle w_len^j = root^(j * n/blk) at stride n/blk.  One shared table
+   replaces the per-butterfly running product (halving the multiplication
+   count) and makes chunk boundaries trivially grid-independent. *)
+let ntt_in_place a tw =
   let n = Array.length a in
   bit_reverse_permute a;
   let len = ref 2 in
   while !len <= n do
     let blk = !len in
-    let w_len = Fp.pow_int root (n / blk) in
     let half = blk / 2 in
-    (* One block's butterflies over j in [jlo, jhi), twiddle starting at
-       w0 = w_len^jlo.  Writes touch only slots base+j and base+j+half. *)
-    let butterflies base w0 jlo jhi =
-      let w = ref w0 in
+    let stride = n / blk in
+    (* One block's butterflies over j in [jlo, jhi).  Writes touch only
+       slots base+j and base+j+half. *)
+    let butterflies base jlo jhi =
       for j = jlo to jhi - 1 do
         let u = a.(base + j) in
-        let v = Fp.mul a.(base + j + half) !w in
+        let v = Fp.mul a.(base + j + half) tw.(j * stride) in
         a.(base + j) <- Fp.add u v;
-        a.(base + j + half) <- Fp.sub u v;
-        w := Fp.mul !w w_len
+        a.(base + j + half) <- Fp.sub u v
       done
     in
     if half >= par_min_butterflies then
@@ -75,7 +129,7 @@ let ntt_in_place a root =
       while !base < n do
         let b = !base in
         Parallel.parallel_for ~min_chunk:par_min_butterflies half (fun jlo jhi ->
-            butterflies b (Fp.pow_int w_len jlo) jlo jhi);
+            butterflies b jlo jhi);
         base := b + blk
       done
     else if n / 2 >= par_min_butterflies then
@@ -85,12 +139,12 @@ let ntt_in_place a root =
         (n / blk)
         (fun blo bhi ->
           for b = blo to bhi - 1 do
-            butterflies (b * blk) Fp.one 0 half
+            butterflies (b * blk) 0 half
           done)
     else begin
       let base = ref 0 in
       while !base < n do
-        butterflies !base Fp.one 0 half;
+        butterflies !base 0 half;
         base := !base + blk
       done
     end;
@@ -102,11 +156,11 @@ let check_len d a =
 
 let fft d a =
   check_len d a;
-  ntt_in_place a d.omega
+  ntt_in_place a (twiddles d)
 
 let ifft d a =
   check_len d a;
-  ntt_in_place a d.omega_inv;
+  ntt_in_place a (twiddles_inv d);
   Parallel.parallel_for ~min_chunk:par_min_pointwise d.size (fun lo hi ->
       for i = lo to hi - 1 do
         a.(i) <- Fp.mul a.(i) d.size_inv
@@ -114,24 +168,33 @@ let ifft d a =
 
 let coset_shift = Fp.generator
 
-(* a.(i) <- a.(i) * base^i.  Each chunk seeds its own running power at
-   base^lo, so the result does not depend on how the range is split. *)
-let scale_by_powers a base =
+(* a.(i) <- a.(i) * t.(i), the pointwise pass both coset transforms use. *)
+let scale_by_table a t =
   Parallel.parallel_for ~min_chunk:par_min_pointwise (Array.length a) (fun lo hi ->
-      let g = ref (Fp.pow_int base lo) in
       for i = lo to hi - 1 do
-        a.(i) <- Fp.mul a.(i) !g;
-        g := Fp.mul !g base
+        a.(i) <- Fp.mul a.(i) t.(i)
       done)
+
+let coset_table d =
+  if Array.length d.coset_pows = 0 then d.coset_pows <- power_table coset_shift d.size;
+  d.coset_pows
+
+let coset_unscale_table d =
+  if Array.length d.coset_unscale = 0 then
+    d.coset_unscale <- power_table ~init:d.size_inv (Fp.inv coset_shift) d.size;
+  d.coset_unscale
 
 let coset_fft d a =
   check_len d a;
-  scale_by_powers a coset_shift;
+  scale_by_table a (coset_table d);
   fft d a
 
 let coset_ifft d a =
-  ifft d a;
-  scale_by_powers a (Fp.inv coset_shift)
+  check_len d a;
+  ntt_in_place a (twiddles_inv d);
+  (* One pass applies both the inverse-NTT 1/n factor and the coset
+     unshift g^-i (folded table — see [coset_unscale]). *)
+  scale_by_table a (coset_unscale_table d)
 
 let vanishing_on_coset d = Fp.sub (Fp.pow_int coset_shift d.size) Fp.one
 let vanishing_at d x = Fp.sub (Fp.pow_int x d.size) Fp.one

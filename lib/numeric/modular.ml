@@ -72,10 +72,16 @@ let sub_m ctx a r =
     end
   done
 
-(* CIOS Montgomery multiplication: returns a*b*R^{-1} mod m. *)
+(* CIOS Montgomery multiplication: returns a*b*R^{-1} mod m.  The two limbs
+   that overflow the n-wide accumulator live in scalar refs so [t] itself
+   (allocated once, at exactly the result width) is returned — this is the
+   innermost loop of the whole prover, and the obvious (n+2)-wide temp plus
+   [Array.sub] costs a second allocation per field multiplication. *)
 let mont_mul ctx a b =
   let n = ctx.n in
-  let t = Array.make (n + 2) 0 in
+  let t = Array.make n 0 in
+  let t_n = ref 0 in
+  let t_n1 = ref 0 in
   for i = 0 to n - 1 do
     let ai = a.(i) in
     let c = ref 0 in
@@ -84,9 +90,9 @@ let mont_mul ctx a b =
       t.(j) <- acc land mask;
       c := acc lsr limb_bits
     done;
-    let acc = t.(n) + !c in
-    t.(n) <- acc land mask;
-    t.(n + 1) <- t.(n + 1) + (acc lsr limb_bits);
+    let acc = !t_n + !c in
+    t_n := acc land mask;
+    t_n1 := !t_n1 + (acc lsr limb_bits);
     let mi = (t.(0) * ctx.m0') land mask in
     let c = ref ((t.(0) + (mi * ctx.m_limbs.(0))) lsr limb_bits) in
     for j = 1 to n - 1 do
@@ -94,14 +100,13 @@ let mont_mul ctx a b =
       t.(j - 1) <- acc land mask;
       c := acc lsr limb_bits
     done;
-    let acc = t.(n) + !c in
+    let acc = !t_n + !c in
     t.(n - 1) <- acc land mask;
-    t.(n) <- t.(n + 1) + (acc lsr limb_bits);
-    t.(n + 1) <- 0
+    t_n := !t_n1 + (acc lsr limb_bits);
+    t_n1 := 0
   done;
-  let r = Array.sub t 0 n in
-  if t.(n) <> 0 || cmp_fixed r ctx.m_limbs n >= 0 then sub_m ctx r r;
-  r
+  if !t_n <> 0 || cmp_fixed t ctx.m_limbs n >= 0 then sub_m ctx t t;
+  t
 
 let mont_sqr ctx a = mont_mul ctx a a
 

@@ -2,6 +2,8 @@ module Codec = Zebra_codec.Codec
 module Obs = Zebra_obs.Obs
 module Source = Zebra_rng.Source
 module Parallel = Zebra_parallel.Parallel
+module Sha256 = Zebra_hashing.Sha256
+module Store = Zebra_store.Store
 
 (* Field multiplications per chunk below which fanning out is a loss. *)
 let par_min_ops = 1 lsl 10
@@ -19,17 +21,32 @@ let par_init n f =
     out
   end
 
+(* Sparse kernels.  A [sparse_vec] keeps only the aux-wire entries of a
+   prover table whose QAP evaluation is nonzero; a [csr] is the classic
+   compressed-sparse-row encoding of one R1CS matrix.  Both are built once
+   per keypair at setup, so [prove] costs track nonzeros rather than
+   wire-count x constraint-count.  Dropping exact-zero terms and reordering
+   chunk partial sums never changes a result: field addition is exact and
+   the Montgomery representation canonical. *)
+type sparse_vec = { sv_idx : int array; sv_val : Fp.t array }
+
+type csr = { row_ptr : int array; col_idx : int array; coefs : Fp.t array }
+
 type proving_key = {
   p_domain : Fft.domain;
   p_num_inputs : int;
   p_num_vars : int;
-  a_s : Fp.t array; (* A_i(s) per wire *)
-  b_s : Fp.t array;
-  c_s : Fp.t array;
-  a_s_alpha : Fp.t array;
-  b_s_alpha : Fp.t array;
-  c_s_alpha : Fp.t array;
-  k_beta : Fp.t array; (* beta (A_i + B_i + C_i)(s) *)
+  p_num_constraints : int;
+  aux_a : sparse_vec; (* nonzero A_i(s) over aux wires *)
+  aux_b : sparse_vec;
+  aux_c : sparse_vec;
+  aux_a_alpha : sparse_vec;
+  aux_b_alpha : sparse_vec;
+  aux_c_alpha : sparse_vec;
+  aux_k : sparse_vec; (* beta (A_i + B_i + C_i)(s) over aux wires *)
+  mat_a : csr; (* constraint matrices, for the per-proof evaluations *)
+  mat_b : csr;
+  mat_c : csr;
   powers : Fp.t array; (* s^0 .. s^d *)
   z_s : Fp.t;
   z_alpha_a : Fp.t;
@@ -65,6 +82,64 @@ type proof = {
 
 type keypair = { pk : proving_key; vk : verifying_key; trapdoor : trapdoor }
 
+let g_sparse_mat_nnz = Obs.Gauge.make "snark.sparse.mat_nnz"
+let g_sparse_aux_nnz = Obs.Gauge.make "snark.sparse.aux_nnz"
+
+(* One matrix of the system as CSR, zero coefficients dropped, term order
+   preserved (insertion order per row). *)
+let csr_of_cs cs select =
+  let n = Cs.num_constraints cs in
+  let row_ptr = Array.make (n + 1) 0 in
+  Cs.iter_constraints cs (fun ~index ~label:_ a b c ->
+      let k =
+        List.fold_left
+          (fun acc (coeff, _) -> if Fp.is_zero coeff then acc else acc + 1)
+          0 (select a b c)
+      in
+      row_ptr.(index + 1) <- k);
+  for i = 1 to n do
+    row_ptr.(i) <- row_ptr.(i) + row_ptr.(i - 1)
+  done;
+  let nnz = row_ptr.(n) in
+  let col_idx = Array.make nnz 0 in
+  let coefs = Array.make nnz Fp.zero in
+  Cs.iter_constraints cs (fun ~index ~label:_ a b c ->
+      let pos = ref row_ptr.(index) in
+      List.iter
+        (fun (coeff, var) ->
+          if not (Fp.is_zero coeff) then begin
+            col_idx.(!pos) <- Cs.int_of_var var;
+            coefs.(!pos) <- coeff;
+            incr pos
+          end)
+        (select a b c));
+  { row_ptr; col_idx; coefs }
+
+let csr_nnz m = Array.length m.coefs
+
+(* Entries of [dense] at indices >= lo with nonzero value, as index/value
+   parallel arrays. *)
+let sparse_of_dense ~lo dense =
+  let n = Array.length dense in
+  let count = ref 0 in
+  for i = lo to n - 1 do
+    if not (Fp.is_zero dense.(i)) then incr count
+  done;
+  let sv_idx = Array.make !count 0 in
+  let sv_val = Array.make !count Fp.zero in
+  let pos = ref 0 in
+  for i = lo to n - 1 do
+    if not (Fp.is_zero dense.(i)) then begin
+      sv_idx.(!pos) <- i;
+      sv_val.(!pos) <- dense.(i);
+      incr pos
+    end
+  done;
+  { sv_idx; sv_val }
+
+let scale_vec factor v =
+  { sv_idx = v.sv_idx; sv_val = par_init (Array.length v.sv_val) (fun k -> Fp.mul factor v.sv_val.(k)) }
+
 let setup ~random_bytes cs =
   Obs.with_span "snark.setup" @@ fun () ->
   let n_constraints = Cs.num_constraints cs in
@@ -83,32 +158,35 @@ let setup ~random_bytes cs =
   let alpha_b = Fp.random random_bytes in
   let alpha_c = Fp.random random_bytes in
   let beta = Fp.random random_bytes in
+  let mat_a = csr_of_cs cs (fun a _ _ -> a) in
+  let mat_b = csr_of_cs cs (fun _ b _ -> b) in
+  let mat_c = csr_of_cs cs (fun _ _ c -> c) in
   let a_s = Array.make n_vars Fp.zero in
   let b_s = Array.make n_vars Fp.zero in
   let c_s = Array.make n_vars Fp.zero in
   Obs.with_span "snark.setup.qap" (fun () ->
       let lag = Fft.lagrange_at domain s in
-      Array.iteri
-        (fun j (a, b, c) ->
+      let accumulate dst (m : csr) =
+        for j = 0 to n_constraints - 1 do
           let lj = lag.(j) in
-          let accumulate dst lc =
-            List.iter
-              (fun (coeff, var) ->
-                let i = Cs.int_of_var var in
-                dst.(i) <- Fp.add dst.(i) (Fp.mul coeff lj))
-              lc
-          in
-          accumulate a_s a;
-          accumulate b_s b;
-          accumulate c_s c)
-        (Cs.constraints cs));
+          for k = m.row_ptr.(j) to m.row_ptr.(j + 1) - 1 do
+            let i = m.col_idx.(k) in
+            dst.(i) <- Fp.add dst.(i) (Fp.mul m.coefs.(k) lj)
+          done
+        done
+      in
+      accumulate a_s mat_a;
+      accumulate b_s mat_b;
+      accumulate c_s mat_c);
   let powers =
     Obs.with_span "snark.setup.exp" (fun () ->
-        (* Each chunk re-seeds its running power at s^lo, so the table is
-           independent of the chunk grid (and of ZEBRA_DOMAINS). *)
+        (* Each chunk re-seeds its running power at s^lo (via the windowed
+           fixed-base table), so the table is independent of the chunk grid
+           (and of ZEBRA_DOMAINS). *)
         let powers = Array.make (d + 1) Fp.one in
+        let fb = Fp.fixed_base s in
         Parallel.parallel_for ~min_chunk:par_min_ops (d + 1) (fun lo hi ->
-            let p = ref (Fp.pow_int s lo) in
+            let p = ref (Fp.fixed_base_pow fb lo) in
             for i = lo to hi - 1 do
               powers.(i) <- !p;
               p := Fp.mul !p s
@@ -116,18 +194,35 @@ let setup ~random_bytes cs =
         powers)
   in
   let z_s = Fft.vanishing_at domain s in
+  let aux_lo = n_inputs + 1 in
+  let aux_a = sparse_of_dense ~lo:aux_lo a_s in
+  let aux_b = sparse_of_dense ~lo:aux_lo b_s in
+  let aux_c = sparse_of_dense ~lo:aux_lo c_s in
+  let k_s = par_init n_vars (fun i -> Fp.add (Fp.add a_s.(i) b_s.(i)) c_s.(i)) in
+  let aux_k = scale_vec beta (sparse_of_dense ~lo:aux_lo k_s) in
+  if Obs.enabled () then begin
+    Obs.Gauge.set g_sparse_mat_nnz
+      (float_of_int (csr_nnz mat_a + csr_nnz mat_b + csr_nnz mat_c));
+    Obs.Gauge.set g_sparse_aux_nnz
+      (float_of_int
+         (Array.length aux_a.sv_idx + Array.length aux_b.sv_idx + Array.length aux_c.sv_idx))
+  end;
   let pk =
     {
       p_domain = domain;
       p_num_inputs = n_inputs;
       p_num_vars = n_vars;
-      a_s;
-      b_s;
-      c_s;
-      a_s_alpha = par_init n_vars (fun i -> Fp.mul alpha_a a_s.(i));
-      b_s_alpha = par_init n_vars (fun i -> Fp.mul alpha_b b_s.(i));
-      c_s_alpha = par_init n_vars (fun i -> Fp.mul alpha_c c_s.(i));
-      k_beta = par_init n_vars (fun i -> Fp.mul beta (Fp.add (Fp.add a_s.(i) b_s.(i)) c_s.(i)));
+      p_num_constraints = n_constraints;
+      aux_a;
+      aux_b;
+      aux_c;
+      aux_a_alpha = scale_vec alpha_a aux_a;
+      aux_b_alpha = scale_vec alpha_b aux_b;
+      aux_c_alpha = scale_vec alpha_c aux_c;
+      aux_k;
+      mat_a;
+      mat_b;
+      mat_c;
       powers;
       z_s;
       z_alpha_a = Fp.mul alpha_a z_s;
@@ -153,68 +248,65 @@ let setup ~random_bytes cs =
   { pk; vk; trapdoor = { t_s = s; t_vk = vk } }
 
 let prove ~random_bytes pk cs =
-  if Cs.num_vars cs <> pk.p_num_vars || Cs.num_inputs cs <> pk.p_num_inputs then
-    invalid_arg "Snark.prove: circuit shape mismatch with proving key";
+  if
+    Cs.num_vars cs <> pk.p_num_vars
+    || Cs.num_inputs cs <> pk.p_num_inputs
+    || Cs.num_constraints cs <> pk.p_num_constraints
+  then invalid_arg "Snark.prove: circuit shape mismatch with proving key";
   Obs.with_span "snark.prove" @@ fun () ->
   let w = Cs.assignment cs in
-  let n_inputs = pk.p_num_inputs in
   let d = Fft.size pk.p_domain in
   let delta1 = Fp.random random_bytes in
   let delta2 = Fp.random random_bytes in
   let delta3 = Fp.random random_bytes in
-  (* Aux-only sums at s (the verifier reconstructs the IO part).  Chunk
-     partial sums fold in chunk-index order; field addition is exact, so
-     the result is the canonical value either way. *)
-  let aux_lo = n_inputs + 1 in
-  let aux_sum table =
-    Parallel.map_reduce ~min_chunk:par_min_ops
-      (pk.p_num_vars - aux_lo)
+  (* Aux-only sums at s (the verifier reconstructs the IO part), over the
+     keypair's sparse tables.  Chunk partial sums fold in chunk-index
+     order; field addition is exact, so the result is the canonical value
+     either way. *)
+  let aux_sum vec =
+    Parallel.map_reduce ~min_chunk:par_min_ops (Array.length vec.sv_idx)
       ~map:(fun lo hi ->
         let acc = ref Fp.zero in
         for k = lo to hi - 1 do
-          let i = aux_lo + k in
-          if not (Fp.is_zero w.(i)) then acc := Fp.add !acc (Fp.mul w.(i) table.(i))
+          let wi = w.(vec.sv_idx.(k)) in
+          if not (Fp.is_zero wi) then acc := Fp.add !acc (Fp.mul wi vec.sv_val.(k))
         done;
         !acc)
       ~reduce:Fp.add Fp.zero
   in
   let pi_a, pi_b, pi_c, pi_a', pi_b', pi_c', pi_k =
     Obs.with_span "snark.prove.exp" (fun () ->
-        let pi_a = Fp.add (aux_sum pk.a_s) (Fp.mul delta1 pk.z_s) in
-        let pi_b = Fp.add (aux_sum pk.b_s) (Fp.mul delta2 pk.z_s) in
-        let pi_c = Fp.add (aux_sum pk.c_s) (Fp.mul delta3 pk.z_s) in
-        let pi_a' = Fp.add (aux_sum pk.a_s_alpha) (Fp.mul delta1 pk.z_alpha_a) in
-        let pi_b' = Fp.add (aux_sum pk.b_s_alpha) (Fp.mul delta2 pk.z_alpha_b) in
-        let pi_c' = Fp.add (aux_sum pk.c_s_alpha) (Fp.mul delta3 pk.z_alpha_c) in
+        let pi_a = Fp.add (aux_sum pk.aux_a) (Fp.mul delta1 pk.z_s) in
+        let pi_b = Fp.add (aux_sum pk.aux_b) (Fp.mul delta2 pk.z_s) in
+        let pi_c = Fp.add (aux_sum pk.aux_c) (Fp.mul delta3 pk.z_s) in
+        let pi_a' = Fp.add (aux_sum pk.aux_a_alpha) (Fp.mul delta1 pk.z_alpha_a) in
+        let pi_b' = Fp.add (aux_sum pk.aux_b_alpha) (Fp.mul delta2 pk.z_alpha_b) in
+        let pi_c' = Fp.add (aux_sum pk.aux_c_alpha) (Fp.mul delta3 pk.z_alpha_c) in
         let pi_k =
-          Fp.add (aux_sum pk.k_beta) (Fp.mul (Fp.add (Fp.add delta1 delta2) delta3) pk.z_beta)
+          Fp.add (aux_sum pk.aux_k) (Fp.mul (Fp.add (Fp.add delta1 delta2) delta3) pk.z_beta)
         in
         (pi_a, pi_b, pi_c, pi_a', pi_b', pi_c', pi_k))
   in
   (* Quotient polynomial H = (A B - C) / Z via coset FFTs.  A, B, C are the
-     full (IO + aux) witness combinations, evaluated per constraint. *)
-  let constrs = Cs.constraints cs in
-  let evals_of select =
+     full (IO + aux) witness combinations, one CSR row dot product per
+     constraint. *)
+  let evals_of (m : csr) =
     (* Constraint j writes only slot j: rows are independent. *)
     let arr = Array.make d Fp.zero in
-    Parallel.parallel_for ~min_chunk:256 (Array.length constrs) (fun lo hi ->
+    Parallel.parallel_for ~min_chunk:256 pk.p_num_constraints (fun lo hi ->
         for j = lo to hi - 1 do
-          let lc = select constrs.(j) in
           let acc = ref Fp.zero in
-          List.iter
-            (fun (coeff, var) ->
-              let i = Cs.int_of_var var in
-              if not (Fp.is_zero w.(i)) then acc := Fp.add !acc (Fp.mul coeff w.(i)))
-            lc;
+          for k = m.row_ptr.(j) to m.row_ptr.(j + 1) - 1 do
+            let wi = w.(m.col_idx.(k)) in
+            if not (Fp.is_zero wi) then acc := Fp.add !acc (Fp.mul m.coefs.(k) wi)
+          done;
           arr.(j) <- !acc
         done);
     arr
   in
   let a_evals, b_evals, c_evals =
     Obs.with_span "snark.prove.eval" (fun () ->
-        ( evals_of (fun (a, _, _) -> a),
-          evals_of (fun (_, b, _) -> b),
-          evals_of (fun (_, _, c) -> c) ))
+        (evals_of pk.mat_a, evals_of pk.mat_b, evals_of pk.mat_c))
   in
   let a_coeffs, b_coeffs, h =
     Obs.with_span "snark.prove.fft" (fun () ->
@@ -248,6 +340,8 @@ let prove ~random_bytes pk cs =
   (* d1 d2 Z = d1 d2 x^d - d1 d2 *)
   h_ext.(d) <- Fp.add h_ext.(d) d1d2;
   h_ext.(0) <- Fp.sub (Fp.sub h_ext.(0) d1d2) delta3;
+  (* H is dense per proof (it depends on the witness, not the keypair), so
+     this pass stays an index dot product with value-level zero skipping. *)
   let pi_h =
     Obs.with_span "snark.prove.exp" (fun () ->
         Parallel.map_reduce ~min_chunk:par_min_ops (d + 1)
@@ -288,6 +382,45 @@ let verify vk ~public_inputs proof =
       Fp.equal proof.pi_k (Fp.mul vk.beta (Fp.add (Fp.add proof.pi_a proof.pi_b) proof.pi_c))
     in
     divisibility && knowledge && consistency
+  end
+
+(* Random-linear-combination batch verification.  Every proof contributes
+   its five residuals (divisibility, three knowledge shifts, consistency);
+   the accumulated sum [sum_k r^k res_k] is a polynomial in [r] of degree
+   < 5m that is identically zero iff every residual is — so for [r] drawn
+   after the proofs are fixed, a batch with any invalid proof passes with
+   probability at most (5m-1)/|F| (Schwartz–Zippel; see DESIGN.md). *)
+let batch_verify ~rng vk items =
+  let m = Array.length items in
+  if m = 0 then true
+  else if Array.exists (fun (pi, _) -> Array.length pi <> vk.v_num_inputs) items then false
+  else begin
+    Obs.with_span "snark.verify.batch" @@ fun () ->
+    let rec nonzero () =
+      let r = Fp.random (Source.fn rng) in
+      if Fp.is_zero r then nonzero () else r
+    in
+    let r = nonzero () in
+    let acc = ref Fp.zero in
+    let weight = ref Fp.one in
+    let add_residual res =
+      if not (Fp.is_zero res) then acc := Fp.add !acc (Fp.mul !weight res);
+      weight := Fp.mul !weight r
+    in
+    Array.iter
+      (fun (public_inputs, p) ->
+        let a_total = Fp.add (io_part vk ~public_inputs vk.io_a) p.pi_a in
+        let b_total = Fp.add (io_part vk ~public_inputs vk.io_b) p.pi_b in
+        let c_total = Fp.add (io_part vk ~public_inputs vk.io_c) p.pi_c in
+        add_residual
+          (Fp.sub (Fp.sub (Fp.mul a_total b_total) c_total) (Fp.mul p.pi_h vk.v_z_s));
+        add_residual (Fp.sub p.pi_a' (Fp.mul vk.alpha_a p.pi_a));
+        add_residual (Fp.sub p.pi_b' (Fp.mul vk.alpha_b p.pi_b));
+        add_residual (Fp.sub p.pi_c' (Fp.mul vk.alpha_c p.pi_c));
+        add_residual
+          (Fp.sub p.pi_k (Fp.mul vk.beta (Fp.add (Fp.add p.pi_a p.pi_b) p.pi_c))))
+      items;
+    Fp.is_zero !acc
   end
 
 let simulate ~random_bytes trapdoor ~public_inputs =
@@ -338,31 +471,173 @@ let proof_of_bytes b =
       { pi_a; pi_a'; pi_b; pi_b'; pi_c; pi_c'; pi_k; pi_h })
     b
 
-let vk_to_bytes vk =
-  Codec.encode
-    (fun w vk ->
-      Codec.u32 w vk.v_num_inputs;
-      List.iter (write_fp w) [ vk.alpha_a; vk.alpha_b; vk.alpha_c; vk.beta; vk.v_z_s ];
-      Codec.array w write_fp vk.io_a;
-      Codec.array w write_fp vk.io_b;
-      Codec.array w write_fp vk.io_c)
+let write_vk w vk =
+  Codec.u32 w vk.v_num_inputs;
+  List.iter (write_fp w) [ vk.alpha_a; vk.alpha_b; vk.alpha_c; vk.beta; vk.v_z_s ];
+  Codec.array w write_fp vk.io_a;
+  Codec.array w write_fp vk.io_b;
+  Codec.array w write_fp vk.io_c
+
+let read_vk r =
+  let v_num_inputs = Codec.read_u32 r in
+  let alpha_a = read_fp r in
+  let alpha_b = read_fp r in
+  let alpha_c = read_fp r in
+  let beta = read_fp r in
+  let v_z_s = read_fp r in
+  let io_a = Codec.read_array r read_fp in
+  let io_b = Codec.read_array r read_fp in
+  let io_c = Codec.read_array r read_fp in
+  if Array.length io_a <> v_num_inputs + 1 then
+    raise (Codec.Decode_error "vk: io table length mismatch");
+  { v_num_inputs; alpha_a; alpha_b; alpha_c; beta; v_z_s; io_a; io_b; io_c }
+
+let vk_to_bytes vk = Codec.encode write_vk vk
+let vk_of_bytes b = Codec.decode read_vk b
+
+(* --- decoded-VK cache ---
+
+   Contracts and auditors hold verification keys as bytes ([auth_vk] /
+   [reward_vk] in task parameters); decoding costs ~|vk| Montgomery
+   conversions — comparable to a verification itself.  This bounded,
+   mutex-guarded memo (keyed by the exact bytes) makes repeat decodes a
+   hashtable hit.  Only successful decodes are cached. *)
+
+let vk_cache_capacity = 64
+let vk_cache : (string, verifying_key) Hashtbl.t = Hashtbl.create 16
+let vk_cache_mutex = Mutex.create ()
+let vk_cache_hits_n = Atomic.make 0
+let vk_cache_decodes_n = Atomic.make 0
+let m_vk_hits = Obs.Counter.make "snark.cache.vk.hits"
+let m_vk_decodes = Obs.Counter.make "snark.cache.vk.decodes"
+
+let vk_cache_clear () =
+  Mutex.lock vk_cache_mutex;
+  Hashtbl.reset vk_cache;
+  Mutex.unlock vk_cache_mutex;
+  Atomic.set vk_cache_hits_n 0;
+  Atomic.set vk_cache_decodes_n 0
+
+let vk_cache_stats () = (Atomic.get vk_cache_hits_n, Atomic.get vk_cache_decodes_n)
+
+let vk_of_bytes_cached b =
+  let key = Bytes.to_string b in
+  Mutex.lock vk_cache_mutex;
+  let cached = Hashtbl.find_opt vk_cache key in
+  Mutex.unlock vk_cache_mutex;
+  match cached with
+  | Some vk ->
+    Atomic.incr vk_cache_hits_n;
+    Obs.Counter.incr m_vk_hits;
+    vk
+  | None ->
+    let vk = vk_of_bytes b in
+    Atomic.incr vk_cache_decodes_n;
+    Obs.Counter.incr m_vk_decodes;
+    Mutex.lock vk_cache_mutex;
+    if Hashtbl.length vk_cache >= vk_cache_capacity then Hashtbl.reset vk_cache;
+    Hashtbl.replace vk_cache key vk;
+    Mutex.unlock vk_cache_mutex;
     vk
 
-let vk_of_bytes b =
+(* --- keypair (de)serialisation, for the Store-backed keypair cache --- *)
+
+let write_ints w a = Codec.array w (fun w i -> Codec.u32 w i) a
+let read_ints r = Codec.read_array r Codec.read_u32
+
+let write_sparse w v =
+  write_ints w v.sv_idx;
+  Codec.array w write_fp v.sv_val
+
+let read_sparse r =
+  let sv_idx = read_ints r in
+  let sv_val = Codec.read_array r read_fp in
+  if Array.length sv_idx <> Array.length sv_val then
+    raise (Codec.Decode_error "keypair: sparse vector length mismatch");
+  { sv_idx; sv_val }
+
+let write_csr w m =
+  write_ints w m.row_ptr;
+  write_ints w m.col_idx;
+  Codec.array w write_fp m.coefs
+
+let read_csr r =
+  let row_ptr = read_ints r in
+  let col_idx = read_ints r in
+  let coefs = Codec.read_array r read_fp in
+  if Array.length col_idx <> Array.length coefs then
+    raise (Codec.Decode_error "keypair: csr length mismatch");
+  { row_ptr; col_idx; coefs }
+
+let keypair_to_bytes kp =
+  Codec.encode
+    (fun w kp ->
+      let pk = kp.pk in
+      Codec.u32 w (Fft.size pk.p_domain);
+      Codec.u32 w pk.p_num_inputs;
+      Codec.u32 w pk.p_num_vars;
+      Codec.u32 w pk.p_num_constraints;
+      List.iter (write_sparse w)
+        [ pk.aux_a; pk.aux_b; pk.aux_c; pk.aux_a_alpha; pk.aux_b_alpha; pk.aux_c_alpha; pk.aux_k ];
+      List.iter (write_csr w) [ pk.mat_a; pk.mat_b; pk.mat_c ];
+      Codec.array w write_fp pk.powers;
+      List.iter (write_fp w) [ pk.z_s; pk.z_alpha_a; pk.z_alpha_b; pk.z_alpha_c; pk.z_beta ];
+      write_vk w kp.vk;
+      write_fp w kp.trapdoor.t_s)
+    kp
+
+let keypair_of_bytes b =
   Codec.decode
     (fun r ->
-      let v_num_inputs = Codec.read_u32 r in
-      let alpha_a = read_fp r in
-      let alpha_b = read_fp r in
-      let alpha_c = read_fp r in
-      let beta = read_fp r in
-      let v_z_s = read_fp r in
-      let io_a = Codec.read_array r read_fp in
-      let io_b = Codec.read_array r read_fp in
-      let io_c = Codec.read_array r read_fp in
-      if Array.length io_a <> v_num_inputs + 1 then
-        raise (Codec.Decode_error "vk: io table length mismatch");
-      { v_num_inputs; alpha_a; alpha_b; alpha_c; beta; v_z_s; io_a; io_b; io_c })
+      let size = Codec.read_u32 r in
+      let p_num_inputs = Codec.read_u32 r in
+      let p_num_vars = Codec.read_u32 r in
+      let p_num_constraints = Codec.read_u32 r in
+      let p_domain = Fft.domain size in
+      if Fft.size p_domain <> size then raise (Codec.Decode_error "keypair: bad domain size");
+      let aux_a = read_sparse r in
+      let aux_b = read_sparse r in
+      let aux_c = read_sparse r in
+      let aux_a_alpha = read_sparse r in
+      let aux_b_alpha = read_sparse r in
+      let aux_c_alpha = read_sparse r in
+      let aux_k = read_sparse r in
+      let mat_a = read_csr r in
+      let mat_b = read_csr r in
+      let mat_c = read_csr r in
+      let powers = Codec.read_array r read_fp in
+      let z_s = read_fp r in
+      let z_alpha_a = read_fp r in
+      let z_alpha_b = read_fp r in
+      let z_alpha_c = read_fp r in
+      let z_beta = read_fp r in
+      let vk = read_vk r in
+      let t_s = read_fp r in
+      let pk =
+        {
+          p_domain;
+          p_num_inputs;
+          p_num_vars;
+          p_num_constraints;
+          aux_a;
+          aux_b;
+          aux_c;
+          aux_a_alpha;
+          aux_b_alpha;
+          aux_c_alpha;
+          aux_k;
+          mat_a;
+          mat_b;
+          mat_c;
+          powers;
+          z_s;
+          z_alpha_a;
+          z_alpha_b;
+          z_alpha_c;
+          z_beta;
+        }
+      in
+      { pk; vk; trapdoor = { t_s; t_vk = vk } })
     b
 
 let proof_size_bytes p = Bytes.length (proof_to_bytes p)
@@ -380,3 +655,216 @@ let setup_rng ~rng cs = setup ~random_bytes:(Source.fn rng) cs
 let prove_rng ~rng pk cs = prove ~random_bytes:(Source.fn rng) pk cs
 let simulate_rng ~rng trapdoor ~public_inputs =
   simulate ~random_bytes:(Source.fn rng) trapdoor ~public_inputs
+
+(* --- content-addressed keypair cache --- *)
+
+module Keycache = struct
+  type shape = { constraints : int; vars : int; inputs : int }
+
+  type stats = { hits : int; misses : int; store_hits : int }
+
+  type entry = { e_kp : keypair; e_shape : shape; mutable tick : int }
+
+  type t = {
+    capacity : int;
+    table : (string, entry) Hashtbl.t;
+    persisted : (string, Store.hash) Hashtbl.t;
+    store : Store.t option;
+    mutex : Mutex.t;
+    mutable clock : int;
+    mutable hits : int;
+    mutable misses : int;
+    mutable store_hits : int;
+  }
+
+  let m_hits = Obs.Counter.make "snark.cache.hits"
+  let m_misses = Obs.Counter.make "snark.cache.misses"
+  let m_store_hits = Obs.Counter.make "snark.cache.store_hits"
+
+  (* ZEBRA_KEYCACHE: unset/"on" -> capacity 16; "off"/"0" -> disabled
+     (every setup is a miss and nothing is retained — results are still
+     byte-identical, a cached setup replays the same seeded randomness);
+     a positive integer -> that capacity. *)
+  let env_capacity () =
+    match Sys.getenv_opt "ZEBRA_KEYCACHE" with
+    | None | Some "" | Some "on" -> 16
+    | Some "off" | Some "0" -> 0
+    | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> 16)
+
+  let create ?capacity ?store () =
+    let capacity = match capacity with Some c -> max 0 c | None -> env_capacity () in
+    {
+      capacity;
+      table = Hashtbl.create 16;
+      persisted = Hashtbl.create 16;
+      store;
+      mutex = Mutex.create ();
+      clock = 0;
+      hits = 0;
+      misses = 0;
+      store_hits = 0;
+    }
+
+  let enabled c = c.capacity > 0
+
+  let stats c =
+    Mutex.lock c.mutex;
+    let s = { hits = c.hits; misses = c.misses; store_hits = c.store_hits } in
+    Mutex.unlock c.mutex;
+    s
+
+  let clear c =
+    Mutex.lock c.mutex;
+    Hashtbl.reset c.table;
+    Hashtbl.reset c.persisted;
+    c.hits <- 0;
+    c.misses <- 0;
+    c.store_hits <- 0;
+    Mutex.unlock c.mutex
+
+  let shape_of_kp kp =
+    {
+      constraints = kp.pk.p_num_constraints;
+      vars = kp.pk.p_num_vars;
+      inputs = kp.pk.p_num_inputs;
+    }
+
+  (* SHA-256 of the canonical constraint-system encoding plus the setup
+     seed: structure only (labels and witness values excluded), streamed
+     straight into the hash context. *)
+  let cs_key ~seed cs =
+    let ctx = Sha256.init () in
+    let buf = Bytes.create 4 in
+    let u32 n =
+      Bytes.set_uint8 buf 0 (n land 0xff);
+      Bytes.set_uint8 buf 1 ((n lsr 8) land 0xff);
+      Bytes.set_uint8 buf 2 ((n lsr 16) land 0xff);
+      Bytes.set_uint8 buf 3 ((n lsr 24) land 0xff);
+      Sha256.update ctx buf
+    in
+    Sha256.update_string ctx "zebra-cs-v1";
+    u32 (Cs.num_vars cs);
+    u32 (Cs.num_inputs cs);
+    u32 (Cs.num_constraints cs);
+    let lc l =
+      u32 (List.length l);
+      List.iter
+        (fun (coeff, var) ->
+          u32 (Cs.int_of_var var);
+          Sha256.update ctx (Fp.to_bytes_be coeff))
+        l
+    in
+    Cs.iter_constraints cs (fun ~index:_ ~label:_ a b c ->
+        lc a;
+        lc b;
+        lc c);
+    Sha256.update_string ctx "seed:";
+    Sha256.update_string ctx seed;
+    Sha256.to_hex (Sha256.finalize ctx)
+
+  let named_key ~circuit_id ~seed =
+    Sha256.hex_digest_string (Printf.sprintf "zebra-circuit-id-v1\x00%s\x00%s" circuit_id seed)
+
+  (* In-memory lookup + LRU touch; store fallback decodes and re-inserts. *)
+  let lookup c key =
+    Mutex.lock c.mutex;
+    let found =
+      match Hashtbl.find_opt c.table key with
+      | Some e ->
+        c.clock <- c.clock + 1;
+        e.tick <- c.clock;
+        c.hits <- c.hits + 1;
+        Some (e.e_kp, e.e_shape)
+      | None -> None
+    in
+    let persisted = if found = None then Hashtbl.find_opt c.persisted key else None in
+    Mutex.unlock c.mutex;
+    match found with
+    | Some _ ->
+      Obs.Counter.incr m_hits;
+      found
+    | None -> (
+      match (persisted, c.store) with
+      | Some hash, Some store -> (
+        match Store.get store hash with
+        | Some bytes -> (
+          match keypair_of_bytes bytes with
+          | kp ->
+            let shape = shape_of_kp kp in
+            Mutex.lock c.mutex;
+            c.store_hits <- c.store_hits + 1;
+            Mutex.unlock c.mutex;
+            Obs.Counter.incr m_store_hits;
+            Some (kp, shape)
+          | exception _ -> None)
+        | None -> None)
+      | _ -> None)
+
+  let evict_lru c =
+    if Hashtbl.length c.table > c.capacity then begin
+      let victim = ref None in
+      Hashtbl.iter
+        (fun k e ->
+          match !victim with
+          | Some (_, t) when t <= e.tick -> ()
+          | _ -> victim := Some (k, e.tick))
+        c.table;
+      match !victim with Some (k, _) -> Hashtbl.remove c.table k | None -> ()
+    end
+
+  let insert c key kp shape =
+    (match c.store with
+    | Some store ->
+      let hash = Store.put store (keypair_to_bytes kp) in
+      Mutex.lock c.mutex;
+      Hashtbl.replace c.persisted key hash;
+      Mutex.unlock c.mutex
+    | None -> ());
+    Mutex.lock c.mutex;
+    c.clock <- c.clock + 1;
+    Hashtbl.replace c.table key { e_kp = kp; e_shape = shape; tick = c.clock };
+    evict_lru c;
+    Mutex.unlock c.mutex
+
+  let miss c =
+    Mutex.lock c.mutex;
+    c.misses <- c.misses + 1;
+    Mutex.unlock c.mutex;
+    Obs.Counter.incr m_misses
+
+  (* Both entry points run the trusted setup with randomness derived from
+     [seed] alone, so a hit and a miss produce byte-identical keypairs —
+     caching (or disabling it with ZEBRA_KEYCACHE=off) never changes any
+     proof byte. *)
+
+  let setup c ~seed cs =
+    if not (enabled c) then setup_rng ~rng:(Source.of_seed seed) cs
+    else begin
+      let key = cs_key ~seed cs in
+      match lookup c key with
+      | Some (kp, _) -> kp
+      | None ->
+        miss c;
+        let kp = setup_rng ~rng:(Source.of_seed seed) cs in
+        insert c key kp (shape_of_kp kp);
+        kp
+    end
+
+  let setup_named c ~circuit_id ~seed synth =
+    let run () =
+      let cs = synth () in
+      let kp = setup_rng ~rng:(Source.of_seed seed) cs in
+      (kp, shape_of_kp kp)
+    in
+    if not (enabled c) then run ()
+    else begin
+      let key = named_key ~circuit_id ~seed in
+      match lookup c key with
+      | Some (kp, shape) -> (kp, shape)
+      | None ->
+        miss c;
+        let kp, shape = run () in
+        insert c key kp shape;
+        (kp, shape)
+    end
+end

@@ -70,6 +70,22 @@ val prove_rng : rng:Zebra_rng.Source.t -> proving_key -> Cs.t -> proof
 (** [verify vk ~public_inputs proof]: O(|public_inputs|) field operations. *)
 val verify : verifying_key -> public_inputs:Fp.t array -> proof -> bool
 
+(** [batch_verify ~rng vk items] checks a block of proofs against one
+    shared key with a single random-linear-combination test: each proof's
+    five verification residuals are weighted by consecutive powers of one
+    random scalar [r] drawn from [rng], and the batch passes iff the
+    accumulated sum is zero.
+
+    Completeness is exact — a batch of valid proofs always passes, for any
+    [r].  Soundness is probabilistic with one-sided error: a batch hiding an
+    invalid proof passes with probability at most (5m - 1)/|F| over the
+    choice of [r] (Schwartz–Zippel; m = [Array.length items]), which is
+    < 2^-200 here.  On [false], fall back to per-proof {!verify} to name
+    the offenders.  An empty batch passes; a public-input arity mismatch
+    fails without drawing randomness. *)
+val batch_verify :
+  rng:Zebra_rng.Source.t -> verifying_key -> (Fp.t array * proof) array -> bool
+
 (** [simulate ~random_bytes trapdoor ~public_inputs] forges a verifying
     proof {e without any witness}, using the setup trapdoor — the standard
     zero-knowledge simulator, used by tests to establish that proofs leak
@@ -110,3 +126,82 @@ val vk_size_bytes : verifying_key -> int
 
 (** Field-wise equality of the 8 proof elements. *)
 val equal_proof : proof -> proof -> bool
+
+(** Canonical encoding of a full keypair (proving key, verification key and
+    trapdoor), used by {!Keycache} for {!Zebra_store.Store} persistence. *)
+val keypair_to_bytes : keypair -> bytes
+
+(** Inverse of {!keypair_to_bytes}.
+    @raise Zebra_codec.Codec.Decode_error on malformed input. *)
+val keypair_of_bytes : bytes -> keypair
+
+(** {1 Decoded-VK cache}
+
+    Contracts hold verification keys as canonical bytes; decoding one costs
+    a Montgomery conversion per field element — on the same order as a
+    verification.  [vk_of_bytes_cached] memoises successful decodes in a
+    bounded process-wide table keyed by the exact bytes, so hot paths
+    ({!Zebra_anonauth.Cpla.verify_with_vk}, reward/reputation checks,
+    auditing) decode each distinct key once. *)
+
+(** Like {!vk_of_bytes} but memoised.  Raises exactly like {!vk_of_bytes}
+    on malformed input (failures are never cached). *)
+val vk_of_bytes_cached : bytes -> verifying_key
+
+(** [(hits, decodes)] since start or the last {!vk_cache_clear}. *)
+val vk_cache_stats : unit -> int * int
+
+(** Drop all memoised keys and zero the stats (tests). *)
+val vk_cache_clear : unit -> unit
+
+(** {1 Content-addressed keypair cache}
+
+    Trusted setup dominates task publication, yet tasks overwhelmingly
+    reuse a handful of circuit shapes.  A [Keycache.t] memoises keypairs
+    under a SHA-256 content key — canonical constraint-system encoding
+    (structure only, no witness) plus the setup seed — with LRU eviction
+    and optional {!Zebra_store.Store} persistence for evicted entries.
+
+    Caching is invisible in every output byte: entry points derive all
+    setup randomness from the seed alone, so a cache hit returns exactly
+    the keypair a fresh setup would have produced.  The [ZEBRA_KEYCACHE]
+    environment variable sets the default capacity ([off]/[0] disables,
+    a positive integer sets it, unset means 16). *)
+module Keycache : sig
+  type t
+
+  (** Circuit dimensions, available even on a hit (no synthesis ran). *)
+  type shape = { constraints : int; vars : int; inputs : int }
+
+  type stats = { hits : int; misses : int; store_hits : int }
+
+  (** [create ?capacity ?store ()].  [capacity] defaults to the
+      [ZEBRA_KEYCACHE] setting; [0] disables caching (setups still run,
+      byte-identically).  With [store], inserted keypairs are also
+      persisted content-addressed, surviving LRU eviction. *)
+  val create : ?capacity:int -> ?store:Zebra_store.Store.t -> unit -> t
+
+  (** Whether this cache retains anything (capacity > 0). *)
+  val enabled : t -> bool
+
+  (** [setup c ~seed cs] — content-addressed path: hashes the canonical
+      encoding of [cs] (plus [seed]) and returns the cached keypair or runs
+      [setup_rng ~rng:(Source.of_seed seed)].  Hashing walks every
+      constraint, so a hit still costs O(|cs|); prefer {!setup_named} when
+      a stable circuit identifier exists. *)
+  val setup : t -> seed:string -> Cs.t -> keypair
+
+  (** [setup_named c ~circuit_id ~seed synth] — named path: the key is
+      SHA-256 of [(circuit_id, seed)], so a hit skips {e both} synthesis
+      and setup ([synth] is only called on a miss).  The caller owns the
+      [circuit_id] namespace: it must determine the circuit structure
+      (e.g. ["reward/" ^ policy-digest ^ "/n=" ^ n]).  Returns the keypair
+      with its shape. *)
+  val setup_named :
+    t -> circuit_id:string -> seed:string -> (unit -> Cs.t) -> keypair * shape
+
+  val stats : t -> stats
+
+  (** Drop every entry (memory and persistence index) and zero the stats. *)
+  val clear : t -> unit
+end

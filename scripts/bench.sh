@@ -3,6 +3,9 @@
 #   BENCH_obs.json       per-phase profile of one end-to-end task
 #   BENCH_parallel.json  1/2/4-domain prover scaling curve
 #   BENCH_chaos.json     end-to-end wall clock at 0/5/20% fault rates
+#   BENCH_snark.json     sparse-prover speedup, keycache hit/miss economics,
+#                        batched-vs-sequential audit (asserts the proof
+#                        digest against the pre-optimization baseline)
 # All are written to the repo root; PERFORMANCE.md explains how to read
 # them.  Numbers are hardware-dependent -- commit them together with a note
 # on the machine they came from.
@@ -12,4 +15,5 @@ dune build bench/main.exe
 ./_build/default/bench/main.exe obs
 ./_build/default/bench/main.exe parallel
 ./_build/default/bench/main.exe chaos
-echo "wrote $(pwd)/BENCH_obs.json, $(pwd)/BENCH_parallel.json and $(pwd)/BENCH_chaos.json"
+./_build/default/bench/main.exe snark
+echo "wrote $(pwd)/BENCH_obs.json, $(pwd)/BENCH_parallel.json, $(pwd)/BENCH_chaos.json and $(pwd)/BENCH_snark.json"

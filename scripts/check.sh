@@ -15,6 +15,35 @@ ZEBRA_DOMAINS=1 dune runtest --force
 echo "== tests, ZEBRA_DOMAINS=4 =="
 ZEBRA_DOMAINS=4 dune runtest --force
 
+# Snark cache gate: the keypair cache must be behaviour-invisible.  The
+# snark suite has to pass with the cache disabled and enabled, and the
+# canonical reward-circuit proof digest (bench snark-digest) must be one
+# and the same bytes across ZEBRA_KEYCACHE on/off and ZEBRA_DOMAINS 1/4 --
+# cache hits, cache misses and pool size may not change a single proof
+# byte (see DESIGN.md).
+echo "== snark cache gate (keycache off/on, digest x domains) =="
+TEST_SNARK="./_build/default/test/test_snark.exe"
+ZEBRA_KEYCACHE=off "$TEST_SNARK" >/dev/null
+ZEBRA_KEYCACHE=on "$TEST_SNARK" >/dev/null
+echo "test_snark passes with ZEBRA_KEYCACHE=off and =on"
+BENCH="./_build/default/bench/main.exe"
+dune build bench/main.exe
+digest_ref=""
+for domains in 1 4; do
+  for cache in off on; do
+    d="$(ZEBRA_DOMAINS=$domains ZEBRA_KEYCACHE=$cache "$BENCH" snark-digest)"
+    if [ -z "$digest_ref" ]; then
+      digest_ref="$d"
+    elif [ "$d" != "$digest_ref" ]; then
+      echo "snark gate FAILED: digest differs at ZEBRA_DOMAINS=$domains ZEBRA_KEYCACHE=$cache" >&2
+      echo "  expected $digest_ref" >&2
+      echo "  got      $d" >&2
+      exit 1
+    fi
+    echo "ZEBRA_DOMAINS=$domains ZEBRA_KEYCACHE=$cache: digest $d"
+  done
+done
+
 # Chaos gate: each (seed, plan) pair must print the identical fault trace
 # and settlement at ZEBRA_DOMAINS=1 and =4 -- the fault schedule may not
 # leak pool-size dependence -- and the run itself must keep the chaos

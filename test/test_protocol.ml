@@ -519,6 +519,25 @@ let test_audit_task () =
   Alcotest.(check bool) "all attestations re-verify" true ok;
   Alcotest.(check int) "one per submission" 3 checked
 
+let test_audit_report_batched () =
+  let sys = Lazy.force sys in
+  let policy = Policy.Majority { choices = 4 } in
+  let task, _wallets, _rewards =
+    Protocol.run_task sys ~policy ~budget:90 ~answers:[ 2; 2; 1 ]
+  in
+  let report = Protocol.audit_task_report sys ~task:task.Requester.contract in
+  Alcotest.(check bool) "clean chain audits valid" true report.Protocol.all_valid;
+  Alcotest.(check int) "every submission checked" 3 report.Protocol.checked;
+  Alcotest.(check (list int)) "no offenders" [] report.Protocol.offenders;
+  Alcotest.(check int) "single RLC batch" 1 report.Protocol.batches;
+  Alcotest.(check int) "no fallbacks" 0 report.Protocol.fallbacks;
+  (* Batch size must not change the verdict, and the wrapper agrees. *)
+  let small = Protocol.audit_task_report ~batch_size:1 sys ~task:task.Requester.contract in
+  Alcotest.(check bool) "batch_size-independent" true small.Protocol.all_valid;
+  Alcotest.(check int) "one batch per submission" 3 small.Protocol.batches;
+  let ok, checked = Protocol.audit_task sys ~task:task.Requester.contract in
+  Alcotest.(check bool) "wrapper agrees" true (ok && checked = 3)
+
 let () =
   Alcotest.run "protocol"
     [
@@ -558,5 +577,6 @@ let () =
           Alcotest.test_case "plain disabled by default" `Quick test_plain_mode_disabled_by_default;
           Alcotest.test_case "forged plain certificate" `Quick test_plain_mode_forged_cert_rejected;
           Alcotest.test_case "batch audit of mined submissions" `Quick test_audit_task;
+          Alcotest.test_case "audit report: RLC batches" `Quick test_audit_report_batched;
         ] );
     ]

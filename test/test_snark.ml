@@ -172,6 +172,183 @@ let test_wrong_input_count () =
   Alcotest.(check bool) "too many inputs rejected" false
     (Snark.verify vk ~public_inputs:[| Fp.one; Fp.one |] proof)
 
+(* --- batched verification --- *)
+
+let qtest ?(count = 30) name gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen f)
+
+(* One shared key, many instances, for batching tests. *)
+let batch_fixture =
+  lazy
+    (let kp = keys_of (cubic_circuit (fresh_fp ())) in
+     let item () =
+       let cs = cubic_circuit (fresh_fp ()) in
+       (Cs.public_inputs cs, Snark.prove ~random_bytes kp.Snark.pk cs)
+     in
+     (kp, item))
+
+let batch_rng = Zebra_rng.Source.of_seed "test-snark-batch"
+
+let test_batch_verify_basic () =
+  let kp, item = Lazy.force batch_fixture in
+  let items = Array.init 8 (fun _ -> item ()) in
+  Alcotest.(check bool) "valid batch passes" true
+    (Snark.batch_verify ~rng:batch_rng kp.Snark.vk items);
+  Alcotest.(check bool) "empty batch passes" true
+    (Snark.batch_verify ~rng:batch_rng kp.Snark.vk [||]);
+  let pi, proof = item () in
+  Alcotest.(check bool) "arity mismatch fails" false
+    (Snark.batch_verify ~rng:batch_rng kp.Snark.vk
+       [| (Array.append pi [| Fp.one |], proof) |])
+
+(* Flip the low-order byte of proof element [elem] — a canonical encoding
+   off by one bit, so it decodes but verifies false. *)
+let corrupt_proof proof ~elem =
+  let b = Snark.proof_to_bytes proof in
+  let off = (elem * 36) + 4 + 31 in
+  Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor 1));
+  Snark.proof_of_bytes b
+
+let test_batch_iff_individual =
+  (* Batch accepts exactly when every member verifies individually, for
+     every corruption pattern. *)
+  qtest ~count:25 "batch accepts iff all members verify"
+    QCheck2.Gen.(pair (int_bound 4) (int_bound 31))
+    (fun (m, mask) ->
+      let kp, item = Lazy.force batch_fixture in
+      let m = m + 1 in
+      let items =
+        Array.init m (fun k ->
+            let pi, proof = item () in
+            if (mask lsr k) land 1 = 1 then (pi, corrupt_proof proof ~elem:(k mod 8))
+            else (pi, proof))
+      in
+      let batch = Snark.batch_verify ~rng:batch_rng kp.Snark.vk items in
+      let all =
+        Array.for_all (fun (pi, p) -> Snark.verify kp.Snark.vk ~public_inputs:pi p) items
+      in
+      batch = all)
+
+let test_batch_fallback_pinpoints () =
+  (* A deterministic fault decision picks the victim and the bit; the
+     per-proof fallback must name exactly that member. *)
+  let kp, item = Lazy.force batch_fixture in
+  let faults = Zebra_faults.Faults.create ~seed:"batch-pinpoint" Zebra_faults.Faults.none in
+  let m = 8 in
+  let victim =
+    int_of_float (Zebra_faults.Faults.unit_float faults ~site:1l ~a:0 ~b:0 *. float_of_int m)
+  in
+  let elem =
+    int_of_float (Zebra_faults.Faults.unit_float faults ~site:2l ~a:0 ~b:0 *. 8.)
+  in
+  let items =
+    Array.init m (fun k ->
+        let pi, proof = item () in
+        if k = victim then (pi, corrupt_proof proof ~elem) else (pi, proof))
+  in
+  Alcotest.(check bool) "batch flags the block" false
+    (Snark.batch_verify ~rng:batch_rng kp.Snark.vk items);
+  let offenders =
+    Array.to_list items
+    |> List.mapi (fun k (pi, p) -> (k, Snark.verify kp.Snark.vk ~public_inputs:pi p))
+    |> List.filter_map (fun (k, ok) -> if ok then None else Some k)
+  in
+  Alcotest.(check (list int)) "fallback names exactly the victim" [ victim ] offenders
+
+(* --- decoded-VK cache --- *)
+
+let test_vk_decode_cache () =
+  let { Snark.vk; _ } = keys_of (cubic_circuit (fresh_fp ())) in
+  let vk_bytes = Snark.vk_to_bytes vk in
+  Snark.vk_cache_clear ();
+  ignore (Snark.vk_of_bytes_cached vk_bytes);
+  ignore (Snark.vk_of_bytes_cached (Bytes.copy vk_bytes));
+  let hits, decodes = Snark.vk_cache_stats () in
+  Alcotest.(check (pair int int)) "one decode per distinct bytes" (1, 1) (hits, decodes);
+  let { Snark.vk = vk2; _ } = keys_of (mixed_circuit (fresh_fp ())) in
+  ignore (Snark.vk_of_bytes_cached (Snark.vk_to_bytes vk2));
+  let _, decodes = Snark.vk_cache_stats () in
+  Alcotest.(check int) "distinct bytes decode separately" 2 decodes;
+  Snark.vk_cache_clear ()
+
+(* --- keypair cache + codec --- *)
+
+let prove_bytes pk cs =
+  Snark.proof_to_bytes
+    (Snark.prove_rng ~rng:(Zebra_rng.Source.of_seed "kc-prove") pk cs)
+
+let test_keycache_content_path () =
+  let cache = Snark.Keycache.create ~capacity:4 () in
+  let cs = cubic_circuit (fresh_fp ()) in
+  let kp1 = Snark.Keycache.setup cache ~seed:"kc-seed" cs in
+  let kp2 = Snark.Keycache.setup cache ~seed:"kc-seed" cs in
+  let stats = Snark.Keycache.stats cache in
+  Alcotest.(check int) "one miss" 1 stats.Snark.Keycache.misses;
+  Alcotest.(check int) "one hit" 1 stats.Snark.Keycache.hits;
+  (* The cached keypair is byte-identical to a fresh seeded setup — and so
+     are the proofs it produces. *)
+  let fresh = Snark.setup_rng ~rng:(Zebra_rng.Source.of_seed "kc-seed") cs in
+  Alcotest.(check bool) "hit equals fresh setup" true
+    (Snark.keypair_to_bytes kp2 = Snark.keypair_to_bytes fresh);
+  Alcotest.(check bool) "proofs byte-identical" true
+    (prove_bytes kp1.Snark.pk cs = prove_bytes fresh.Snark.pk cs);
+  (* A different seed is a different key. *)
+  let kp3 = Snark.Keycache.setup cache ~seed:"kc-other" cs in
+  Alcotest.(check bool) "seed is part of the key" false
+    (Snark.keypair_to_bytes kp1 = Snark.keypair_to_bytes kp3)
+
+let test_keycache_named_path () =
+  let cache = Snark.Keycache.create ~capacity:4 () in
+  let synth_calls = ref 0 in
+  let cs0 = cubic_circuit (fresh_fp ()) in
+  let synth () =
+    incr synth_calls;
+    cs0
+  in
+  let kp1, shape = Snark.Keycache.setup_named cache ~circuit_id:"test/cubic" ~seed:"s" synth in
+  let kp2, _ = Snark.Keycache.setup_named cache ~circuit_id:"test/cubic" ~seed:"s" synth in
+  Alcotest.(check int) "synthesis only on miss" 1 !synth_calls;
+  Alcotest.(check int) "shape reports constraints" (Cs.num_constraints cs0)
+    shape.Snark.Keycache.constraints;
+  Alcotest.(check bool) "hit returns the same key" true
+    (Snark.keypair_to_bytes kp1 = Snark.keypair_to_bytes kp2);
+  (* Disabled cache: same bytes, nothing retained. *)
+  let off = Snark.Keycache.create ~capacity:0 () in
+  Alcotest.(check bool) "capacity 0 disables" false (Snark.Keycache.enabled off);
+  let kp3, _ = Snark.Keycache.setup_named off ~circuit_id:"test/cubic" ~seed:"s" synth in
+  Alcotest.(check bool) "disabled cache is byte-identical" true
+    (Snark.keypair_to_bytes kp1 = Snark.keypair_to_bytes kp3)
+
+let test_keycache_store_persistence () =
+  (* Capacity 1 with a store behind it: the evicted entry comes back from
+     the store (exercising the keypair codec round-trip on the way). *)
+  let store = Zebra_store.Store.create () in
+  let cache = Snark.Keycache.create ~capacity:1 ~store () in
+  let cs_a = cubic_circuit (fresh_fp ()) in
+  let cs_b = mixed_circuit (fresh_fp ()) in
+  let kp_a = Snark.Keycache.setup cache ~seed:"s" cs_a in
+  let _kp_b = Snark.Keycache.setup cache ~seed:"s" cs_b in
+  (* cs_a was evicted from memory; the store must serve it. *)
+  let kp_a' = Snark.Keycache.setup cache ~seed:"s" cs_a in
+  let stats = Snark.Keycache.stats cache in
+  Alcotest.(check int) "served from store" 1 stats.Snark.Keycache.store_hits;
+  Alcotest.(check bool) "store round-trip is exact" true
+    (Snark.keypair_to_bytes kp_a = Snark.keypair_to_bytes kp_a');
+  Alcotest.(check bool) "decoded key proves identically" true
+    (prove_bytes kp_a.Snark.pk cs_a = prove_bytes kp_a'.Snark.pk cs_a)
+
+let test_keypair_codec_roundtrip () =
+  let cs = mixed_circuit (fresh_fp ()) in
+  let kp = keys_of cs in
+  let kp' = Snark.keypair_of_bytes (Snark.keypair_to_bytes kp) in
+  Alcotest.(check bool) "re-encodes identically" true
+    (Snark.keypair_to_bytes kp = Snark.keypair_to_bytes kp');
+  Alcotest.(check bool) "decoded pk proves byte-identically" true
+    (prove_bytes kp.Snark.pk cs = prove_bytes kp'.Snark.pk cs);
+  let proof = Snark.prove_rng ~rng:(Zebra_rng.Source.of_seed "kc-prove") kp'.Snark.pk cs in
+  Alcotest.(check bool) "decoded vk verifies" true
+    (Snark.verify kp'.Snark.vk ~public_inputs:(Cs.public_inputs cs) proof)
+
 let () =
   Alcotest.run "snark"
     [
@@ -189,5 +366,19 @@ let () =
           Alcotest.test_case "shape mismatch" `Quick test_shape_mismatch;
           Alcotest.test_case "mixed circuit" `Quick test_mixed_circuit_end_to_end;
           Alcotest.test_case "wrong input count" `Quick test_wrong_input_count;
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "basic" `Quick test_batch_verify_basic;
+          test_batch_iff_individual;
+          Alcotest.test_case "fallback pinpoints" `Quick test_batch_fallback_pinpoints;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "vk decode once" `Quick test_vk_decode_cache;
+          Alcotest.test_case "content path" `Quick test_keycache_content_path;
+          Alcotest.test_case "named path" `Quick test_keycache_named_path;
+          Alcotest.test_case "store persistence" `Quick test_keycache_store_persistence;
+          Alcotest.test_case "keypair codec" `Quick test_keypair_codec_roundtrip;
         ] );
     ]
