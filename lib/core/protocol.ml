@@ -518,10 +518,17 @@ let audit_task_report ?(batch_size = 32) ?seed sys ~task =
   (match Zebra_snark.Snark.vk_of_bytes_cached params.Task_contract.auth_vk with
   | vk ->
     (* One random-linear-combination check per block of [batch_size]
-       attestations.  The RLC scalar comes from a seed derived per batch
-       (default: the task address), never from [sys.rng] — replaying the
-       audit is deterministic, at any ZEBRA_DOMAINS, and batching on or
-       off cannot shift the system's shared randomness stream. *)
+       attestations.  The RLC scalar comes from a Fiat–Shamir seed
+       ([Snark.batch_seed]: hash of the block's proofs and public inputs,
+       tagged with the task address and batch index), never from
+       [sys.rng].  Binding the challenge to the proofs is what makes the
+       Schwartz–Zippel bound hold against adversarial submissions — a
+       challenge predictable before submission (e.g. from the task address
+       alone) would let a worker craft residuals that cancel under the
+       known weights.  The audit stays deterministic: replaying it from
+       the chain recomputes the same hashes, at any ZEBRA_DOMAINS, and
+       batching on or off cannot shift the system's shared randomness
+       stream. *)
     let base_seed =
       match seed with Some s -> s | None -> "audit/" ^ Address.to_hex task
     in
@@ -532,7 +539,12 @@ let audit_task_report ?(batch_size = 32) ?seed sys ~task =
       let len = min batch_size (total - lo) in
       let block = Array.sub anon lo len in
       let items = Array.map (fun (_, pi, proof) -> (pi, proof)) block in
-      let rng = Source.of_seed (Printf.sprintf "%s#%d" base_seed !b) in
+      let rng =
+        Source.of_seed
+          (Zebra_snark.Snark.batch_seed
+             ~tag:(Printf.sprintf "%s#%d" base_seed !b)
+             items)
+      in
       incr n_batches;
       if not (Zebra_snark.Snark.batch_verify ~rng vk items) then begin
         (* The batch test has one-sided error: a failure proves at least

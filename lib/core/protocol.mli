@@ -223,11 +223,14 @@ type audit_report = {
     ({!Zebra_snark.Snark.batch_verify}); a failed block falls back to
     per-proof verification, so [offenders] names exactly the bad
     submissions.  Classical (RSA) attestations verify individually.  The
-    RLC randomness is seeded from [seed] (default: derived from the task
-    address) plus the batch number — the audit is replayable and its result
-    independent of [ZEBRA_DOMAINS] and of [batch_size].  Runs under the
-    [protocol.audit] span; bumps [protocol.audit.attestations] and the
-    [audit.batch.*] counters.
+    RLC challenge is Fiat–Shamir ({!Zebra_snark.Snark.batch_seed}): hashed
+    from each block's proofs and public inputs, tagged with [seed]
+    (default: derived from the task address) plus the batch number — sound
+    against adversarially crafted submissions (the challenge cannot be
+    predicted before submitting), yet the audit is replayable from the
+    chain alone and its result independent of [ZEBRA_DOMAINS] and of
+    [batch_size].  Runs under the [protocol.audit] span; bumps
+    [protocol.audit.attestations] and the [audit.batch.*] counters.
     @raise Invalid_argument when [batch_size < 1]. *)
 val audit_task_report :
   ?batch_size:int -> ?seed:string -> system -> task:Zebra_chain.Address.t -> audit_report

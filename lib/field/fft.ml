@@ -7,7 +7,7 @@ module Parallel = Zebra_parallel.Parallel
 let par_min_butterflies = 1 lsl 12
 let par_min_pointwise = 1 lsl 13
 
-(* A domain carries lazily-built power tables ([||] = not built yet):
+(* A domain carries precomputed power tables, built eagerly at creation:
    - [tw] / [tw_inv]: omega^i (resp. omega^-i) for i < size/2, shared by
      every butterfly stage via stride indexing — without them each
      butterfly pays an extra multiplication stepping its twiddle.
@@ -16,41 +16,22 @@ let par_min_pointwise = 1 lsl 13
      inverse-NTT 1/n factor folded in — field multiplication is exact and
      associative, so folding changes no output byte).
    Tables hold the exact values the replaced running products computed, so
-   results are limb-identical to the table-free code path. *)
+   results are limb-identical to the table-free code path.  A domain is
+   immutable after [domain] returns, so one domain (e.g. inside a cached
+   keypair) is safe to read from any number of OCaml domains at once. *)
 type domain = {
   log_size : int;
   size : int;
   omega : Fp.t;
   omega_inv : Fp.t;
   size_inv : Fp.t;
-  mutable tw : Fp.t array;
-  mutable tw_inv : Fp.t array;
-  mutable coset_pows : Fp.t array;
-  mutable coset_unscale : Fp.t array;
+  tw : Fp.t array;
+  tw_inv : Fp.t array;
+  coset_pows : Fp.t array;
+  coset_unscale : Fp.t array;
 }
 
-let domain n =
-  if n <= 0 then invalid_arg "Fft.domain: need positive size";
-  let rec log2_ceil k acc = if 1 lsl acc >= k then acc else log2_ceil k (acc + 1) in
-  let log_size = log2_ceil n 0 in
-  if log_size > Fp.two_adicity then invalid_arg "Fft.domain: exceeds field 2-adicity";
-  let size = 1 lsl log_size in
-  let omega = Fp.root_of_unity log_size in
-  {
-    log_size;
-    size;
-    omega;
-    omega_inv = Fp.inv omega;
-    size_inv = Fp.inv (Fp.of_int size);
-    tw = [||];
-    tw_inv = [||];
-    coset_pows = [||];
-    coset_unscale = [||];
-  }
-
-let size d = d.size
-let omega d = d.omega
-let element d i = Fp.pow_int d.omega i
+let coset_shift = Fp.generator
 
 (* [| init; init*base; ...; init*base^(n-1) |].  Each chunk re-seeds its
    running power with the fixed-base table, so the result is independent of
@@ -69,16 +50,30 @@ let power_table ?(init = Fp.one) base n =
     t
   end
 
-(* Lazy table accessors.  Tables are built on the calling domain (never
-   inside a butterfly fan-out), then only read concurrently. *)
-let twiddles d =
-  if Array.length d.tw = 0 && d.size >= 2 then d.tw <- power_table d.omega (d.size / 2);
-  d.tw
+let domain n =
+  if n <= 0 then invalid_arg "Fft.domain: need positive size";
+  let rec log2_ceil k acc = if 1 lsl acc >= k then acc else log2_ceil k (acc + 1) in
+  let log_size = log2_ceil n 0 in
+  if log_size > Fp.two_adicity then invalid_arg "Fft.domain: exceeds field 2-adicity";
+  let size = 1 lsl log_size in
+  let omega = Fp.root_of_unity log_size in
+  let omega_inv = Fp.inv omega in
+  let size_inv = Fp.inv (Fp.of_int size) in
+  {
+    log_size;
+    size;
+    omega;
+    omega_inv;
+    size_inv;
+    tw = power_table omega (size / 2);
+    tw_inv = power_table omega_inv (size / 2);
+    coset_pows = power_table coset_shift size;
+    coset_unscale = power_table ~init:size_inv (Fp.inv coset_shift) size;
+  }
 
-let twiddles_inv d =
-  if Array.length d.tw_inv = 0 && d.size >= 2 then
-    d.tw_inv <- power_table d.omega_inv (d.size / 2);
-  d.tw_inv
+let size d = d.size
+let omega d = d.omega
+let element d i = Fp.pow_int d.omega i
 
 let bit_reverse_permute a =
   let n = Array.length a in
@@ -156,17 +151,15 @@ let check_len d a =
 
 let fft d a =
   check_len d a;
-  ntt_in_place a (twiddles d)
+  ntt_in_place a d.tw
 
 let ifft d a =
   check_len d a;
-  ntt_in_place a (twiddles_inv d);
+  ntt_in_place a d.tw_inv;
   Parallel.parallel_for ~min_chunk:par_min_pointwise d.size (fun lo hi ->
       for i = lo to hi - 1 do
         a.(i) <- Fp.mul a.(i) d.size_inv
       done)
-
-let coset_shift = Fp.generator
 
 (* a.(i) <- a.(i) * t.(i), the pointwise pass both coset transforms use. *)
 let scale_by_table a t =
@@ -175,26 +168,17 @@ let scale_by_table a t =
         a.(i) <- Fp.mul a.(i) t.(i)
       done)
 
-let coset_table d =
-  if Array.length d.coset_pows = 0 then d.coset_pows <- power_table coset_shift d.size;
-  d.coset_pows
-
-let coset_unscale_table d =
-  if Array.length d.coset_unscale = 0 then
-    d.coset_unscale <- power_table ~init:d.size_inv (Fp.inv coset_shift) d.size;
-  d.coset_unscale
-
 let coset_fft d a =
   check_len d a;
-  scale_by_table a (coset_table d);
+  scale_by_table a d.coset_pows;
   fft d a
 
 let coset_ifft d a =
   check_len d a;
-  ntt_in_place a (twiddles_inv d);
+  ntt_in_place a d.tw_inv;
   (* One pass applies both the inverse-NTT 1/n factor and the coset
      unshift g^-i (folded table — see [coset_unscale]). *)
-  scale_by_table a (coset_unscale_table d)
+  scale_by_table a d.coset_unscale
 
 let vanishing_on_coset d = Fp.sub (Fp.pow_int coset_shift d.size) Fp.one
 let vanishing_at d x = Fp.sub (Fp.pow_int x d.size) Fp.one

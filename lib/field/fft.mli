@@ -9,10 +9,14 @@
     [ZEBRA_DOMAINS] setting (chunk grids are pool-independent — see
     DESIGN.md, "Multicore prover"). *)
 
-(** A power-of-two evaluation domain with its root-of-unity tables. *)
+(** A power-of-two evaluation domain with its root-of-unity tables.
+    Immutable once built, so a single domain may be read concurrently from
+    any number of OCaml domains (e.g. provers sharing a cached keypair). *)
 type domain
 
-(** [domain n] builds the smallest power-of-two domain of size [>= n].
+(** [domain n] builds the smallest power-of-two domain of size [>= n],
+    including its twiddle and coset power tables (eagerly, on the calling
+    domain — the returned value is never mutated afterwards).
     @raise Invalid_argument if that exceeds the field's 2-adicity. *)
 val domain : int -> domain
 

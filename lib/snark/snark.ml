@@ -140,6 +140,18 @@ let sparse_of_dense ~lo dense =
 let scale_vec factor v =
   { sv_idx = v.sv_idx; sv_val = par_init (Array.length v.sv_val) (fun k -> Fp.mul factor v.sv_val.(k)) }
 
+(* The secret point is the first field element drawn from the setup
+   randomness that lies outside the domain (so the Lagrange evaluation is
+   well defined).  Kept as a standalone function because [Keycache]
+   re-derives it from the setup seed when a keypair comes back from the
+   store — the persisted encoding deliberately omits the trapdoor. *)
+let sample_secret_point ~random_bytes domain =
+  let rec go () =
+    let s = Fp.random random_bytes in
+    if Fp.is_zero (Fft.vanishing_at domain s) then go () else s
+  in
+  go ()
+
 let setup ~random_bytes cs =
   Obs.with_span "snark.setup" @@ fun () ->
   let n_constraints = Cs.num_constraints cs in
@@ -147,13 +159,7 @@ let setup ~random_bytes cs =
   let n_inputs = Cs.num_inputs cs in
   let domain = Fft.domain (max 2 n_constraints) in
   let d = Fft.size domain in
-  (* Sample a secret point outside the domain so the Lagrange evaluation is
-     well defined. *)
-  let rec sample_s () =
-    let s = Fp.random random_bytes in
-    if Fp.is_zero (Fft.vanishing_at domain s) then sample_s () else s
-  in
-  let s = sample_s () in
+  let s = sample_secret_point ~random_bytes domain in
   let alpha_a = Fp.random random_bytes in
   let alpha_b = Fp.random random_bytes in
   let alpha_c = Fp.random random_bytes in
@@ -471,6 +477,25 @@ let proof_of_bytes b =
       { pi_a; pi_a'; pi_b; pi_b'; pi_c; pi_c'; pi_k; pi_h })
     b
 
+(* Fiat–Shamir seed for [batch_verify]: the RLC challenge r must be
+   sampled after (and independently of) the proofs it weighs — a
+   predictable r lets a cheating prover craft residuals that cancel under
+   the known weights, defeating the Schwartz–Zippel argument.  Hashing the
+   batch contents into the seed makes r a function of the proofs being
+   checked, so no residual can be chosen against it, while keeping the
+   check deterministic and replayable from the same inputs. *)
+let batch_seed ~tag items =
+  let ctx = Sha256.init () in
+  Sha256.update_string ctx "zebra-batch-fs-v1\x00";
+  Sha256.update_string ctx tag;
+  Array.iter
+    (fun (pi, p) ->
+      Sha256.update_string ctx "\x00";
+      Array.iter (fun x -> Sha256.update ctx (Fp.to_bytes_be x)) pi;
+      Sha256.update ctx (proof_to_bytes p))
+    items;
+  Sha256.to_hex (Sha256.finalize ctx)
+
 let write_vk w vk =
   Codec.u32 w vk.v_num_inputs;
   List.iter (write_fp w) [ vk.alpha_a; vk.alpha_b; vk.alpha_c; vk.beta; vk.v_z_s ];
@@ -582,8 +607,11 @@ let keypair_to_bytes kp =
       List.iter (write_csr w) [ pk.mat_a; pk.mat_b; pk.mat_c ];
       Codec.array w write_fp pk.powers;
       List.iter (write_fp w) [ pk.z_s; pk.z_alpha_a; pk.z_alpha_b; pk.z_alpha_c; pk.z_beta ];
-      write_vk w kp.vk;
-      write_fp w kp.trapdoor.t_s)
+      (* The trapdoor secret t_s is deliberately NOT serialized: these
+         bytes go to content-addressed stores (backups, shared caches) and
+         must never widen the trapdoor's exposure beyond process memory.
+         [Keycache] re-derives t_s from the setup seed on a store hit. *)
+      write_vk w kp.vk)
     kp
 
 let keypair_of_bytes b =
@@ -612,7 +640,6 @@ let keypair_of_bytes b =
       let z_alpha_c = read_fp r in
       let z_beta = read_fp r in
       let vk = read_vk r in
-      let t_s = read_fp r in
       let pk =
         {
           p_domain;
@@ -637,7 +664,11 @@ let keypair_of_bytes b =
           z_beta;
         }
       in
-      { pk; vk; trapdoor = { t_s; t_vk = vk } })
+      (* The encoding carries no trapdoor secret; t_s is a placeholder
+         zero here.  [simulate] only needs the verification-key half, and
+         [Keycache] replaces the placeholder with the seed-derived value
+         when serving a store hit. *)
+      { pk; vk; trapdoor = { t_s = Fp.zero; t_vk = vk } })
     b
 
 let proof_size_bytes p = Bytes.length (proof_to_bytes p)
@@ -765,41 +796,6 @@ module Keycache = struct
   let named_key ~circuit_id ~seed =
     Sha256.hex_digest_string (Printf.sprintf "zebra-circuit-id-v1\x00%s\x00%s" circuit_id seed)
 
-  (* In-memory lookup + LRU touch; store fallback decodes and re-inserts. *)
-  let lookup c key =
-    Mutex.lock c.mutex;
-    let found =
-      match Hashtbl.find_opt c.table key with
-      | Some e ->
-        c.clock <- c.clock + 1;
-        e.tick <- c.clock;
-        c.hits <- c.hits + 1;
-        Some (e.e_kp, e.e_shape)
-      | None -> None
-    in
-    let persisted = if found = None then Hashtbl.find_opt c.persisted key else None in
-    Mutex.unlock c.mutex;
-    match found with
-    | Some _ ->
-      Obs.Counter.incr m_hits;
-      found
-    | None -> (
-      match (persisted, c.store) with
-      | Some hash, Some store -> (
-        match Store.get store hash with
-        | Some bytes -> (
-          match keypair_of_bytes bytes with
-          | kp ->
-            let shape = shape_of_kp kp in
-            Mutex.lock c.mutex;
-            c.store_hits <- c.store_hits + 1;
-            Mutex.unlock c.mutex;
-            Obs.Counter.incr m_store_hits;
-            Some (kp, shape)
-          | exception _ -> None)
-        | None -> None)
-      | _ -> None)
-
   let evict_lru c =
     if Hashtbl.length c.table > c.capacity then begin
       let victim = ref None in
@@ -826,6 +822,55 @@ module Keycache = struct
     evict_lru c;
     Mutex.unlock c.mutex
 
+  (* In-memory lookup + LRU touch.  The store fallback decodes, restores
+     the trapdoor secret from [seed] (the persisted encoding omits it —
+     see [keypair_to_bytes]) and re-inserts into the in-memory table so
+     the next lookup is a plain hit rather than another decode. *)
+  let lookup c ~seed key =
+    Mutex.lock c.mutex;
+    let found =
+      match Hashtbl.find_opt c.table key with
+      | Some e ->
+        c.clock <- c.clock + 1;
+        e.tick <- c.clock;
+        c.hits <- c.hits + 1;
+        Some (e.e_kp, e.e_shape)
+      | None -> None
+    in
+    let persisted = if found = None then Hashtbl.find_opt c.persisted key else None in
+    Mutex.unlock c.mutex;
+    match found with
+    | Some _ ->
+      Obs.Counter.incr m_hits;
+      found
+    | None -> (
+      match (persisted, c.store) with
+      | Some hash, Some store -> (
+        match Store.get store hash with
+        | Some bytes -> (
+          match keypair_of_bytes bytes with
+          | kp ->
+            (* Setup draws s first from the seeded stream, so replaying
+               the stream head reproduces the trapdoor exactly. *)
+            let t_s =
+              sample_secret_point
+                ~random_bytes:(Source.fn (Source.of_seed seed))
+                kp.pk.p_domain
+            in
+            let kp = { kp with trapdoor = { kp.trapdoor with t_s } } in
+            let shape = shape_of_kp kp in
+            Mutex.lock c.mutex;
+            c.store_hits <- c.store_hits + 1;
+            c.clock <- c.clock + 1;
+            Hashtbl.replace c.table key { e_kp = kp; e_shape = shape; tick = c.clock };
+            evict_lru c;
+            Mutex.unlock c.mutex;
+            Obs.Counter.incr m_store_hits;
+            Some (kp, shape)
+          | exception _ -> None)
+        | None -> None)
+      | _ -> None)
+
   let miss c =
     Mutex.lock c.mutex;
     c.misses <- c.misses + 1;
@@ -841,7 +886,7 @@ module Keycache = struct
     if not (enabled c) then setup_rng ~rng:(Source.of_seed seed) cs
     else begin
       let key = cs_key ~seed cs in
-      match lookup c key with
+      match lookup c ~seed key with
       | Some (kp, _) -> kp
       | None ->
         miss c;
@@ -859,7 +904,7 @@ module Keycache = struct
     if not (enabled c) then run ()
     else begin
       let key = named_key ~circuit_id ~seed in
-      match lookup c key with
+      match lookup c ~seed key with
       | Some (kp, shape) -> (kp, shape)
       | None ->
         miss c;

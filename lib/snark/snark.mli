@@ -82,9 +82,24 @@ val verify : verifying_key -> public_inputs:Fp.t array -> proof -> bool
     choice of [r] (Schwartz–Zippel; m = [Array.length items]), which is
     < 2^-200 here.  On [false], fall back to per-proof {!verify} to name
     the offenders.  An empty batch passes; a public-input arity mismatch
-    fails without drawing randomness. *)
+    fails without drawing randomness.
+
+    {b Soundness requires [r] to be unpredictable to the prover}: the
+    Schwartz–Zippel bound holds only when [r] is sampled after the proofs
+    are fixed.  Seeding [rng] from data an adversary knows before crafting
+    submissions lets them pick residuals that cancel under the known
+    weights.  For a deterministic-but-sound challenge, seed [rng] from
+    {!batch_seed} (Fiat–Shamir over the batch contents). *)
 val batch_verify :
   rng:Zebra_rng.Source.t -> verifying_key -> (Fp.t array * proof) array -> bool
+
+(** [batch_seed ~tag items] is a Fiat–Shamir seed for {!batch_verify}:
+    SHA-256 over [tag] (domain separation — e.g. task address and batch
+    index) and every item's public inputs and canonical proof bytes.  A
+    challenge drawn from this seed depends on the proofs being checked, so
+    no prover can choose residuals against it, yet the check stays
+    deterministic and replayable from the same inputs. *)
+val batch_seed : tag:string -> (Fp.t array * proof) array -> string
 
 (** [simulate ~random_bytes trapdoor ~public_inputs] forges a verifying
     proof {e without any witness}, using the setup trapdoor — the standard
@@ -127,11 +142,18 @@ val vk_size_bytes : verifying_key -> int
 (** Field-wise equality of the 8 proof elements. *)
 val equal_proof : proof -> proof -> bool
 
-(** Canonical encoding of a full keypair (proving key, verification key and
-    trapdoor), used by {!Keycache} for {!Zebra_store.Store} persistence. *)
+(** Canonical encoding of a keypair (proving and verification keys), used
+    by {!Keycache} for {!Zebra_store.Store} persistence.  The trusted-setup
+    trapdoor secret is {e deliberately excluded}: persisted bytes may land
+    in backups or shared stores, which must never widen the trapdoor's
+    exposure beyond process memory. *)
 val keypair_to_bytes : keypair -> bytes
 
-(** Inverse of {!keypair_to_bytes}.
+(** Inverse of {!keypair_to_bytes}.  The decoded keypair proves and
+    verifies identically to the original; its trapdoor carries a zero
+    placeholder for the setup secret (the encoding omits it — {!simulate}
+    needs only the verification-key half, and {!Keycache} re-derives the
+    secret from the setup seed when serving a store hit).
     @raise Zebra_codec.Codec.Decode_error on malformed input. *)
 val keypair_of_bytes : bytes -> keypair
 

@@ -255,6 +255,28 @@ let test_batch_fallback_pinpoints () =
   in
   Alcotest.(check (list int)) "fallback names exactly the victim" [ victim ] offenders
 
+let test_batch_seed_binds_contents () =
+  (* The Fiat–Shamir seed must be a function of every proof byte and
+     public input in the batch (plus the tag): a challenge predictable
+     before the proofs are fixed would void the Schwartz–Zippel bound. *)
+  let _, item = Lazy.force batch_fixture in
+  let items = Array.init 4 (fun _ -> item ()) in
+  let s = Snark.batch_seed ~tag:"t" items in
+  Alcotest.(check string) "deterministic over same contents" s
+    (Snark.batch_seed ~tag:"t" items);
+  let corrupted = Array.copy items in
+  let pi, proof = corrupted.(2) in
+  corrupted.(2) <- (pi, corrupt_proof proof ~elem:7);
+  Alcotest.(check bool) "one flipped proof bit changes the seed" false
+    (s = Snark.batch_seed ~tag:"t" corrupted);
+  let shifted = Array.copy items in
+  let pi, proof = shifted.(0) in
+  shifted.(0) <- (Array.map (Fp.add Fp.one) pi, proof);
+  Alcotest.(check bool) "public inputs are bound too" false
+    (s = Snark.batch_seed ~tag:"t" shifted);
+  Alcotest.(check bool) "tag separates domains" false
+    (s = Snark.batch_seed ~tag:"u" items)
+
 (* --- decoded-VK cache --- *)
 
 let test_vk_decode_cache () =
@@ -372,6 +394,8 @@ let () =
           Alcotest.test_case "basic" `Quick test_batch_verify_basic;
           test_batch_iff_individual;
           Alcotest.test_case "fallback pinpoints" `Quick test_batch_fallback_pinpoints;
+          Alcotest.test_case "fiat-shamir seed binds contents" `Quick
+            test_batch_seed_binds_contents;
         ] );
       ( "cache",
         [
