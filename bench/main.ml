@@ -835,6 +835,65 @@ let chaos () =
   close_out oc;
   Printf.printf "\nwrote BENCH_chaos.json (%d bytes)\n%!" (String.length json)
 
+(* --- load: marketplace throughput under the parallel executor
+   (BENCH_load.json) ---
+
+   N requesters x M workers drive >= 100 CPLA tasks end-to-end through
+   the fee-ordered mempool and the sharded parallel executor.  Reported
+   tasks/sec and txs/sec are wall-clock; settle latency percentiles come
+   from the [load.settle] observability histogram.  The run must complete
+   every task with the invariants intact to count at all. *)
+
+let load_bench () =
+  header "load: N x M marketplace throughput (>= 100 tasks)";
+  let module Json = Zebra_obs.Json in
+  let module Obs = Zebra_obs.Obs in
+  Obs.reset ();
+  Obs.set_enabled true;
+  let config =
+    {
+      Load.default_config with
+      Load.tasks = 100;
+      requesters = 10;
+      workers = 20;
+      workers_per_task = 2;
+      inflight = 16;
+      seed = "bench-load";
+    }
+  in
+  let r = Load.run ~config () in
+  Obs.set_enabled false;
+  print_string (Load.render_deterministic r);
+  print_string (Load.render_timing r);
+  if not (Load.ok r) then failwith "load bench: invariants violated";
+  let json =
+    Json.to_string
+      (Json.Obj
+         [
+           ("seed", Json.Str config.Load.seed);
+           ("requesters", Json.Num (float_of_int config.Load.requesters));
+           ("workers", Json.Num (float_of_int config.Load.workers));
+           ("tasks", Json.Num (float_of_int r.Load.tasks_completed));
+           ("tasks_failed", Json.Num (float_of_int r.Load.tasks_failed));
+           ("blocks", Json.Num (float_of_int r.Load.blocks));
+           ("txs", Json.Num (float_of_int r.Load.txs));
+           ("conflict_retries", Json.Num (float_of_int r.Load.conflict_retries));
+           ("elapsed_seconds", Json.Num r.Load.elapsed_s);
+           ("tasks_per_sec", Json.Num r.Load.tasks_per_sec);
+           ("txs_per_sec", Json.Num r.Load.txs_per_sec);
+           ("settle_p50_seconds", Json.Num r.Load.settle_p50_s);
+           ("settle_p99_seconds", Json.Num r.Load.settle_p99_s);
+           ("state_root", Json.Str r.Load.state_root);
+           ("replicas_agree", Json.Bool r.Load.replicas_agree);
+           ("supply_conserved", Json.Bool r.Load.supply_conserved);
+         ])
+  in
+  let oc = open_out "BENCH_load.json" in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote BENCH_load.json (%d bytes)\n%!" (String.length json)
+
 let all () =
   table1 ();
   fig4 ();
@@ -849,7 +908,8 @@ let all () =
   parallel ();
   lint ();
   snark ();
-  chaos ()
+  chaos ();
+  load_bench ()
 
 let () =
   match if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" with
@@ -872,9 +932,10 @@ let () =
        settings can be diffed. *)
     print_endline (snark_prove_digest ())
   | "chaos" -> chaos ()
+  | "load" -> load_bench ()
   | "all" -> all ()
   | other ->
     Printf.eprintf
-      "unknown bench %S; try: table1 fig4 memory link endtoend ablation-fft ablation-field ablation-hash nonanon obs parallel lint snark chaos all\n"
+      "unknown bench %S; try: table1 fig4 memory link endtoend ablation-fft ablation-field ablation-hash nonanon obs parallel lint snark chaos load all\n"
       other;
     exit 1

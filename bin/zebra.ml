@@ -359,6 +359,64 @@ let chaos_cmd =
   Cmd.v (Cmd.info "chaos" ~doc)
     Term.(ret (const run $ domains_arg $ seed_arg $ quiet_arg $ plan_arg $ n_arg $ budget_arg))
 
+(* --- load --- *)
+
+let load_cmd =
+  let module Obs = Zebra_obs.Obs in
+  let tasks_arg =
+    Arg.(value & opt int 20 & info [ "tasks" ] ~docv:"T" ~doc:"Total tasks to run.")
+  in
+  let requesters_arg =
+    Arg.(value & opt int 4 & info [ "requesters" ] ~docv:"N" ~doc:"Requester pool size.")
+  in
+  let workers_arg =
+    Arg.(value & opt int 8 & info [ "workers" ] ~docv:"M" ~doc:"Worker pool size.")
+  in
+  let per_task_arg =
+    Arg.(value & opt int 2 & info [ "per-task" ] ~docv:"K" ~doc:"Submissions per task.")
+  in
+  let inflight_arg =
+    Arg.(value & opt int 8 & info [ "inflight" ] ~docv:"W" ~doc:"Max tasks in flight.")
+  in
+  let replay_arg =
+    let doc = "Also re-execute the chain serially from genesis and check root agreement." in
+    Arg.(value & flag & info [ "verify-replay" ] ~doc)
+  in
+  let run () seed quiet tasks requesters workers per_task inflight verify_replay =
+    try
+      Obs.reset ();
+      Obs.set_enabled true;
+      let config =
+        {
+          Load.default_config with
+          Load.tasks;
+          requesters;
+          workers;
+          workers_per_task = per_task;
+          inflight;
+          seed;
+          verify_replay;
+        }
+      in
+      let report = Load.run ~config () in
+      Obs.set_enabled false;
+      print_string (Load.render_deterministic report);
+      if not quiet then print_string (Load.render_timing report);
+      if Load.ok report then `Ok ()
+      else `Error (false, "load invariants violated (failures / replica agreement / supply)")
+    with Invalid_argument m | Failure m -> `Error (false, m)
+  in
+  let doc =
+    "Drive N requesters x M workers running many CPLA tasks end-to-end through the \
+     fee-ordered mempool and the sharded parallel executor; print deterministic facts \
+     (identical at any $(b,--domains)) plus $(b,#)-prefixed throughput/latency lines."
+  in
+  Cmd.v (Cmd.info "load" ~doc)
+    Term.(
+      ret
+        (const run $ domains_arg $ seed_arg $ quiet_arg $ tasks_arg $ requesters_arg
+        $ workers_arg $ per_task_arg $ inflight_arg $ replay_arg))
+
 (* --- inspect --- *)
 
 let inspect_cmd =
@@ -402,5 +460,5 @@ let () =
        (Cmd.group info
           [
             demo_cmd; annotate_cmd; auction_cmd; batch_cmd; truth_cmd; stats_cmd; lint_cmd;
-            chaos_cmd; inspect_cmd;
+            chaos_cmd; load_cmd; inspect_cmd;
           ]))

@@ -1,0 +1,102 @@
+module Obs = Zebra_obs.Obs
+module Parallel = Zebra_parallel.Parallel
+
+let m_blocks = Obs.Counter.make "chain.exec.blocks"
+let m_parallel_txs = Obs.Counter.make "chain.exec.parallel_txs"
+let m_retried_txs = Obs.Counter.make "chain.exec.retried_txs"
+let m_fallbacks = Obs.Counter.make "chain.exec.serial_fallbacks"
+let h_waves = Obs.Histogram.make "chain.exec.waves_per_block"
+
+let footprint tx =
+  let static =
+    match tx.Tx.dst with
+    | Tx.Call dst -> [ tx.Tx.sender; dst ]
+    | Tx.Create _ -> [ tx.Tx.sender; Address.of_creator tx.Tx.sender tx.Tx.nonce ]
+  in
+  static @ tx.Tx.footprint
+
+let shard_mask tx =
+  List.fold_left (fun m a -> m lor (1 lsl State.shard_of_address a)) 0 (footprint tx)
+
+exception Fallback
+
+let apply_block st ~height txs =
+  let txs = Array.of_list txs in
+  let n = Array.length txs in
+  if n = 0 then []
+  else begin
+    Obs.Counter.incr m_blocks;
+    let masks = Array.map shard_mask txs in
+    (* Wave scheduling: each transaction runs exactly one wave after the
+       latest earlier transaction sharing a shard with it, so within any
+       shard execution follows block order and disjoint transactions share
+       a wave.  Depends only on the block contents — never on the pool. *)
+    let wave = Array.make n 0 in
+    let last = Array.make State.num_shards (-1) in
+    let n_waves = ref 0 in
+    for i = 0 to n - 1 do
+      let w = ref 0 in
+      for s = 0 to State.num_shards - 1 do
+        if (masks.(i) lsr s) land 1 = 1 && last.(s) >= !w then w := last.(s) + 1
+      done;
+      wave.(i) <- !w;
+      if !w >= !n_waves then n_waves := !w + 1;
+      for s = 0 to State.num_shards - 1 do
+        if (masks.(i) lsr s) land 1 = 1 then last.(s) <- !w
+      done
+    done;
+    let waves = Array.make !n_waves [] in
+    for i = n - 1 downto 0 do
+      waves.(wave.(i)) <- i :: waves.(wave.(i))
+    done;
+    Obs.Histogram.observe h_waves (float_of_int !n_waves);
+    let receipts = Array.make n None in
+    let logs = Array.make n None in
+    let escaped = Array.make n false in
+    (* Within a wave all masks are pairwise disjoint, so each domain owns
+       the shards of the transactions it claims: hashtable access never
+       races.  Each body writes only its own slots of the result arrays. *)
+    (try
+       Array.iter
+         (fun members ->
+           let idx = Array.of_list members in
+           let k = Array.length idx in
+           Parallel.parallel_for ~min_chunk:1 k (fun lo hi ->
+               for j = lo to hi - 1 do
+                 let i = idx.(j) in
+                 match State.apply_tx_logged st ~height ~allowed:masks.(i) txs.(i) with
+                 | Result.Ok (r, log) ->
+                   receipts.(i) <- Some r;
+                   logs.(i) <- Some log
+                 | Result.Error _key -> escaped.(i) <- true
+               done);
+           (* Checked on the caller after the wave barrier; an escape in
+              this wave means later waves could observe a half-applied
+              prefix, so stop and fall back to serial order. *)
+           if Array.exists (fun i -> escaped.(i)) idx then raise Fallback)
+         waves
+     with Fallback -> ());
+    if Array.exists Fun.id escaped then begin
+      (* Deterministic serial fallback: undo every applied transaction in
+         reverse block order (escaped ones already rolled themselves
+         back), then re-execute the whole block serially.  Escape
+         detection depends only on footprints and block order, so this
+         path triggers — or not — identically at every pool size. *)
+      Obs.Counter.incr m_fallbacks;
+      for i = n - 1 downto 0 do
+        match logs.(i) with
+        | Some log -> State.undo st log
+        | None -> ()
+      done;
+      Array.to_list
+        (Array.mapi
+           (fun i tx ->
+             if escaped.(i) then Obs.Counter.incr m_retried_txs;
+             (State.apply_tx st ~height tx, escaped.(i)))
+           txs)
+    end
+    else begin
+      Obs.Counter.add m_parallel_txs n;
+      Array.to_list (Array.mapi (fun i _ -> (Option.get receipts.(i), false)) txs)
+    end
+  end

@@ -1,0 +1,32 @@
+(** Parallel block execution over the sharded {!State}.
+
+    Block-STM-lite: each transaction's footprint (sender, destination or
+    created address, plus the extras declared in [Tx.footprint]) maps to a
+    bitmask of state shards.  Transactions are scheduled into {e waves} —
+    within a wave all masks are pairwise disjoint, across waves each
+    transaction runs after the latest earlier transaction it conflicts
+    with — and each wave runs on the {!Zebra_parallel} pool.  Per shard,
+    execution therefore follows block order exactly, so results are
+    bit-identical to serial execution.
+
+    A transaction whose execution touches a shard outside its mask (an
+    under-declared footprint) is aborted and rolled back by {!State}
+    before the foreign shard is read; the whole block is then undone and
+    re-executed serially.  Both the schedule and escape detection depend
+    only on the block contents, never on the pool size, so state roots
+    agree at any [ZEBRA_DOMAINS]. *)
+
+(** All addresses a transaction may touch: the statically-known ones
+    (sender; call destination or to-be-created contract address) plus its
+    declared [Tx.footprint]. *)
+val footprint : Tx.t -> Address.t list
+
+(** Shard bitmask of {!footprint} (bit [s] = touches shard [s]). *)
+val shard_mask : Tx.t -> int
+
+(** [apply_block st ~height txs] executes one block's transactions and
+    returns, in block order, each receipt paired with [true] when that
+    transaction escaped its declared footprint and was re-executed in the
+    serial fallback (the [Conflict_retry] classification).  Equivalent to
+    folding {!State.apply_tx} over [txs]. *)
+val apply_block : State.t -> height:int -> Tx.t list -> (State.receipt * bool) list

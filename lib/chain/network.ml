@@ -57,11 +57,24 @@ let difficulty t = t.difficulty
 
 let height t = match t.chain with [] -> 0 | b :: _ -> b.Block.header.Block.height
 
+type submit_error = Invalid_signature
+
+let submit_error_to_string = function
+  | Invalid_signature -> "invalid transaction signature"
+
+let submit_r t tx =
+  if not (Tx.validate tx) then Error Invalid_signature
+  else begin
+    t.mempool <- tx :: t.mempool;
+    Obs.Counter.incr m_submitted;
+    Obs.Gauge.set m_mempool_depth (float_of_int (List.length t.mempool));
+    Ok ()
+  end
+
 let submit t tx =
-  if not (Tx.validate tx) then invalid_arg "Network.submit: invalid transaction signature";
-  t.mempool <- tx :: t.mempool;
-  Obs.Counter.incr m_submitted;
-  Obs.Gauge.set m_mempool_depth (float_of_int (List.length t.mempool))
+  match submit_r t tx with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Network.submit: " ^ submit_error_to_string e)
 
 let pending t = List.length t.mempool
 let delayed t = List.length t.delayed
@@ -129,7 +142,41 @@ let restart_node t ~node =
     n.up <- true
   end
 
-let mine t =
+type exec_result =
+  | Applied of State.receipt
+  | Conflict_retry of State.receipt
+  | Rejected of string
+
+(* Highest fee first, stable on arrival order; each sender's transactions
+   are then re-slotted into that sender's positions in nonce order, so fee
+   ordering can never wedge a sender behind its own later nonce.  The
+   per-sender fixup touches only that sender's slots, so the result does
+   not depend on hashtable iteration order. *)
+let fee_order txs =
+  match txs with
+  | [] | [ _ ] -> txs
+  | _ ->
+    let arr = Array.of_list (List.stable_sort (fun a b -> compare b.Tx.fee a.Tx.fee) txs) in
+    let by_sender = Hashtbl.create 8 in
+    Array.iteri
+      (fun i tx ->
+        let k = Address.to_hex tx.Tx.sender in
+        let prev = try Hashtbl.find by_sender k with Not_found -> [] in
+        Hashtbl.replace by_sender k (i :: prev))
+      arr;
+    Hashtbl.iter
+      (fun _ rev_positions ->
+        match rev_positions with
+        | [] | [ _ ] -> ()
+        | _ ->
+          let ps = List.rev rev_positions in
+          let txs = List.map (fun i -> arr.(i)) ps in
+          let txs = List.stable_sort (fun a b -> compare a.Tx.nonce b.Tx.nonce) txs in
+          List.iter2 (fun i tx -> arr.(i) <- tx) ps txs)
+      by_sender;
+    Array.to_list arr
+
+let mine_ext t =
   Obs.with_span "chain.mine" @@ fun () ->
   let new_height = height t + 1 in
   (* The block hook fires before the block forms so a fault controller can
@@ -145,13 +192,19 @@ let mine t =
      bounded delay into possible censorship. *)
   let released, still = List.partition (fun (h, _) -> h <= new_height) t.delayed in
   t.delayed <- still;
+  (* The fault pipeline draws its decisions on the arrival-order (FIFO)
+     candidates; the survivors are then fee-ordered.  Released delayed
+     transactions go ahead of the fee-ordered fresh mempool, exempt from
+     both re-drawn fault coins and fee competition — otherwise a high-fee
+     flood could starve a delayed transaction indefinitely, turning the
+     bounded delay into censorship. *)
   let scheduled =
     match t.fault with
-    | None -> List.map snd released @ fifo
+    | None -> List.map snd released @ fee_order fifo
     | Some f ->
       let now, postponed = f ~height:new_height fifo in
       t.delayed <- t.delayed @ postponed;
-      List.map snd released @ now
+      List.map snd released @ fee_order now
   in
   let ordered =
     match t.adversary with
@@ -169,20 +222,22 @@ let mine t =
       t.mempool <- List.rev omitted;
       out
   in
-  let ordered = List.filter Tx.validate ordered in
-  Obs.Histogram.observe m_txs_per_block (float_of_int (List.length ordered));
-  Obs.Counter.add m_txs (List.length ordered);
+  let tagged = List.map (fun tx -> (tx, Tx.validate tx)) ordered in
+  let valid = List.filter_map (fun (tx, ok) -> if ok then Some tx else None) tagged in
+  Obs.Histogram.observe m_txs_per_block (float_of_int (List.length valid));
+  Obs.Counter.add m_txs (List.length valid);
   let live = Array.to_list t.nodes |> List.filter (fun n -> n.up) in
   (* Every live node executes the block independently; receipts must agree.
      The exec span gets one sample per node per block, so its histogram is
      the distribution of per-node block execution time. *)
-  let all_receipts =
+  let all_results =
     List.map
       (fun node ->
         Obs.with_span "chain.mine.exec" (fun () ->
-            List.map (State.apply_tx node.state ~height:new_height) ordered))
+            Exec.apply_block node.state ~height:new_height valid))
       live
   in
+  let all_receipts = List.map (List.map fst) all_results in
   let block =
     Obs.with_span "chain.mine.consensus" @@ fun () ->
     let roots = List.map (fun node -> State.root node.state) live in
@@ -197,7 +252,7 @@ let mine t =
       roots;
     let block =
       Block.make ~difficulty:t.difficulty ~height:new_height ~prev_hash:(tip_hash t)
-        ~state_root:root0 ordered
+        ~state_root:root0 valid
     in
     (match Block.validate ~difficulty:t.difficulty ~prev_hash:(tip_hash t) ~prev_height:(height t) block with
     | Ok () -> ()
@@ -217,7 +272,23 @@ let mine t =
       if not (Hashtbl.mem t.receipts k) then Hashtbl.replace t.receipts k r;
       t.logs <- List.rev_append r.State.logs t.logs)
     rs;
-  rs
+  (* Classify in block-candidate order: invalid candidates become
+     [Rejected], executed ones [Applied] or [Conflict_retry] (escaped the
+     declared footprint and was re-run in the serial fallback). *)
+  let rec classify tagged results =
+    match (tagged, results) with
+    | [], [] -> []
+    | (_, false) :: tl, results -> Rejected "invalid signature" :: classify tl results
+    | (_, true) :: tl, (r, retried) :: results ->
+      (if retried then Conflict_retry r else Applied r) :: classify tl results
+    | _ -> assert false
+  in
+  classify tagged (List.hd all_results)
+
+let mine t =
+  List.filter_map
+    (function Applied r | Conflict_retry r -> Some r | Rejected _ -> None)
+    (mine_ext t)
 
 let mine_until t ~height:target =
   while height t < target do

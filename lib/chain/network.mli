@@ -39,8 +39,25 @@ val num_nodes : t -> int
 (** Current chain height (0 = genesis, before any block). *)
 val height : t -> int
 
-(** [submit t tx] broadcasts to the mempool.  Invalidly-signed transactions
-    are rejected immediately (never enter the mempool). *)
+(** Why a submission was refused (mirrors the [Protocol.error] style). *)
+type submit_error = Invalid_signature
+
+val submit_error_to_string : submit_error -> string
+
+(** [submit_r t tx] broadcasts to the mempool.  Invalidly-signed
+    transactions are rejected immediately (never enter the mempool).
+
+    The mempool is {e fee-ordered} at seal time: each block takes the
+    pending transactions highest-[Tx.fee] first (stable on arrival order,
+    with every sender's transactions kept in nonce order so a sender can
+    never wedge itself).  Transactions released from a fault-pipeline
+    delay are exempt — they go ahead of the fee-ordered fresh mempool. *)
+val submit_r : t -> Tx.t -> (unit, submit_error) result
+
+(** Raising wrapper around {!submit_r}, kept for source compatibility.
+    New code should prefer {!submit_r} (typed errors compose with the
+    [Protocol] retry drivers).
+    @raise Invalid_argument on an invalidly-signed transaction. *)
 val submit : t -> Tx.t -> unit
 
 val pending : t -> int
@@ -90,9 +107,25 @@ val node_up : t -> int -> bool
     assert per-replica agreement. *)
 val node_state_root : t -> int -> bytes
 
-(** [mine t] seals the mempool into the next block, executes it on every
-    live node, checks replica agreement and returns the receipts (first
-    live node's).
+(** Per-transaction outcome of sealing a block (candidate order):
+    [Applied] ran in the parallel schedule, [Conflict_retry] escaped its
+    declared footprint and was re-executed in the deterministic serial
+    fallback (same receipt it would always have had — the classification
+    is diagnostic), [Rejected] never executed. *)
+type exec_result =
+  | Applied of State.receipt
+  | Conflict_retry of State.receipt
+  | Rejected of string
+
+(** [mine_ext t] seals the fee-ordered mempool into the next block,
+    executes it on every live node via the sharded parallel executor
+    ({!Exec}), checks replica agreement and returns the typed
+    per-candidate outcomes (receipts from the first live node).
+    @raise Consensus_failure if replicas diverge. *)
+val mine_ext : t -> exec_result list
+
+(** [mine t] is {!mine_ext} returning only the executed receipts, kept for
+    source compatibility.  New code should prefer {!mine_ext}.
     @raise Consensus_failure if replicas diverge. *)
 val mine : t -> State.receipt list
 

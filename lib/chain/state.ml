@@ -3,15 +3,39 @@ module Codec = Zebra_codec.Codec
 module Obs = Zebra_obs.Obs
 
 let m_reverts = Obs.Counter.make "chain.state.reverts"
+let m_escapes = Obs.Counter.make "chain.state.escapes"
 
 type account = { balance : int; nonce : int }
 
 type contract_info = { behavior : string; storage : bytes }
 
-type t = {
+(* The ledger is sharded by address so the parallel block executor can hand
+   disjoint shard sets to different domains: a transaction confined to its
+   shards never touches a hashtable another domain is using.  32 shards is
+   plenty for pools of <= 16 domains and keeps the conflict mask in one
+   OCaml int. *)
+let num_shards = 32
+
+type shard = {
   accounts : (string, account) Hashtbl.t; (* key: address hex *)
   contracts : (string, contract_info) Hashtbl.t;
 }
+
+type t = { shards : shard array }
+
+let hex_val c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> 0
+
+(* Addresses are hashes, so their leading byte is uniform. *)
+let shard_of_key key =
+  if String.length key < 2 then 0
+  else ((hex_val key.[0] * 16) + hex_val key.[1]) land (num_shards - 1)
+
+let shard_of_address addr = shard_of_key (Address.to_hex addr)
 
 type status =
   | Ok of Address.t option
@@ -25,156 +49,274 @@ type receipt = {
 }
 
 let create ~genesis =
-  let t = { accounts = Hashtbl.create 64; contracts = Hashtbl.create 16 } in
+  let t =
+    {
+      shards =
+        Array.init num_shards (fun _ ->
+            { accounts = Hashtbl.create 8; contracts = Hashtbl.create 4 });
+    }
+  in
   List.iter
     (fun (addr, amount) ->
       if amount < 0 then invalid_arg "State.create: negative genesis balance";
-      Hashtbl.replace t.accounts (Address.to_hex addr) { balance = amount; nonce = 0 })
+      let key = Address.to_hex addr in
+      Hashtbl.replace t.shards.(shard_of_key key).accounts key { balance = amount; nonce = 0 })
     genesis;
   t
 
+(* --- unguarded read-only views (callers outside block execution) --- *)
+
 let account t addr =
-  match Hashtbl.find_opt t.accounts (Address.to_hex addr) with
+  let key = Address.to_hex addr in
+  match Hashtbl.find_opt t.shards.(shard_of_key key).accounts key with
   | Some a -> a
   | None -> { balance = 0; nonce = 0 }
-
-let set_account t addr a = Hashtbl.replace t.accounts (Address.to_hex addr) a
 
 let balance t addr = (account t addr).balance
 let nonce t addr = (account t addr).nonce
 
 let contract_storage t addr =
-  Option.map (fun c -> c.storage) (Hashtbl.find_opt t.contracts (Address.to_hex addr))
+  let key = Address.to_hex addr in
+  Option.map
+    (fun c -> c.storage)
+    (Hashtbl.find_opt t.shards.(shard_of_key key).contracts key)
 
-let is_contract t addr = Hashtbl.mem t.contracts (Address.to_hex addr)
+let is_contract t addr =
+  let key = Address.to_hex addr in
+  Hashtbl.mem t.shards.(shard_of_key key).contracts key
 
-let snapshot t = (Hashtbl.copy t.accounts, Hashtbl.copy t.contracts)
+(* --- journaled transaction context ---
 
-let restore t (accounts, contracts) =
-  Hashtbl.reset t.accounts;
-  Hashtbl.iter (Hashtbl.replace t.accounts) accounts;
-  Hashtbl.reset t.contracts;
-  Hashtbl.iter (Hashtbl.replace t.contracts) contracts
+   Every mutation records the previous binding, so one transaction's
+   effects can be undone exactly (a revert, a footprint escape, or the
+   executor's whole-block serial fallback).  When [allowed >= 0] it is a
+   bitmask of permitted shards and every access — read or write — outside
+   it raises [Escape] *before* touching the shard, so a guarded
+   transaction can never observe or disturb state another domain owns. *)
 
-let credit t addr amount =
-  let a = account t addr in
-  set_account t addr { a with balance = a.balance + amount }
+type undo =
+  | U_account of string * account option
+  | U_contract of string * contract_info option
 
-let debit t addr amount =
-  let a = account t addr in
+type undo_log = undo list (* newest first *)
+
+exception Escape of string
+
+type txn = { st : t; allowed : int; mutable undos : undo_log }
+
+let txn_shard txn key =
+  let s = shard_of_key key in
+  if txn.allowed >= 0 && (txn.allowed lsr s) land 1 = 0 then raise (Escape key);
+  txn.st.shards.(s)
+
+let t_account txn addr =
+  let key = Address.to_hex addr in
+  match Hashtbl.find_opt (txn_shard txn key).accounts key with
+  | Some a -> a
+  | None -> { balance = 0; nonce = 0 }
+
+let t_set_account txn addr a =
+  let key = Address.to_hex addr in
+  let shard = txn_shard txn key in
+  txn.undos <- U_account (key, Hashtbl.find_opt shard.accounts key) :: txn.undos;
+  Hashtbl.replace shard.accounts key a
+
+let t_contract txn addr =
+  let key = Address.to_hex addr in
+  Hashtbl.find_opt (txn_shard txn key).contracts key
+
+let t_set_contract txn addr c =
+  let key = Address.to_hex addr in
+  let shard = txn_shard txn key in
+  txn.undos <- U_contract (key, Hashtbl.find_opt shard.contracts key) :: txn.undos;
+  Hashtbl.replace shard.contracts key c
+
+let apply_undo t u =
+  match u with
+  | U_account (key, prev) -> (
+    let shard = t.shards.(shard_of_key key) in
+    match prev with
+    | Some a -> Hashtbl.replace shard.accounts key a
+    | None -> Hashtbl.remove shard.accounts key)
+  | U_contract (key, prev) -> (
+    let shard = t.shards.(shard_of_key key) in
+    match prev with
+    | Some c -> Hashtbl.replace shard.contracts key c
+    | None -> Hashtbl.remove shard.contracts key)
+
+(* Undo newest-first down to (but excluding) the physical tail [mark]. *)
+let rec rollback t l mark =
+  if l != mark then
+    match l with
+    | [] -> ()
+    | u :: rest ->
+      apply_undo t u;
+      rollback t rest mark
+
+let undo t log = rollback t log []
+
+let credit txn addr amount =
+  let a = t_account txn addr in
+  t_set_account txn addr { a with balance = a.balance + amount }
+
+let debit txn addr amount =
+  let a = t_account txn addr in
   if a.balance < amount then raise (Contract.Revert "insufficient balance");
-  set_account t addr { a with balance = a.balance - amount }
+  t_set_account txn addr { a with balance = a.balance - amount }
 
-let apply_actions t ~self actions =
+let apply_actions txn ~self actions =
   List.filter_map
     (fun action ->
       match action with
       | Contract.Transfer (dst, amount) ->
         if amount < 0 then raise (Contract.Revert "negative transfer");
-        debit t self amount;
-        credit t dst amount;
+        debit txn self amount;
+        credit txn dst amount;
         None
       | Contract.Log msg -> Some msg)
     actions
 
-let apply_tx t ~height tx =
+let apply_tx_logged t ~height ?(allowed = -1) tx =
+  let txn = { st = t; allowed; undos = [] } in
   let tx_hash = Tx.hash tx in
   let gas = ref (Contract.Gas.base + (Contract.Gas.per_byte * Tx.size_bytes tx)) in
-  let fail reason = { tx_hash; status = Failed reason; gas_used = !gas; logs = [] } in
+  let fail reason =
+    Result.Ok ({ tx_hash; status = Failed reason; gas_used = !gas; logs = [] }, txn.undos)
+  in
   if not (Tx.validate tx) then fail "invalid signature"
   else begin
-    let sender = account t tx.Tx.sender in
-    if tx.Tx.nonce <> sender.nonce then fail "bad nonce"
-    else if sender.balance < tx.Tx.value then fail "insufficient funds"
-    else begin
-      (* The nonce advances even if execution reverts. *)
-      let snap = snapshot t in
-      set_account t tx.Tx.sender { sender with nonce = sender.nonce + 1 };
-      let after_nonce = snapshot t in
-      let charge n = gas := !gas + n in
-      try
-        match tx.Tx.dst with
-        | Tx.Create { behavior; args } ->
-          let beh =
-            try Contract.lookup behavior
-            with Not_found -> raise (Contract.Revert ("unknown behavior " ^ behavior))
-          in
-          let contract_addr = Address.of_creator tx.Tx.sender tx.Tx.nonce in
-          if is_contract t contract_addr then raise (Contract.Revert "address collision");
-          debit t tx.Tx.sender tx.Tx.value;
-          credit t contract_addr tx.Tx.value;
-          charge Contract.Gas.storage_word;
-          let ctx =
-            {
-              Contract.self = contract_addr;
-              sender = tx.Tx.sender;
-              value = tx.Tx.value;
-              height;
-              self_balance = balance t contract_addr;
-              charge;
-            }
-          in
-          let storage = Obs.with_span "chain.state.exec" (fun () -> Contract.run_init beh ctx args) in
-          Hashtbl.replace t.contracts (Address.to_hex contract_addr) { behavior; storage };
-          { tx_hash; status = Ok (Some contract_addr); gas_used = !gas; logs = [] }
-        | Tx.Call dst -> (
-          match Hashtbl.find_opt t.contracts (Address.to_hex dst) with
-          | None ->
-            (* plain value transfer *)
-            debit t tx.Tx.sender tx.Tx.value;
-            credit t dst tx.Tx.value;
-            { tx_hash; status = Ok None; gas_used = !gas; logs = [] }
-          | Some info ->
-            let beh = Contract.lookup info.behavior in
-            debit t tx.Tx.sender tx.Tx.value;
-            credit t dst tx.Tx.value;
+    match t_account txn tx.Tx.sender with
+    | exception Escape key ->
+      Obs.Counter.incr m_escapes;
+      Result.Error key
+    | sender ->
+      if tx.Tx.nonce <> sender.nonce then fail "bad nonce"
+      else if sender.balance < tx.Tx.value then fail "insufficient funds"
+      else begin
+        (* The nonce advances even if execution reverts. *)
+        t_set_account txn tx.Tx.sender { sender with nonce = sender.nonce + 1 };
+        let after_nonce = txn.undos in
+        let charge n = gas := !gas + n in
+        try
+          match tx.Tx.dst with
+          | Tx.Create { behavior; args } ->
+            let beh =
+              try Contract.lookup behavior
+              with Not_found -> raise (Contract.Revert ("unknown behavior " ^ behavior))
+            in
+            let contract_addr = Address.of_creator tx.Tx.sender tx.Tx.nonce in
+            if t_contract txn contract_addr <> None then
+              raise (Contract.Revert "address collision");
+            debit txn tx.Tx.sender tx.Tx.value;
+            credit txn contract_addr tx.Tx.value;
+            charge Contract.Gas.storage_word;
             let ctx =
               {
-                Contract.self = dst;
+                Contract.self = contract_addr;
                 sender = tx.Tx.sender;
                 value = tx.Tx.value;
                 height;
-                self_balance = balance t dst;
+                self_balance = (t_account txn contract_addr).balance;
                 charge;
               }
             in
-            let storage', actions =
-              Obs.with_span "chain.state.exec" (fun () ->
-                  Contract.run_receive beh ctx info.storage ~payload:tx.Tx.payload)
+            let storage =
+              Obs.with_span "chain.state.exec" (fun () -> Contract.run_init beh ctx args)
             in
-            let logs = apply_actions t ~self:dst actions in
-            Hashtbl.replace t.contracts (Address.to_hex dst) { info with storage = storage' };
-            { tx_hash; status = Ok None; gas_used = !gas; logs })
-      with
-      | Contract.Revert reason ->
-        restore t after_nonce;
-        Obs.Counter.incr m_reverts;
-        { tx_hash; status = Failed reason; gas_used = !gas; logs = [] }
-      | Codec.Decode_error reason ->
-        restore t after_nonce;
-        { tx_hash; status = Failed ("decode: " ^ reason); gas_used = !gas; logs = [] }
-      | e ->
-        (* Defensive: a behaviour bug must not fork the simulated network. *)
-        restore t snap;
-        { tx_hash; status = Failed ("exception: " ^ Printexc.to_string e); gas_used = !gas; logs = [] }
-    end
+            t_set_contract txn contract_addr { behavior; storage };
+            Result.Ok
+              ( { tx_hash; status = Ok (Some contract_addr); gas_used = !gas; logs = [] },
+                txn.undos )
+          | Tx.Call dst -> (
+            match t_contract txn dst with
+            | None ->
+              (* plain value transfer *)
+              debit txn tx.Tx.sender tx.Tx.value;
+              credit txn dst tx.Tx.value;
+              Result.Ok ({ tx_hash; status = Ok None; gas_used = !gas; logs = [] }, txn.undos)
+            | Some info ->
+              let beh = Contract.lookup info.behavior in
+              debit txn tx.Tx.sender tx.Tx.value;
+              credit txn dst tx.Tx.value;
+              let ctx =
+                {
+                  Contract.self = dst;
+                  sender = tx.Tx.sender;
+                  value = tx.Tx.value;
+                  height;
+                  self_balance = (t_account txn dst).balance;
+                  charge;
+                }
+              in
+              let storage', actions =
+                Obs.with_span "chain.state.exec" (fun () ->
+                    Contract.run_receive beh ctx info.storage ~payload:tx.Tx.payload)
+              in
+              let logs = apply_actions txn ~self:dst actions in
+              t_set_contract txn dst { info with storage = storage' };
+              Result.Ok ({ tx_hash; status = Ok None; gas_used = !gas; logs }, txn.undos))
+        with
+        | Escape key ->
+          (* The execution reached outside its declared footprint: roll
+             everything back (this transaction will be re-executed in
+             serial block order, where nothing is off-limits). *)
+          rollback t txn.undos [];
+          Obs.Counter.incr m_escapes;
+          Result.Error key
+        | Contract.Revert reason ->
+          rollback t txn.undos after_nonce;
+          txn.undos <- after_nonce;
+          Obs.Counter.incr m_reverts;
+          Result.Ok ({ tx_hash; status = Failed reason; gas_used = !gas; logs = [] }, txn.undos)
+        | Codec.Decode_error reason ->
+          rollback t txn.undos after_nonce;
+          txn.undos <- after_nonce;
+          Result.Ok
+            ( { tx_hash; status = Failed ("decode: " ^ reason); gas_used = !gas; logs = [] },
+              txn.undos )
+        | e ->
+          (* Defensive: a behaviour bug must not fork the simulated network. *)
+          rollback t txn.undos [];
+          txn.undos <- [];
+          Result.Ok
+            ( {
+                tx_hash;
+                status = Failed ("exception: " ^ Printexc.to_string e);
+                gas_used = !gas;
+                logs = [];
+              },
+              txn.undos )
+      end
   end
+
+let apply_tx t ~height tx =
+  match apply_tx_logged t ~height tx with
+  | Result.Ok (receipt, _log) -> receipt
+  | Result.Error _ -> assert false (* unguarded execution cannot escape *)
 
 let root t =
   let w = Codec.writer () in
-  let sorted tbl = List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []) in
+  let collect sel =
+    Array.fold_left
+      (fun acc shard -> Hashtbl.fold (fun k v acc -> (k, v) :: acc) (sel shard) acc)
+      [] t.shards
+    |> List.sort compare
+  in
   List.iter
     (fun (k, (a : account)) ->
       Codec.string w k;
       Codec.u64 w a.balance;
       Codec.u64 w a.nonce)
-    (sorted t.accounts);
+    (collect (fun s -> s.accounts));
   List.iter
     (fun (k, (c : contract_info)) ->
       Codec.string w k;
       Codec.string w c.behavior;
       Codec.bytes w c.storage)
-    (sorted t.contracts);
+    (collect (fun s -> s.contracts));
   Sha256.digest (Codec.to_bytes w)
 
-let total_supply t = Hashtbl.fold (fun _ (a : account) acc -> acc + a.balance) t.accounts 0
+let total_supply t =
+  Array.fold_left
+    (fun acc shard -> Hashtbl.fold (fun _ (a : account) acc -> acc + a.balance) shard.accounts acc)
+    0 t.shards

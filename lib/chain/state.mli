@@ -5,7 +5,17 @@
     Failed or reverted transactions are included with a failure receipt and
     roll back all state changes except the sender's nonce (Ethereum-like
     semantics, minus gas payments — the simulated chain does not price gas,
-    it only meters it for the benchmarks). *)
+    it only meters it for the benchmarks).
+
+    {b Sharding.}  The ledger is internally partitioned into
+    {!num_shards} address shards.  The parallel block executor ({!Exec})
+    maps each transaction's declared footprint to a shard bitmask and runs
+    transactions with disjoint masks on different domains; the guarded
+    entry point {!apply_tx_logged} guarantees a transaction never touches a
+    shard outside its mask (it is rolled back and reported instead), so
+    concurrent execution is race-free by construction.  All mutations are
+    journaled, making rollback exact — both per-transaction (reverts,
+    escapes) and whole-block (the executor's serial fallback). *)
 
 type t
 
@@ -31,12 +41,44 @@ val contract_storage : t -> Address.t -> bytes option
 
 val is_contract : t -> Address.t -> bool
 
-(** [apply_tx t ~height tx] executes one transaction.  Never raises on bad
-    transactions — every outcome is a receipt. *)
+(** Number of address shards (a power of two; shard masks fit one [int]). *)
+val num_shards : int
+
+(** Shard index of an address: [0 .. num_shards - 1]. *)
+val shard_of_address : Address.t -> int
+
+(** Journal of one applied transaction's mutations, newest first.  Opaque;
+    pass back to {!undo} to revert that transaction exactly.  Logs must be
+    undone in reverse application order. *)
+type undo_log
+
+(** [apply_tx_logged t ~height ?allowed tx] executes one transaction and
+    returns its receipt together with the journal of its state mutations.
+
+    [allowed], when given, is a shard bitmask (bit [s] set = shard [s]
+    accessible).  Any access — read or write — outside the mask aborts the
+    transaction {e before} the foreign shard is touched: all of the
+    transaction's own effects are rolled back (including the nonce) and
+    [Error key] is returned with the offending address key.  The caller is
+    expected to re-execute the transaction serially.  Without [allowed]
+    execution is unguarded and the result is always [Ok].
+
+    Never raises on bad transactions — every non-escape outcome is a
+    receipt. *)
+val apply_tx_logged :
+  t -> height:int -> ?allowed:int -> Tx.t -> (receipt * undo_log, string) result
+
+(** Revert one transaction's effects.  When undoing several transactions,
+    undo them in reverse order of application. *)
+val undo : t -> undo_log -> unit
+
+(** [apply_tx t ~height tx] executes one transaction serially (unguarded).
+    Never raises on bad transactions — every outcome is a receipt. *)
 val apply_tx : t -> height:int -> Tx.t -> receipt
 
 (** Canonical state root (SHA-256 over the sorted serialised state);
-    compared across nodes after every block. *)
+    compared across nodes after every block.  Independent of sharding
+    layout — byte-identical to the pre-sharding serialisation. *)
 val root : t -> bytes
 
 (** Total of all balances (conservation-of-money invariant in tests). *)

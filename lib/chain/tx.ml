@@ -13,7 +13,9 @@ type t = {
   nonce : int;
   dst : dst;
   value : int;
+  fee : int;
   payload : bytes;
+  footprint : Address.t list;
   signature : bytes;
 }
 
@@ -30,12 +32,15 @@ let write_unsigned w (tx : t) =
     Codec.u8 w 1;
     Codec.bytes w (Address.to_bytes addr));
   Codec.u64 w tx.value;
+  Codec.u64 w tx.fee;
+  Codec.list w (fun w a -> Codec.bytes w (Address.to_bytes a)) tx.footprint;
   Codec.bytes w tx.payload
 
 let signing_bytes tx = Codec.encode write_unsigned tx
 
-let make ~wallet ~nonce ~dst ~value ~payload =
+let make_ext ~wallet ~fee ~footprint ~nonce ~dst ~value ~payload =
   if value < 0 then invalid_arg "Tx.make: negative value";
+  if fee < 0 then invalid_arg "Tx.make: negative fee";
   let unsigned =
     {
       sender = Wallet.address wallet;
@@ -43,14 +48,20 @@ let make ~wallet ~nonce ~dst ~value ~payload =
       nonce;
       dst;
       value;
+      fee;
       payload;
+      footprint;
       signature = Bytes.empty;
     }
   in
   { unsigned with signature = Wallet.sign wallet (signing_bytes unsigned) }
 
+let make ~wallet ~nonce ~dst ~value ~payload =
+  make_ext ~wallet ~fee:0 ~footprint:[] ~nonce ~dst ~value ~payload
+
 let validate tx =
-  Address.equal tx.sender (Address.of_public_key tx.sender_pk)
+  tx.fee >= 0 && tx.value >= 0
+  && Address.equal tx.sender (Address.of_public_key tx.sender_pk)
   && Pkcs1.verify tx.sender_pk ~msg:(signing_bytes tx) ~signature:tx.signature
 
 let to_bytes tx =
@@ -76,9 +87,11 @@ let of_bytes b =
         | _ -> raise (Codec.Decode_error "tx: bad dst tag")
       in
       let value = Codec.read_u64 r in
+      let fee = Codec.read_u64 r in
+      let footprint = Codec.read_list r (fun r -> Address.of_bytes (Codec.read_bytes r)) in
       let payload = Codec.read_bytes r in
       let signature = Codec.read_bytes r in
-      { sender; sender_pk; nonce; dst; value; payload; signature })
+      { sender; sender_pk; nonce; dst; value; fee; payload; footprint; signature })
     b
 
 let hash tx = Sha256.digest (to_bytes tx)
@@ -91,8 +104,8 @@ let pp fmt tx =
     | Create { behavior; _ } -> Printf.sprintf "create:%s" behavior
     | Call a -> Printf.sprintf "call:%s" (Address.to_hex a)
   in
-  Format.fprintf fmt "tx{%a -> %s, nonce=%d, value=%d, %dB}" Address.pp tx.sender dst_str
-    tx.nonce tx.value (size_bytes tx)
+  Format.fprintf fmt "tx{%a -> %s, nonce=%d, value=%d, fee=%d, %dB}" Address.pp tx.sender
+    dst_str tx.nonce tx.value tx.fee (size_bytes tx)
 
 let resend_as ~wallet ~nonce tx =
   let unsigned =

@@ -4,7 +4,23 @@
     and its init arguments — the simulator's stand-in for EVM bytecode, see
     {!Contract}) or calls an existing contract/account with a payload.
     Transactions are signed over their canonical encoding; the sender
-    address must be the hash of the embedded public key. *)
+    address must be the hash of the embedded public key.
+
+    {b Priority.}  [fee] is the sender's inclusion priority: the miner
+    seals the mempool highest-fee-first (stable on arrival order, with
+    same-sender sequences kept in nonce order — see
+    {!Network.submit_r}).  The simulated chain does not price gas, so the
+    fee is never charged; it only orders inclusion.
+
+    {b Footprint.}  [footprint] declares extra addresses the transaction's
+    execution may touch beyond the statically-known ones (sender and
+    destination/created address): the payees of contract [Transfer]
+    actions, typically.  The parallel block executor ({!Exec}) schedules
+    transactions with disjoint footprints concurrently; a transaction
+    whose execution escapes its declared footprint is detected, rolled
+    back and deterministically re-executed in serial block order
+    ([Conflict_retry]) — under-declaring costs performance, never
+    correctness. *)
 
 type dst =
   | Create of { behavior : string; args : bytes }
@@ -16,14 +32,34 @@ type t = private {
   nonce : int;
   dst : dst;
   value : int;
+  fee : int;  (** inclusion priority; never charged *)
   payload : bytes;
+  footprint : Address.t list;  (** declared extra touched addresses *)
   signature : bytes;
 }
 
-(** [make ~wallet ~nonce ~dst ~value ~payload] builds and signs. *)
-val make : wallet:Wallet.t -> nonce:int -> dst:dst -> value:int -> payload:bytes -> t
+(** [make_ext ~wallet ~fee ~footprint ~nonce ~dst ~value ~payload] builds
+    and signs a transaction with an explicit inclusion fee and declared
+    footprint.
+    @raise Invalid_argument on a negative [value] or [fee]. *)
+val make_ext :
+  wallet:Wallet.t ->
+  fee:int ->
+  footprint:Address.t list ->
+  nonce:int ->
+  dst:dst ->
+  value:int ->
+  payload:bytes ->
+  t
 
-(** Signature valid and sender address consistent with the embedded key. *)
+(** [make] is {!make_ext} with [fee = 0] and [footprint = \[\]]
+    (statically-known addresses only).
+    @raise Invalid_argument on a negative [value]. *)
+val make :
+  wallet:Wallet.t -> nonce:int -> dst:dst -> value:int -> payload:bytes -> t
+
+(** Signature valid, sender address consistent with the embedded key, and
+    value/fee non-negative. *)
 val validate : t -> bool
 
 (** Transaction hash (of the signed encoding). *)

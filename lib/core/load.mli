@@ -1,0 +1,74 @@
+(** Marketplace load harness: N requesters and M workers drive many CPLA
+    tasks end-to-end, concurrently, against one simulated chain.
+
+    Each task is a pipeline — fund the requester's one-task wallet,
+    publish the contract, collect [workers_per_task] anonymous
+    submissions, send the proved reward instruction — and the scheduler
+    keeps up to [inflight] tasks in flight, mining one block per round, so
+    every block mixes phases from unrelated tasks.  Phases carry distinct
+    inclusion fees (funding 3, instruct 2, publish 1, submissions 0) to
+    exercise the fee-ordered mempool, and instructions declare their payee
+    footprints so the sharded parallel executor can settle unrelated
+    tasks concurrently.
+
+    All randomness comes from the system seed, so everything except the
+    wall-clock timings — roots, block/tx counts, failures — is
+    deterministic and must be identical at any [ZEBRA_DOMAINS] (the CI
+    load-smoke gate diffs exactly that).
+
+    Settle latency (task publish broadcast → reward receipt) is observed
+    into the [load.settle] {!Zebra_obs.Obs.Histogram}; completions and
+    failures bump [load.tasks.completed] / [load.tasks.failed]. *)
+
+type config = {
+  requesters : int;  (** size of the requester identity pool *)
+  workers : int;  (** size of the worker identity pool *)
+  tasks : int;  (** total tasks to run *)
+  workers_per_task : int;  (** submissions per task (the contract arity) *)
+  inflight : int;  (** max tasks concurrently in the pipeline *)
+  budget : int;  (** per-task budget *)
+  num_nodes : int;  (** chain replicas *)
+  seed : string;
+  verify_replay : bool;
+      (** additionally re-execute the whole chain serially from genesis
+          and check the roots match (slow — doubles the run) *)
+}
+
+(** 4 requesters, 8 workers, 20 tasks of 2 submissions, 8 in flight,
+    budget 60, 3 nodes, no replay verification. *)
+val default_config : config
+
+type report = {
+  tasks_completed : int;
+  tasks_failed : int;
+  failures : (int * string) list;  (** (task index, reason), ascending *)
+  blocks : int;
+  txs : int;
+  conflict_retries : int;
+      (** transactions that escaped their declared footprint and were
+          re-executed serially (0 when every footprint is declared) *)
+  elapsed_s : float;
+  tasks_per_sec : float;
+  txs_per_sec : float;
+  settle_p50_s : float;  (** from the [load.settle] histogram *)
+  settle_p99_s : float;
+  state_root : string;  (** final root, hex *)
+  replicas_agree : bool;
+  supply_conserved : bool;
+  replay_matches : bool option;  (** [None] unless [verify_replay] *)
+}
+
+(** [run ~config ()] drives the whole workload and reports.  Raises only
+    on configuration errors or harness bugs — per-task on-chain failures
+    land in [failures]. *)
+val run : ?config:config -> unit -> report
+
+(** The report's deterministic facts, one per line — byte-identical across
+    [ZEBRA_DOMAINS] settings. *)
+val render_deterministic : report -> string
+
+(** The wall-clock metrics, one ["# "]-prefixed line each. *)
+val render_timing : report -> string
+
+(** No failures and every invariant held. *)
+val ok : report -> bool

@@ -110,7 +110,12 @@ let submit_confirm_r sys ~phase tx =
       end
   in
   let rec attempt n =
-    Network.submit sys.net tx;
+    (match Network.submit_r sys.net tx with
+    | Ok () -> ()
+    | Error e ->
+      (* Protocol drivers only build well-signed transactions; a refusal
+         here is a programming error, not a network fault. *)
+      invalid_arg ("Protocol: " ^ Network.submit_error_to_string e));
     if n > 1 then Obs.Counter.incr m_resubmits;
     match mine_r sys with
     | Error e -> Error e
@@ -418,8 +423,11 @@ let finalize_r sys (task : Requester.task) =
     match fresh_funded_wallet_r sys ~phase:"finalize" ~amount:10 with
     | Error err -> Error err
     | Ok caller -> (
+      let storage = task_storage sys task.Requester.contract in
       let tx =
-        Tx.make ~wallet:caller ~nonce:0 ~dst:(Tx.Call task.Requester.contract) ~value:0
+        Tx.make_ext ~wallet:caller ~fee:0
+          ~footprint:(Requester.settlement_footprint storage)
+          ~nonce:0 ~dst:(Tx.Call task.Requester.contract) ~value:0
           ~payload:(Task_contract.message_to_bytes Task_contract.Finalize)
       in
       match submit_confirm_r sys ~phase:"finalize" tx with

@@ -13,8 +13,8 @@ type task = {
 }
 
 let create_task ?circuit ?(max_per_worker = 1) ?(ra_rsa_pub = Bytes.empty)
-    ?(data_digest = Bytes.empty) ~random_bytes ~cpla ~key ~cert_index ~ra_path ~ra_root
-    ~wallet ~nonce ~policy ~n ~budget ~answer_deadline ~instruct_deadline () =
+    ?(data_digest = Bytes.empty) ?(fee = 0) ~random_bytes ~cpla ~key ~cert_index ~ra_path
+    ~ra_root ~wallet ~nonce ~policy ~n ~budget ~answer_deadline ~instruct_deadline () =
   let esk, epk = Elgamal.generate ~random_bytes in
   let circuit =
     match circuit with
@@ -51,7 +51,7 @@ let create_task ?circuit ?(max_per_worker = 1) ?(ra_rsa_pub = Bytes.empty)
     }
   in
   let tx =
-    Tx.make ~wallet ~nonce
+    Tx.make_ext ~wallet ~fee ~footprint:[] ~nonce
       ~dst:
         (Tx.Create
            {
@@ -83,7 +83,17 @@ let cts_of_storage task (storage : Task_contract.storage) =
     storage.Task_contract.submissions;
   cts
 
-let instruct_with_rewards ~random_bytes task ~storage ~nonce ~rewards =
+(* The payees of a settlement: every submission's worker, plus the
+   requester refund destination.  Declared as the transaction footprint so
+   the parallel executor can schedule settlements of unrelated tasks
+   concurrently (the requester address only matters for Finalize, whose
+   caller is a third party — for Instruct it equals the sender). *)
+let settlement_footprint (storage : Task_contract.storage) =
+  storage.Task_contract.requester
+  :: List.map (fun (s : Task_contract.submission) -> s.Task_contract.worker)
+       storage.Task_contract.submissions
+
+let instruct_with_rewards ?(fee = 0) ~random_bytes task ~storage ~nonce ~rewards =
   let n = task.params.Task_contract.n in
   let budget = task.params.Task_contract.budget in
   let policy = task.params.Task_contract.policy in
@@ -98,15 +108,16 @@ let instruct_with_rewards ~random_bytes task ~storage ~nonce ~rewards =
       }
   in
   let tx =
-    Tx.make ~wallet:task.wallet ~nonce ~dst:(Tx.Call task.contract) ~value:0
+    Tx.make_ext ~wallet:task.wallet ~fee ~footprint:(settlement_footprint storage) ~nonce
+      ~dst:(Tx.Call task.contract) ~value:0
       ~payload:(Task_contract.message_to_bytes msg)
   in
   (rewards, tx)
 
-let instruct ~random_bytes task ~storage ~nonce =
+let instruct ?(fee = 0) ~random_bytes task ~storage ~nonce =
   let answers = decrypt_answers task storage in
   let rewards =
     Policy.rewards task.params.Task_contract.policy ~budget:task.params.Task_contract.budget
       ~n:task.params.Task_contract.n answers
   in
-  instruct_with_rewards ~random_bytes task ~storage ~nonce ~rewards
+  instruct_with_rewards ~fee ~random_bytes task ~storage ~nonce ~rewards

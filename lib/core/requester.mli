@@ -30,6 +30,7 @@ val create_task :
   ?max_per_worker:int ->
   ?ra_rsa_pub:bytes ->
   ?data_digest:bytes ->
+  ?fee:int ->
   random_bytes:(int -> bytes) ->
   cpla:Zebra_anonauth.Cpla.params ->
   key:Zebra_anonauth.Cpla.user_key ->
@@ -51,10 +52,18 @@ val create_task :
     and missing slots to bottom. *)
 val decrypt_answers : task -> Task_contract.storage -> Policy.answer array
 
+(** The payees a settlement transaction must declare as its footprint:
+    every submission's worker plus the requester refund destination. *)
+val settlement_footprint : Task_contract.storage -> Zebra_chain.Address.t list
+
 (** [instruct ~random_bytes task ~storage ~nonce] computes the policy
     rewards, proves the instruction correct, and returns the rewards with
-    the signed transaction. *)
+    the signed transaction.  The transaction declares the settlement
+    payees as its footprint (see {!Zebra_chain.Tx.make_ext}) so the
+    parallel executor can run unrelated settlements concurrently; [?fee]
+    (default 0) sets its inclusion priority. *)
 val instruct :
+  ?fee:int ->
   random_bytes:(int -> bytes) ->
   task ->
   storage:Task_contract.storage ->
@@ -65,6 +74,7 @@ val instruct :
     vector, still honestly proved — used by tests to show that a lying
     vector cannot be proved, and by the false-reporting attack demo. *)
 val instruct_with_rewards :
+  ?fee:int ->
   random_bytes:(int -> bytes) ->
   task ->
   storage:Task_contract.storage ->

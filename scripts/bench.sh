@@ -6,14 +6,27 @@
 #   BENCH_snark.json     sparse-prover speedup, keycache hit/miss economics,
 #                        batched-vs-sequential audit (asserts the proof
 #                        digest against the pre-optimization baseline)
+#   BENCH_load.json      N x M marketplace throughput (100 tasks) through
+#                        the fee-ordered mempool + sharded parallel executor
 # All are written to the repo root; PERFORMANCE.md explains how to read
 # them.  Numbers are hardware-dependent -- commit them together with a note
 # on the machine they came from.
+#
+# Usage: scripts/bench.sh [obs|parallel|chaos|snark|load ...]
+# With no arguments the standing artifact set is regenerated (load included).
 set -eu
 cd "$(dirname "$0")/.."
 dune build bench/main.exe
-./_build/default/bench/main.exe obs
-./_build/default/bench/main.exe parallel
-./_build/default/bench/main.exe chaos
-./_build/default/bench/main.exe snark
-echo "wrote $(pwd)/BENCH_obs.json, $(pwd)/BENCH_parallel.json, $(pwd)/BENCH_chaos.json and $(pwd)/BENCH_snark.json"
+BENCH="./_build/default/bench/main.exe"
+if [ "$#" -gt 0 ]; then
+  for b in "$@"; do
+    "$BENCH" "$b"
+  done
+else
+  "$BENCH" obs
+  "$BENCH" parallel
+  "$BENCH" chaos
+  "$BENCH" snark
+  "$BENCH" load
+  echo "wrote $(pwd)/BENCH_obs.json, $(pwd)/BENCH_parallel.json, $(pwd)/BENCH_chaos.json, $(pwd)/BENCH_snark.json and $(pwd)/BENCH_load.json"
+fi

@@ -68,3 +68,21 @@ for spec in \
   fi
   echo "seed=$seed plan=$plan: trace identical at 1 and 4 domains"
 done
+
+# Load-smoke gate: a small N x M marketplace run must complete every task
+# with zero invariant violations (the CLI exits non-zero otherwise), its
+# final state root must survive a full serial replay from genesis
+# (--verify-replay), and its deterministic facts -- root, block/tx counts,
+# conflict retries -- must be byte-identical at ZEBRA_DOMAINS=1 and =4:
+# the sharded parallel executor may not change a single state byte.
+echo "== load-smoke gate (parallel executor, root agreement at 1 vs 4 domains) =="
+ZEBRA_DOMAINS=1 "$ZEBRA" load --tasks 4 --requesters 2 --workers 4 --inflight 4 \
+  --seed ci-load --verify-replay -q >"$tmp/load-d1.txt"
+ZEBRA_DOMAINS=4 "$ZEBRA" load --tasks 4 --requesters 2 --workers 4 --inflight 4 \
+  --seed ci-load --verify-replay -q >"$tmp/load-d4.txt"
+if ! diff -u "$tmp/load-d1.txt" "$tmp/load-d4.txt"; then
+  echo "load gate FAILED: output differs across pool sizes" >&2
+  exit 1
+fi
+cat "$tmp/load-d1.txt"
+echo "load smoke: identical at 1 and 4 domains, all invariants held"

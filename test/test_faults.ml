@@ -84,6 +84,61 @@ let test_delay_exactly_k_blocks () =
   Alcotest.(check int) "one delay event" 1
     (List.length (List.filter (fun l -> String.length l >= 4) (Faults.trace f)))
 
+(* Regression: a fault-delayed transaction rejoins {e ahead} of the
+   fee-ordered mempool.  Under a sustained high-fee flood the zero-fee
+   victim must still land exactly at its release height, first in the
+   block — otherwise the bounded delay the protocol's retry drivers ride
+   out (see [Protocol]) would silently become fee starvation. *)
+let test_delayed_exempt_from_fee_flood () =
+  let net = fresh_net () in
+  let victim = transfer ~from:0 ~to_:2 ~nonce:0 ~value:7 in
+  let held = ref false in
+  Network.set_mempool_fault net
+    (Some
+       (fun ~height txs ->
+         if !held then (txs, [])
+         else
+           let now, hold =
+             List.partition (fun tx -> not (Bytes.equal (Tx.hash tx) (Tx.hash victim))) txs
+           in
+           if hold <> [] then held := true;
+           (now, List.map (fun tx -> (height + 2, tx)) hold)));
+  let flood_nonce = ref 0 in
+  let flood () =
+    for _ = 1 to 3 do
+      Network.submit net
+        (Tx.make_ext ~wallet:(wallet 1) ~fee:9 ~footprint:[] ~nonce:!flood_nonce
+           ~dst:(Tx.Call (Wallet.address (wallet 0)))
+           ~value:1 ~payload:Bytes.empty);
+      incr flood_nonce
+    done
+  in
+  let before = Network.balance net (Wallet.address (wallet 2)) in
+  Network.submit net victim;
+  flood ();
+  ignore (Network.mine net);
+  (* postponed at height 1, release 3; the flood mines on around it *)
+  Alcotest.(check int) "held in the delay buffer" 1 (Network.delayed net);
+  flood ();
+  ignore (Network.mine net);
+  Alcotest.(check (option reject)) "not mined at height 2" None
+    (Network.receipt net (Tx.hash victim));
+  flood ();
+  ignore (Network.mine net);
+  (match Network.receipt net (Tx.hash victim) with
+  | Some { State.status = State.Ok _; _ } -> ()
+  | _ -> Alcotest.fail "released transaction must execute at height 3");
+  Alcotest.(check int) "value arrived despite the flood" (before + 7)
+    (Network.balance net (Wallet.address (wallet 2)));
+  let release_block =
+    match List.rev (Network.blocks net) with b :: _ -> b | [] -> assert false
+  in
+  match release_block.Block.txs with
+  | first :: _ ->
+    Alcotest.(check bytes) "released tx sealed ahead of the fee-9 flood" (Tx.hash victim)
+      (Tx.hash first)
+  | [] -> Alcotest.fail "release block is empty"
+
 let test_drop_needs_resubmit () =
   let net = fresh_net () in
   let f = Faults.create ~seed:"drop" { Faults.none with Faults.drop = 1.0 } in
@@ -256,6 +311,31 @@ let test_chaos_trace_replays () =
     (Chaos.settlement_to_string o2.Chaos.settlement);
   Alcotest.(check int) "identical height" o1.Chaos.final_height o2.Chaos.final_height
 
+(* Chaos under the sharded parallel executor: the same (seed, plan) pair
+   must produce the identical outcome — trace, settlement, root — at 1 and
+   4 domains, with the fee-ordered mempool and footprint-declared
+   settlement transactions in the loop.  This is the in-suite twin of the
+   scripts/check.sh chaos gate. *)
+let test_chaos_identical_across_domains () =
+  let with_domains n f =
+    let prev = Zebra_parallel.Parallel.default_domains () in
+    Fun.protect
+      ~finally:(fun () -> Zebra_parallel.Parallel.set_default_domains prev)
+      (fun () ->
+        Zebra_parallel.Parallel.set_default_domains n;
+        f ())
+  in
+  let plan = Faults.spec_of_string "drop=0.1,delay=0.2:2,dup=0.05" in
+  let run_at n = with_domains n (fun () -> Chaos.run ~seed:"chaos-domains" ~plan ()) in
+  let o1 = run_at 1 in
+  let o4 = run_at 4 in
+  Alcotest.(check string) "outcome identical at 1 and 4 domains"
+    (Chaos.outcome_to_string o1) (Chaos.outcome_to_string o4);
+  (match o4.Chaos.settlement with
+  | Chaos.Rewarded _ | Chaos.Finalized -> ()
+  | Chaos.Aborted _ -> Alcotest.fail "bounded plan must settle");
+  check_invariants "domains" o4
+
 (* The tentpole property: ANY bounded seeded plan settles with a payout or
    a typed error — no exception — and never breaks replica agreement or
    supply conservation.  Expensive (a full system boot per case), so the
@@ -306,6 +386,8 @@ let () =
       ( "network",
         [
           Alcotest.test_case "delay is exactly k blocks" `Quick test_delay_exactly_k_blocks;
+          Alcotest.test_case "delayed exempt from fee flood" `Quick
+            test_delayed_exempt_from_fee_flood;
           Alcotest.test_case "drop needs resubmit" `Quick test_drop_needs_resubmit;
           Alcotest.test_case "crash and resync" `Quick test_crash_and_resync;
           Alcotest.test_case "last replica protected" `Quick test_crash_refuses_last_replica;
@@ -324,6 +406,8 @@ let () =
           Alcotest.test_case "withholding worker" `Quick test_chaos_withholding_worker;
           Alcotest.test_case "timeout fallback payout" `Quick test_chaos_timeout_fallback_payout;
           Alcotest.test_case "trace replays" `Quick test_chaos_trace_replays;
+          Alcotest.test_case "identical across domains" `Quick
+            test_chaos_identical_across_domains;
           prop_bounded_plans_settle_or_typed_error;
         ] );
     ]
