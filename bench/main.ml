@@ -8,7 +8,8 @@
                               ablation-field | nonanon | obs | parallel
 
    Shape, not absolute numbers, is the reproduction target: our substrate
-   is a designated-verifier QAP SNARK over MiMC on a laptop, the paper's is
+   is a designated-verifier QAP SNARK over Poseidon (MiMC = ablation arm),
+   the paper's is
    libsnark over SHA-256/RSA circuits on 2012-2014 Xeons (see
    EXPERIMENTS.md for the side-by-side reading). *)
 
@@ -19,6 +20,7 @@ module Snark = Zebra_snark.Snark
 module Cs = Zebra_r1cs.Cs
 module Cpla = Zebra_anonauth.Cpla
 module Ra = Zebra_anonauth.Ra
+module Hc = Zebra_hashcomp.Hash_composition
 module Elgamal = Zebra_elgamal.Elgamal
 module Network = Zebra_chain.Network
 module Tx = Zebra_chain.Tx
@@ -58,9 +60,9 @@ let bench_tree_depth = 16 (* RA capacity 65536, as a deployment would use *)
 
 let cpla_fixture =
   lazy
-    (let params = Cpla.setup ~random_bytes ~depth:bench_tree_depth in
-     let ra = Ra.create ~depth:bench_tree_depth in
-     let key = Cpla.keygen ~random_bytes in
+    (let params = Cpla.setup ~random_bytes ~depth:bench_tree_depth () in
+     let ra = Ra.create ~depth:bench_tree_depth () in
+     let key = Cpla.keygen ~random_bytes () in
      let index = Ra.register ra key.Cpla.pk in
      (params, ra, key, index))
 
@@ -76,7 +78,7 @@ let make_attestation () =
 (* A majority reward instance for a given n, mostly-honest answers. *)
 let majority_instance ~n =
   let policy = Policy.Majority { choices = 4 } in
-  let circuit = Reward_circuit.setup ~random_bytes ~policy ~n in
+  let circuit = Reward_circuit.setup ~random_bytes ~policy ~n () in
   let esk, epk = Elgamal.generate ~random_bytes in
   let answers = Array.init n (fun i -> Some (if i mod 4 = 3 then 2 else 1)) in
   let cts =
@@ -170,9 +172,9 @@ let fig4 () =
     "the paper contrasts two CPUs (3.1 vs 3.6 GHz); we contrast two RA tree\n\
      depths (8 vs 16), the knob that scales our Auth circuit the same way.\n\n";
   let bench_depth depth =
-    let params = Cpla.setup ~random_bytes ~depth in
-    let ra = Ra.create ~depth in
-    let key = Cpla.keygen ~random_bytes in
+    let params = Cpla.setup ~random_bytes ~depth () in
+    let ra = Ra.create ~depth () in
+    let key = Cpla.keygen ~random_bytes () in
     let index = Ra.register ra key.Cpla.pk in
     let times =
       List.init 12 (fun i ->
@@ -194,7 +196,7 @@ let fig4 () =
   let m16 = bench_depth 16 in
   Printf.printf
     "\npaper: ~62s (PC-B) and ~78s (PC-A), tightly clustered.  ours: %.2fs and %.2fs.\n\
-     absolute times are far smaller because MiMC replaces in-circuit SHA-256/RSA;\n\
+     absolute times are far smaller because Poseidon replaces in-circuit SHA-256/RSA;\n\
      the shape holds: generation is orders of magnitude above verification, and\n\
      tightly clustered across runs.\n%!"
     m8 m16
@@ -351,36 +353,28 @@ let ablation_hash () =
   header "X7 ablation: MiMC vs Poseidon as the in-circuit hash";
   Printf.printf
     "the paper's circuits hashed with SHA-256 (~28k constraints per call);\n\
-     we use MiMC; Poseidon is the modern drop-in.  Depth-16 Merkle circuit:\n\n";
-  let build_mimc () =
+     Poseidon is the deployed default, MiMC the ablation arm (DESIGN.md,\n\
+     \"Hash composition\").  Depth-16 Merkle circuit, via the same\n\
+     Hash_composition dispatch the CPLA circuit compiles through:\n\n";
+  let build composition =
     let cs = Cs.create () in
     let open Zebra_r1cs.Gadgets in
     let leaf = Cs.alloc cs (Fp.random random_bytes) in
     let bits = Array.init 16 (fun _ -> alloc_bit cs false) in
     let siblings = Array.init 16 (fun _ -> Cs.alloc cs (Fp.random random_bytes)) in
-    ignore (merkle_root cs ~leaf:(v leaf) ~path_bits:bits ~siblings);
+    ignore (Hc.merkle_root_gadget composition cs ~leaf:(v leaf) ~path_bits:bits ~siblings);
     cs
   in
-  let build_poseidon () =
-    let cs = Cs.create () in
-    let open Zebra_r1cs.Gadgets in
-    let leaf = Cs.alloc cs (Fp.random random_bytes) in
-    let bits = Array.init 16 (fun _ -> alloc_bit cs false) in
-    let siblings = Array.init 16 (fun _ -> Cs.alloc cs (Fp.random random_bytes)) in
-    ignore
-      (Zebra_poseidon.Poseidon.merkle_root_gadget cs ~leaf:(v leaf) ~path_bits:bits ~siblings);
-    cs
-  in
-  let profile name build =
-    let cs = build () in
+  let profile composition =
+    let cs = build composition in
     let kp = Snark.setup ~random_bytes cs in
     let _, t_prove = wall (fun () -> Snark.prove ~random_bytes kp.Snark.pk cs) in
-    Printf.printf "  %-9s: %6d constraints, proving %6.2fs\n%!" name (Cs.num_constraints cs)
-      t_prove;
+    Printf.printf "  %-9s: %6d constraints, proving %6.2fs\n%!"
+      (Hc.to_string composition) (Cs.num_constraints cs) t_prove;
     (Cs.num_constraints cs, t_prove)
   in
-  let cm, tm = profile "MiMC" build_mimc in
-  let cp, tp = profile "Poseidon" build_poseidon in
+  let cm, tm = profile Hc.Mimc in
+  let cp, tp = profile Hc.Poseidon in
   Printf.printf
     "  poseidon uses %.1fx fewer constraints and proves %.1fx faster -- the same\n\
      lever that would have taken the paper's 78s attestations to seconds.\n%!"
@@ -564,7 +558,7 @@ let snark_setup_seed = "bench-snark-setup"
    ZEBRA_DOMAINS=1, single-core container) with the same seeds. *)
 let snark_baseline_min = 0.5338
 let snark_baseline_median = 0.6145
-let snark_expected_digest = "52f41f239632bc240ea480422ff03953dbc1320cf825b79bae15b8a209c5ad92"
+let snark_expected_digest = "0571fea4ba550fcf0b4269296b622188adf980c3bf002489fa14e6cff7c4402a"
 
 let snark_reward_circuit () =
   Reward_circuit.constraint_system ~policy:(Policy.Majority { choices = 4 }) ~n:5
@@ -574,6 +568,32 @@ let snark_prove_digest () =
   let kp = Snark.setup_rng ~rng:(Zebra_rng.Source.of_seed snark_setup_seed) cs in
   let proof = Snark.prove_rng ~rng:(Zebra_rng.Source.of_seed snark_prove_seed) kp.Snark.pk cs in
   Zebra_hashing.Sha256.to_hex (Zebra_hashing.Sha256.digest (Snark.proof_to_bytes proof))
+
+(* CPLA arm digests: one full attestation per hash composition at the
+   smaller deployed depth, all randomness seed-derived, so the proof bytes
+   are a deterministic function of the tree alone.  check.sh diffs the
+   poseidon digest across ZEBRA_DOMAINS x ZEBRA_KEYCACHE settings. *)
+let snark_cpla_depth = 8
+
+let snark_cpla_expected = function
+  | Hc.Poseidon -> "5a4895c25784fefa60837b1c2732e9e40b23d01aefad767c78bea9d6ce3259c7"
+  | Hc.Mimc -> "27b0622b52b845eb192a976fcf043b9885957a0d00448ad297a13b3138fc8f5c"
+
+let snark_cpla_digest composition =
+  let module Source = Zebra_rng.Source in
+  let params =
+    Cpla.setup_rng ~composition ~rng:(Source.of_seed snark_setup_seed) ~depth:snark_cpla_depth ()
+  in
+  let key = Cpla.keygen_rng ~composition ~rng:(Source.of_seed "bench-snark-cpla-key") () in
+  let ra = Ra.create ~hash:composition ~depth:snark_cpla_depth () in
+  let index = Ra.register ra key.Cpla.pk in
+  let prefix = Fp.of_int 7 and message = Fp.of_int 11 in
+  let att =
+    Cpla.auth_rng ~rng:(Source.of_seed snark_prove_seed) params ~prefix ~message ~key ~index
+      ~path:(Ra.path ra index) ~root:(Ra.root ra)
+  in
+  assert (Cpla.verify params ~prefix ~message ~root:(Ra.root ra) att);
+  Zebra_hashing.Sha256.to_hex (Zebra_hashing.Sha256.digest (Snark.proof_to_bytes att.Cpla.proof))
 
 let snark () =
   header "X11: sparse prover kernels, keypair cache, batched audit";
@@ -661,6 +681,52 @@ let snark () =
   in
   Printf.printf "audit of 8: sequential %.1f us, batched %.1f us (%.1fx)\n%!" (seq_ns /. 1e3)
     (batch_ns /. 1e3) (seq_ns /. batch_ns);
+  (* Poseidon vs MiMC: the two CPLA arms at depth 8, constraint count,
+     setup and prove, plus the pinned attestation digest per arm.  The
+     digest gate is as fatal as the reward one: a silent move here means
+     the hash migration changed proof bytes it was not supposed to. *)
+  let cpla_arm composition =
+    let cs = Cpla.constraint_system ~composition ~depth:snark_cpla_depth () in
+    let kp, setup_s =
+      wall (fun () -> Snark.setup_rng ~rng:(Source.of_seed snark_setup_seed) cs)
+    in
+    let _, prove_s =
+      wall (fun () -> Snark.prove_rng ~rng:(Source.of_seed snark_prove_seed) kp.Snark.pk cs)
+    in
+    let dg = snark_cpla_digest composition in
+    if dg <> snark_cpla_expected composition then begin
+      Printf.eprintf "FATAL: cpla-%s attestation digest moved: %s (expected %s)\n%!"
+        (Hc.to_string composition) dg
+        (snark_cpla_expected composition);
+      exit 1
+    end;
+    Printf.printf "cpla-depth%d-%s: %5d constraints, setup %.3fs, prove %.3fs, digest %s\n%!"
+      snark_cpla_depth (Hc.to_string composition) (Cs.num_constraints cs) setup_s prove_s
+      (String.sub dg 0 16);
+    (composition, Cs.num_constraints cs, setup_s, prove_s, dg)
+  in
+  let arms = List.map cpla_arm Hc.all in
+  let constraints_of comp =
+    let _, c, _, _, _ = List.find (fun (x, _, _, _, _) -> x = comp) arms in
+    float_of_int c
+  in
+  let arm_ratio = constraints_of Hc.Mimc /. constraints_of Hc.Poseidon in
+  Printf.printf "cpla constraint ratio mimc/poseidon: %.2fx\n%!" arm_ratio;
+  (* Merkle-path-only view (depth 16, no tag hashes): the migration's
+     headline reduction — the acceptance bar is >= 2.5x. *)
+  let merkle_constraints composition =
+    let cs = Cs.create () in
+    let open Zebra_r1cs.Gadgets in
+    let leaf = Cs.alloc cs (Fp.of_int 7) in
+    let bits = Array.init 16 (fun i -> alloc_bit cs (i land 1 = 1)) in
+    let siblings = Array.init 16 (fun i -> Cs.alloc cs (Fp.of_int (i + 1))) in
+    ignore (Hc.merkle_root_gadget composition cs ~leaf:(v leaf) ~path_bits:bits ~siblings);
+    Cs.num_constraints cs
+  in
+  let merkle_p = merkle_constraints Hc.Poseidon and merkle_m = merkle_constraints Hc.Mimc in
+  let merkle_ratio = float_of_int merkle_m /. float_of_int merkle_p in
+  Printf.printf "merkle path depth 16: poseidon %d vs mimc %d constraints (%.2fx)\n%!" merkle_p
+    merkle_m merkle_ratio;
   let json =
     Json.to_string
       (Json.Obj
@@ -693,6 +759,34 @@ let snark () =
            ("audit_sequential_us", Json.Num (seq_ns /. 1e3));
            ("audit_batched_us", Json.Num (batch_ns /. 1e3));
            ("audit_batch_speedup", Json.Num (seq_ns /. batch_ns));
+           ( "cpla",
+             Json.Obj
+               [
+                 ("depth", Json.Num (float_of_int snark_cpla_depth));
+                 ( "arms",
+                   Json.List
+                     (List.map
+                        (fun (comp, c, setup_s, prove_s, dg) ->
+                          Json.Obj
+                            [
+                              ("composition", Json.Str (Hc.to_string comp));
+                              ("constraints", Json.Num (float_of_int c));
+                              ("setup_seconds", Json.Num setup_s);
+                              ("prove_seconds", Json.Num prove_s);
+                              ("proof_sha256", Json.Str dg);
+                              ( "proof_digest_unchanged",
+                                Json.Bool (dg = snark_cpla_expected comp) );
+                            ])
+                        arms) );
+                 ("constraint_ratio_mimc_over_poseidon", Json.Num arm_ratio);
+                 ( "merkle_depth16_constraints",
+                   Json.Obj
+                     [
+                       ("poseidon", Json.Num (float_of_int merkle_p));
+                       ("mimc", Json.Num (float_of_int merkle_m));
+                       ("ratio_mimc_over_poseidon", Json.Num merkle_ratio);
+                     ] );
+               ] );
          ])
   in
   let oc = open_out "BENCH_snark.json" in
@@ -926,11 +1020,19 @@ let () =
   | "parallel" -> parallel ()
   | "lint" -> lint ()
   | "snark" -> snark ()
-  | "snark-digest" ->
-    (* Fast path for the check.sh determinism gate: print only the proof
+  | "snark-digest" -> (
+    (* Fast path for the check.sh determinism gate: print only a proof
        digest, so runs under different ZEBRA_DOMAINS / ZEBRA_KEYCACHE
-       settings can be diffed. *)
-    print_endline (snark_prove_digest ())
+       settings can be diffed.  An optional argument picks the circuit:
+       reward (default), cpla-poseidon, or cpla-mimc. *)
+    match if Array.length Sys.argv > 2 then Sys.argv.(2) else "reward" with
+    | "reward" -> print_endline (snark_prove_digest ())
+    | "cpla-poseidon" -> print_endline (snark_cpla_digest Hc.Poseidon)
+    | "cpla-mimc" -> print_endline (snark_cpla_digest Hc.Mimc)
+    | other ->
+      Printf.eprintf "unknown snark-digest target %S; try: reward cpla-poseidon cpla-mimc\n"
+        other;
+      exit 2)
   | "chaos" -> chaos ()
   | "load" -> load_bench ()
   | "all" -> all ()

@@ -216,12 +216,13 @@ let stats_cmd =
       Protocol.run_task sys ~policy:(Policy.Majority { choices = 4 }) ~budget:90
         ~answers:[ 1; 1; 2 ]
     in
-    (* Lint the circuits this run deployed so the tree shows lint.* too. *)
+    (* Lint the circuits this run deployed (the default Poseidon arms) so
+       the tree shows lint.* too. *)
     ignore
-      (Zebra_lint.Lint.analyze ~name:"cpla"
-         (Zebra_anonauth.Cpla.constraint_system ~depth:6));
+      (Zebra_lint.Lint.analyze ~name:"cpla-depth6-poseidon"
+         (Zebra_anonauth.Cpla.constraint_system ~depth:6 ()));
     ignore
-      (Zebra_lint.Lint.analyze ~name:"reward-majority-n3"
+      (Zebra_lint.Lint.analyze ~name:"reward-majority-n3-poseidon"
          (Reward_circuit.constraint_system ~policy:(Policy.Majority { choices = 4 }) ~n:3));
     Obs.set_enabled false;
     if json then print_endline (Obs.to_json_string ())
@@ -429,16 +430,22 @@ let inspect_cmd =
     log "ZebraLancer system parameters";
     log "  SNARK field        : BN254 scalar (%s...)"
       (String.sub (Zebra_numeric.Nat.to_decimal_string Zebra_field.Fp.modulus) 0 24);
+    log "  circuit hash       : %s (default; mimc = ablation arm)"
+      (Zebra_hashcomp.Hash_composition.to_string Zebra_hashcomp.Hash_composition.default);
+    log "  Poseidon           : t=%d, x^5 S-box, %d full + %d partial rounds"
+      Zebra_poseidon.Poseidon.width Zebra_poseidon.Poseidon.full_rounds
+      Zebra_poseidon.Poseidon.partial_rounds;
     log "  MiMC               : exponent %d, %d rounds" Zebra_mimc.Mimc.exponent
       Zebra_mimc.Mimc.rounds;
-    let cpla = Zebra_anonauth.Cpla.setup ~random_bytes:rb ~depth in
-    log "  CPLA (depth %d)    : %d constraints, vk %d bytes" depth
+    let cpla = Zebra_anonauth.Cpla.setup ~random_bytes:rb ~depth () in
+    log "  CPLA (depth %d, %s): %d constraints, vk %d bytes" depth
+      (Zebra_hashcomp.Hash_composition.to_string (Zebra_anonauth.Cpla.composition cpla))
       (Zebra_anonauth.Cpla.circuit_size cpla)
       (Bytes.length (Zebra_anonauth.Cpla.vk_to_bytes cpla));
     List.iter
       (fun n ->
         let rc =
-          Reward_circuit.setup ~random_bytes:rb ~policy:(Policy.Majority { choices = 4 }) ~n
+          Reward_circuit.setup ~random_bytes:rb ~policy:(Policy.Majority { choices = 4 }) ~n ()
         in
         log "  majority n=%-2d      : %d constraints, vk %d bytes" n
           (Reward_circuit.num_constraints rc)

@@ -118,7 +118,7 @@ let () =
         Protocol.publish_task sys ~requester ~policy:(Policy.Majority { choices = 4 }) ~n:2
           ~budget:90 ()
       in
-      let mallory = { Protocol.key = Cpla.keygen_rng ~rng:sys.Protocol.rng; cert_index = 0 } in
+      let mallory = { Protocol.key = Cpla.keygen_rng ~rng:sys.Protocol.rng (); cert_index = 0 } in
       Printf.printf "mallory authenticates with a stolen leaf index:\n";
       submit_and_mine sys
         (worker_tx sys ~task:task.Requester.contract
@@ -129,7 +129,7 @@ let () =
   scenario "sybil requester: publish a task without an RA certificate" (fun sys ->
       (* The driver-level view of the same class of attack: the typed result
          API pins the rejection to the deployment step, no exception games. *)
-      let mallory = { Protocol.key = Cpla.keygen_rng ~rng:sys.Protocol.rng; cert_index = 0 } in
+      let mallory = { Protocol.key = Cpla.keygen_rng ~rng:sys.Protocol.rng (); cert_index = 0 } in
       match
         Protocol.publish_task_r sys ~requester:mallory
           ~policy:(Policy.Majority { choices = 4 }) ~n:2 ~budget:60 ()

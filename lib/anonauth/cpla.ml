@@ -1,9 +1,14 @@
-module Mimc = Zebra_mimc.Mimc
 module Snark = Zebra_snark.Snark
 module Codec = Zebra_codec.Codec
+module Hash_composition = Zebra_hashcomp.Hash_composition
 open Zebra_r1cs
 
-type params = { depth : int; keys : Snark.keypair; n_constraints : int }
+type params = {
+  depth : int;
+  composition : Hash_composition.t;
+  keys : Snark.keypair;
+  n_constraints : int;
+}
 
 type user_key = { sk : Fp.t; pk : Fp.t }
 
@@ -11,9 +16,10 @@ type attestation = { t1 : Fp.t; t2 : Fp.t; proof : Snark.proof }
 
 (* Synthesise the Auth circuit.  Public inputs (in order): prefix, message,
    root, t1, t2.  Witness: sk, certificate path bits and siblings. *)
-let synthesize ~depth ~prefix ~message ~root ~t1 ~t2 ~sk ~index ~path =
+let synthesize ~composition ~depth ~prefix ~message ~root ~t1 ~t2 ~sk ~index ~path =
   let cs = Cs.create () in
   let open Gadgets in
+  let hash = Hash_composition.hash_gadget composition cs in
   let v_prefix = Cs.alloc_input cs prefix in
   let v_message = Cs.alloc_input cs message in
   let v_root = Cs.alloc_input cs root in
@@ -21,40 +27,64 @@ let synthesize ~depth ~prefix ~message ~root ~t1 ~t2 ~sk ~index ~path =
   let v_t2 = Cs.alloc_input cs t2 in
   let v_sk = Cs.alloc cs ~label:"sk" sk in
   (* pair(pk, sk): the public key is determined by the secret key. *)
-  let pk = mimc_hash cs [ v v_sk ] in
+  let pk = hash [ v v_sk ] in
   (* t1 = H(prefix, sk); t2 = H(prefix || m, sk). *)
-  enforce_eq cs ~label:"t1" (mimc_hash cs [ v v_prefix; v v_sk ]) (v v_t1);
-  enforce_eq cs ~label:"t2" (mimc_hash cs [ v v_prefix; v v_message; v v_sk ]) (v v_t2);
+  enforce_eq cs ~label:"t1" (hash [ v v_prefix; v v_sk ]) (v v_t1);
+  enforce_eq cs ~label:"t2" (hash [ v v_prefix; v v_message; v v_sk ]) (v v_t2);
   (* CertVrfy: pk is a registered leaf under the RA root. *)
   let path_bits = Array.init depth (fun l -> alloc_bit cs ((index lsr l) land 1 = 1)) in
   let siblings = Array.map (fun s -> Cs.alloc cs ~label:"sibling" s) path in
-  let computed_root = merkle_root cs ~leaf:pk ~path_bits ~siblings in
+  let computed_root =
+    Hash_composition.merkle_root_gadget composition cs ~leaf:pk ~path_bits ~siblings
+  in
   enforce_eq cs ~label:"certificate" computed_root (v v_root);
   cs
 
 (* Dummy values: the structure (and hence setup, and the static analyzer's
-   view) only depends on the depth. *)
-let constraint_system ~depth =
+   view) only depends on (composition, depth). *)
+let constraint_system ?(composition = Hash_composition.default) ~depth () =
   let z = Fp.zero in
-  synthesize ~depth ~prefix:z ~message:z ~root:z ~t1:z ~t2:z ~sk:z ~index:0
+  synthesize ~composition ~depth ~prefix:z ~message:z ~root:z ~t1:z ~t2:z ~sk:z ~index:0
     ~path:(Array.make depth z)
 
-let setup ~random_bytes ~depth =
-  let cs = constraint_system ~depth in
-  { depth; keys = Snark.setup ~random_bytes cs; n_constraints = Cs.num_constraints cs }
+let setup ?(composition = Hash_composition.default) ~random_bytes ~depth () =
+  let cs = constraint_system ~composition ~depth () in
+  {
+    depth;
+    composition;
+    keys = Snark.setup ~random_bytes cs;
+    n_constraints = Cs.num_constraints cs;
+  }
+
+(* (composition, depth) determines the synthesised structure; encoding both
+   in the cache id keeps the arms' keypairs strictly apart. *)
+let circuit_id ?(composition = Hash_composition.default) ~depth () =
+  Printf.sprintf "cpla/depth=%d/h=%s" depth (Hash_composition.to_string composition)
+
+let setup_cached ?(composition = Hash_composition.default) cache ~seed ~depth =
+  if depth < 1 then invalid_arg "Cpla.setup_cached: need depth >= 1";
+  let keys, shape =
+    Snark.Keycache.setup_named cache ~circuit_id:(circuit_id ~composition ~depth ()) ~seed
+      (fun () -> constraint_system ~composition ~depth ())
+  in
+  { depth; composition; keys; n_constraints = shape.Snark.Keycache.constraints }
 
 let depth p = p.depth
+let composition p = p.composition
 let circuit_size p = p.n_constraints
 
-let keygen ~random_bytes =
+let keygen ?(composition = Hash_composition.default) ~random_bytes () =
   let sk = Fp.random random_bytes in
-  { sk; pk = Mimc.hash_list [ sk ] }
+  { sk; pk = Hash_composition.hash_list composition [ sk ] }
 
 let auth ~random_bytes p ~prefix ~message ~key ~index ~path ~root =
   if Array.length path <> p.depth then invalid_arg "Cpla.auth: wrong path depth";
-  let t1 = Mimc.hash_list [ prefix; key.sk ] in
-  let t2 = Mimc.hash_list [ prefix; message; key.sk ] in
-  let cs = synthesize ~depth:p.depth ~prefix ~message ~root ~t1 ~t2 ~sk:key.sk ~index ~path in
+  let t1 = Hash_composition.hash_list p.composition [ prefix; key.sk ] in
+  let t2 = Hash_composition.hash_list p.composition [ prefix; message; key.sk ] in
+  let cs =
+    synthesize ~composition:p.composition ~depth:p.depth ~prefix ~message ~root ~t1 ~t2
+      ~sk:key.sk ~index ~path
+  in
   { t1; t2; proof = Snark.prove ~random_bytes p.keys.Snark.pk cs }
 
 let public_inputs ~prefix ~message ~root att = [| prefix; message; root; att.t1; att.t2 |]
@@ -94,8 +124,11 @@ let verify_with_vk ~vk_bytes ~prefix ~message ~root att =
 (* Source-based entry points; the ~random_bytes forms above are kept as
    aliases for one release. *)
 
-let setup_rng ~rng ~depth = setup ~random_bytes:(Zebra_rng.Source.fn rng) ~depth
-let keygen_rng ~rng = keygen ~random_bytes:(Zebra_rng.Source.fn rng)
+let setup_rng ?composition ~rng ~depth () =
+  setup ?composition ~random_bytes:(Zebra_rng.Source.fn rng) ~depth ()
+
+let keygen_rng ?composition ~rng () =
+  keygen ?composition ~random_bytes:(Zebra_rng.Source.fn rng) ()
 
 let auth_rng ~rng p ~prefix ~message ~key ~index ~path ~root =
   auth ~random_bytes:(Zebra_rng.Source.fn rng) p ~prefix ~message ~key ~index ~path ~root

@@ -13,51 +13,107 @@
       t1 = H(prefix, sk)  /\  t2 = H(prefix || m, sk)
 
     (instantiated as: [pk = H(sk)], [pk] is a leaf under the root [mpk],
-    and the two tag equations — all with the MiMC hash inside the circuit).
+    and the two tag equations — all with the same algebraic hash inside
+    the circuit).
+
+    [H] is the {!Zebra_hashcomp.Hash_composition} parameter, fixed at
+    setup and recorded in {!params}: {b Poseidon} by default — the Auth
+    circuit is dominated by the Merkle authentication path, and Poseidon's
+    245 constraints/level against MiMC's 730 cut the path ~3x and the
+    whole circuit ~2.6x (5 381 vs 13 867 constraints at depth 16; see
+    [BENCH_lint.json]) — with MiMC selectable as the
+    ablation arm.  Keys, tags, RA tree and proofs of the two arms are
+    mutually incompatible by construction; {!keygen} and {!Ra.create}
+    must be given the same composition as the params.
 
     Two valid attestations {!link} iff their [t1] tags are equal, i.e. iff
     the same key authenticated two messages with the same prefix.  In
     ZebraLancer the prefix is the task contract address, which is exactly
     what stops double submission without harming cross-task anonymity. *)
 
-(** Public parameters PP: the circuit shape and SNARK keys for one RA tree
-    depth.  Generated once at system launch. *)
+(** Public parameters PP: the circuit shape and SNARK keys for one
+    (hash composition, RA tree depth) pair.  Generated once at system
+    launch. *)
 type params
 
 type user_key = { sk : Fp.t; pk : Fp.t }
 
 type attestation = { t1 : Fp.t; t2 : Fp.t; proof : Zebra_snark.Snark.proof }
 
-(** [setup ~random_bytes ~depth] runs the zk-SNARK trusted setup for the
-    authentication circuit over an RA tree of the given depth.
+(** [setup ~random_bytes ~depth ()] runs the zk-SNARK trusted setup for
+    the authentication circuit over an RA tree of the given depth, under
+    the given hash composition (default Poseidon).
 
     {b Deprecated alias}: new code should pass a {!Zebra_rng.Source.t} via
     {!setup_rng}; the bare-closure form remains for one release. *)
-val setup : random_bytes:(int -> bytes) -> depth:int -> params
+val setup :
+  ?composition:Zebra_hashcomp.Hash_composition.t ->
+  random_bytes:(int -> bytes) ->
+  depth:int ->
+  unit ->
+  params
 
 (** {!setup} taking a first-class randomness source. *)
-val setup_rng : rng:Zebra_rng.Source.t -> depth:int -> params
+val setup_rng :
+  ?composition:Zebra_hashcomp.Hash_composition.t ->
+  rng:Zebra_rng.Source.t ->
+  depth:int ->
+  unit ->
+  params
+
+(** [setup_cached cache ~seed ~depth ()] — {!setup} through a keypair
+    cache, id [cpla/depth=<depth>/h=<composition>] (the composition is in
+    the id, so the two arms' keypairs can never be served for each other).
+    On a hit both circuit synthesis and the trusted setup are skipped;
+    setup randomness comes from [seed] alone, so hit and miss produce
+    byte-identical keys (see {!Zebra_snark.Snark.Keycache}).
+    @raise Invalid_argument when [depth < 1]. *)
+val setup_cached :
+  ?composition:Zebra_hashcomp.Hash_composition.t ->
+  Zebra_snark.Snark.Keycache.t ->
+  seed:string ->
+  depth:int ->
+  params
 
 (** The Auth circuit synthesised at the setup's dummy assignment — the
     structure {!setup} compiles, exposed for static analysis
-    ([Zebra_lint]) and introspection.  No keys are generated. *)
-val constraint_system : depth:int -> Zebra_r1cs.Cs.t
+    ([Zebra_lint]) and introspection.  No keys are generated.  Constraint
+    budget by composition: the three tag/pk hashes plus [depth] Merkle
+    levels — roughly [245*depth + 6*243] for Poseidon (5 381 measured at
+    depth 16) vs [730*depth + 6*364] for MiMC (13 867). *)
+val constraint_system :
+  ?composition:Zebra_hashcomp.Hash_composition.t -> depth:int -> unit -> Zebra_r1cs.Cs.t
 
 val depth : params -> int
+
+(** The hash composition these parameters were set up with. *)
+val composition : params -> Zebra_hashcomp.Hash_composition.t
 
 (** Number of R1CS constraints of the Auth circuit (reporting). *)
 val circuit_size : params -> int
 
-(** {b Deprecated alias}: prefer {!keygen_rng}. *)
-val keygen : random_bytes:(int -> bytes) -> user_key
+(** [keygen ~random_bytes ()]: [pk = H(sk)] under [?composition] — must
+    match the {!params} the key will authenticate under.
 
-val keygen_rng : rng:Zebra_rng.Source.t -> user_key
+    {b Deprecated alias}: prefer {!keygen_rng}. *)
+val keygen :
+  ?composition:Zebra_hashcomp.Hash_composition.t ->
+  random_bytes:(int -> bytes) ->
+  unit ->
+  user_key
+
+val keygen_rng :
+  ?composition:Zebra_hashcomp.Hash_composition.t ->
+  rng:Zebra_rng.Source.t ->
+  unit ->
+  user_key
 
 (** [auth params ~prefix ~message ~key ~index ~path ~root] produces an
-    attestation.  [index]/[path] are the user's certificate under [root]
-    (refresh with {!Ra.path}).  Soundness of the whole scheme relies on the
-    path actually matching [root]; an inconsistent witness yields an
-    attestation that {!verify} rejects.
+    attestation (tags and proof under the params' composition).
+    [index]/[path] are the user's certificate under [root] (refresh with
+    {!Ra.path}; the tree's {!Ra.hash_composition} must match).  Soundness
+    of the whole scheme relies on the path actually matching [root]; an
+    inconsistent witness yields an attestation that {!verify} rejects.
 
     {b Deprecated alias}: prefer {!auth_rng}. *)
 val auth :
@@ -107,10 +163,10 @@ val vk_to_bytes : params -> bytes
 val public_inputs :
   prefix:Fp.t -> message:Fp.t -> root:Fp.t -> attestation -> Fp.t array
 
-(** [verify_with_vk ~vk_bytes ~depth ...] — verification from the
-    serialised key only (what the task contract runs on-chain).  Key
-    decoding is memoised process-wide
-    ({!Zebra_snark.Snark.vk_of_bytes_cached}), so repeat verifications
-    against the same contract-held key bytes decode it once. *)
+(** [verify_with_vk ~vk_bytes ...] — verification from the serialised key
+    only (what the task contract runs on-chain).  Key decoding is memoised
+    process-wide ({!Zebra_snark.Snark.vk_of_bytes_cached}), so repeat
+    verifications against the same contract-held key bytes decode it
+    once. *)
 val verify_with_vk :
   vk_bytes:bytes -> prefix:Fp.t -> message:Fp.t -> root:Fp.t -> attestation -> bool

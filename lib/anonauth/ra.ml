@@ -1,21 +1,23 @@
-module Mimc = Zebra_mimc.Mimc
+module Hash_composition = Zebra_hashcomp.Hash_composition
 
 type t = {
   depth : int;
+  hash : Hash_composition.t;
   levels : (int, Fp.t) Hashtbl.t array; (* levels.(0) = leaves ... levels.(depth) = root *)
   defaults : Fp.t array; (* default node value per level *)
   mutable next : int;
   registered : (string, int) Hashtbl.t; (* pk (hex of bytes) -> index *)
 }
 
-let create ~depth =
+let create ?(hash = Hash_composition.default) ~depth () =
   if depth < 1 || depth > 30 then invalid_arg "Ra.create: depth out of range";
   let defaults = Array.make (depth + 1) Fp.zero in
   for l = 1 to depth do
-    defaults.(l) <- Mimc.hash2 defaults.(l - 1) defaults.(l - 1)
+    defaults.(l) <- Hash_composition.hash2 hash defaults.(l - 1) defaults.(l - 1)
   done;
   {
     depth;
+    hash;
     levels = Array.init (depth + 1) (fun _ -> Hashtbl.create 64);
     defaults;
     next = 0;
@@ -23,6 +25,7 @@ let create ~depth =
   }
 
 let depth t = t.depth
+let hash_composition t = t.hash
 let capacity t = 1 lsl t.depth
 let num_registered t = t.next
 
@@ -47,7 +50,7 @@ let register t pk =
     let parent = !i / 2 in
     let left = node t l (2 * parent) in
     let right = node t l ((2 * parent) + 1) in
-    Hashtbl.replace t.levels.(l + 1) parent (Mimc.hash2 left right);
+    Hashtbl.replace t.levels.(l + 1) parent (Hash_composition.hash2 t.hash left right);
     i := parent
   done;
   index
@@ -60,11 +63,12 @@ let path t index =
 
 let leaf t index = Hashtbl.find_opt t.levels.(0) index
 
-let verify_path ~root:expected ~leaf ~index path =
+let verify_path ?(hash = Hash_composition.default) ~root:expected ~leaf ~index path =
+  let h2 = Hash_composition.hash2 hash in
   let cur = ref leaf in
   Array.iteri
     (fun l sibling ->
       let bit = (index lsr l) land 1 in
-      cur := if bit = 1 then Mimc.hash2 sibling !cur else Mimc.hash2 !cur sibling)
+      cur := if bit = 1 then h2 sibling !cur else h2 !cur sibling)
     path;
   Fp.equal !cur expected

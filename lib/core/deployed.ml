@@ -1,6 +1,7 @@
 module Cs = Zebra_r1cs.Cs
 module Gadgets = Zebra_r1cs.Gadgets
 module Cpla = Zebra_anonauth.Cpla
+module Hash_composition = Zebra_hashcomp.Hash_composition
 
 (* A depth-[d] Merkle membership circuit over the given compression
    gadget, with fixed (deterministic) leaf and sibling values — the "hash
@@ -16,29 +17,55 @@ let merkle_circuit ~depth root_gadget () =
   ignore (root_gadget cs ~leaf:(v leaf) ~path_bits:bits ~siblings : expr);
   cs
 
-let circuits () =
+(* The protocol circuits, parameterised by the hash composition.  Each is
+   deployed as two registry arms ([<base>-poseidon] / [<base>-mimc]) so
+   lint gates and benchmarks cover both sides of the ablation. *)
+let parameterised =
   [
-    ("cpla-depth8", fun () -> Cpla.constraint_system ~depth:8);
-    ("cpla-depth16", fun () -> Cpla.constraint_system ~depth:16);
+    ("cpla-depth8", fun composition () -> Cpla.constraint_system ~composition ~depth:8 ());
+    ("cpla-depth16", fun composition () -> Cpla.constraint_system ~composition ~depth:16 ());
     ( "reward-majority-n3",
-      fun () -> Reward_circuit.constraint_system ~policy:(Policy.Majority { choices = 4 }) ~n:3
-    );
+      fun _composition () ->
+        Reward_circuit.constraint_system ~policy:(Policy.Majority { choices = 4 }) ~n:3 );
     ( "reward-majority-n5",
-      fun () -> Reward_circuit.constraint_system ~policy:(Policy.Majority { choices = 4 }) ~n:5
-    );
+      fun _composition () ->
+        Reward_circuit.constraint_system ~policy:(Policy.Majority { choices = 4 }) ~n:5 );
     ( "reward-quota-n3",
-      fun () ->
+      fun _composition () ->
         Reward_circuit.constraint_system
           ~policy:(Policy.Majority_threshold { choices = 4; quota = 2 })
           ~n:3 );
     ( "reward-auction-n4",
-      fun () ->
+      fun _composition () ->
         Reward_circuit.constraint_system
           ~policy:(Policy.Reverse_auction { winners = 2; max_bid = 15 })
           ~n:4 );
-    ("merkle-mimc-16", merkle_circuit ~depth:16 Gadgets.merkle_root);
-    ("merkle-poseidon-16", merkle_circuit ~depth:16 Zebra_poseidon.Poseidon.merkle_root_gadget);
+    ( "reputation-link",
+      fun composition () -> Reputation.constraint_system ~composition () );
   ]
 
-let find name = List.assoc_opt name (circuits ())
+let arm_name base composition =
+  Printf.sprintf "%s-%s" base (Hash_composition.to_string composition)
+
+let circuits () =
+  List.concat_map
+    (fun (base, synth) ->
+      List.map
+        (fun composition -> (arm_name base composition, synth composition))
+        Hash_composition.all)
+    parameterised
+  @ [
+      ("merkle-mimc-16", merkle_circuit ~depth:16 Gadgets.merkle_root);
+      ("merkle-poseidon-16", merkle_circuit ~depth:16 Zebra_poseidon.Poseidon.merkle_root_gadget);
+    ]
+
+(* Legacy bare names ("cpla-depth16") predate the composition arms; they
+   resolve to the default (Poseidon) arm so pinned scripts keep working. *)
+let find name =
+  match List.assoc_opt name (circuits ()) with
+  | Some f -> Some f
+  | None when List.mem_assoc name parameterised ->
+    List.assoc_opt (arm_name name Hash_composition.default) (circuits ())
+  | None -> None
+
 let names () = List.map fst (circuits ())

@@ -7,13 +7,21 @@
     lint] analyzer-cost benchmark.  Synthesis is cheap — no SNARK setup
     runs — so the registry is rebuilt on demand. *)
 
-(** [(name, synthesise)] pairs, in a stable order: the CPLA attestation
-    circuit at the demo and deployment tree depths, the reward circuit
-    under each supported policy family, and the two hash-gadget Merkle
-    compositions (MiMC and Poseidon) the benchmarks exercise. *)
+(** [(name, synthesise)] pairs, in a stable order.  Every protocol circuit
+    — the CPLA attestation circuit at the demo and deployment tree depths,
+    the reward circuit under each supported policy family, and the
+    reputation link circuit — is registered as {e two arms}, one per
+    {!Zebra_hashcomp.Hash_composition}: [<base>-poseidon] (the deployed
+    default) and [<base>-mimc] (the ablation arm).  The reward arms share
+    a structure (the statement is hash-free) but are listed under both
+    names so gates and caches treat all circuits uniformly.  The two
+    standalone hash-gadget Merkle shapes ([merkle-mimc-16],
+    [merkle-poseidon-16]) close the list. *)
 val circuits : unit -> (string * (unit -> Zebra_r1cs.Cs.t)) list
 
-(** [find name] — the synthesiser registered under [name]. *)
+(** [find name] — the synthesiser registered under [name].  Legacy bare
+    names that predate the composition arms (e.g. ["cpla-depth16"])
+    resolve to their Poseidon (default) arm. *)
 val find : string -> (unit -> Zebra_r1cs.Cs.t) option
 
 val names : unit -> string list

@@ -106,7 +106,11 @@ let run ?(config = default_config) () =
      are taken after the last registration, against the final root. *)
   let enroll_many k =
     Array.init k (fun _ ->
-        let key = Cpla.keygen_rng ~rng:sys.Protocol.rng in
+        let key =
+          Cpla.keygen_rng
+            ~composition:(Cpla.composition sys.Protocol.cpla)
+            ~rng:sys.Protocol.rng ()
+        in
         let cert_index = Ra.register sys.Protocol.ra key.Cpla.pk in
         { Protocol.key; cert_index })
   in

@@ -135,17 +135,30 @@ let submit_confirm_r sys ~phase tx =
   attempt 1
 
 let create_system ?(num_nodes = 3) ?(tree_depth = 6) ?(wallet_bits = 512) ?rng
-    ?(retry = default_retry) ~seed () =
+    ?(retry = default_retry) ?composition ~seed () =
   Task_contract.register ();
   Ra_contract.register ();
+  let composition =
+    match composition with
+    | Some c -> c
+    | None -> Zebra_hashcomp.Hash_composition.default
+  in
   let rng = match rng with Some s -> s | None -> Source.of_seed seed in
   let rb = Source.fn rng in
   let faucet = Wallet.generate ~bits:wallet_bits ~random_bytes:rb () in
   let net =
     Network.create ~num_nodes ~genesis:[ (Wallet.address faucet, faucet_supply) ] ()
   in
-  let cpla = Cpla.setup_rng ~rng ~depth:tree_depth in
-  let ra = Ra.create ~depth:tree_depth in
+  (* The system keycache serves the CPLA setup too: a process that boots
+     several systems at the same (composition, depth) — or republishes the
+     same reward shape — pays for one trusted setup.  Setup randomness
+     derives from [seed], not the shared [rng] stream, so hit and miss
+     yield the same keys. *)
+  let keycache = Zebra_snark.Snark.Keycache.create () in
+  let cpla =
+    Cpla.setup_cached ~composition keycache ~seed:(seed ^ "/cpla-auth") ~depth:tree_depth
+  in
+  let ra = Ra.create ~hash:composition ~depth:tree_depth () in
   let deploy =
     Tx.make ~wallet:faucet ~nonce:0
       ~dst:
@@ -168,7 +181,7 @@ let create_system ?(num_nodes = 3) ?(tree_depth = 6) ?(wallet_bits = 512) ?rng
       ra_rsa;
       rng;
       setup_seed = seed;
-      keycache = Zebra_snark.Snark.Keycache.create ();
+      keycache;
       retry;
     }
   in
@@ -194,7 +207,7 @@ let post_root_r sys =
 
 let enroll_r sys =
   Obs.with_span "protocol.register" @@ fun () ->
-  let key = Cpla.keygen_rng ~rng:sys.rng in
+  let key = Cpla.keygen_rng ~composition:(Cpla.composition sys.cpla) ~rng:sys.rng () in
   let cert_index = Ra.register sys.ra key.Cpla.pk in
   match post_root_r sys with
   | Error err -> Error err
@@ -259,7 +272,7 @@ let publish_task_r sys ~requester ~policy ~n ~budget ?(answer_window = 20)
       | Some _ -> circuit
       | None ->
         Some
-          (Reward_circuit.setup_cached sys.keycache
+          (Reward_circuit.setup_cached ~composition:(Cpla.composition sys.cpla) sys.keycache
              ~seed:(sys.setup_seed ^ "/reward-circuit") ~policy ~n)
     in
     let height = Network.height sys.net in
@@ -595,7 +608,10 @@ let run_batch sys ~policy ~budget_per_task ~answer_sets =
     if n = 0 || List.exists (fun a -> List.length a <> n) rest then
       invalid_arg "Protocol.run_batch: ragged answer sets");
   let n = List.length (List.hd answer_sets) in
-  let circuit = Reward_circuit.setup ~random_bytes:(random_bytes sys) ~policy ~n in
+  let circuit =
+    Reward_circuit.setup ~composition:(Cpla.composition sys.cpla)
+      ~random_bytes:(random_bytes sys) ~policy ~n ()
+  in
   let requester = enroll sys in
   let workers = List.init n (fun _ -> enroll sys) in
   List.map

@@ -81,15 +81,20 @@ val error_to_string : error -> string
 val set_retry : system -> retry_policy -> unit
 
 (** [create_system ~seed ()] boots a fresh chain (default 3 nodes), runs the
-    CPLA trusted setup (default RA tree depth 6), deploys the RA interface
-    contract, and funds a faucet.  [?rng] overrides the randomness source
-    (default: a deterministic ChaCha20 stream keyed by [seed]). *)
+    CPLA trusted setup (default RA tree depth 6) through the system
+    keycache, deploys the RA interface contract, and funds a faucet.
+    [?rng] overrides the randomness source (default: a deterministic
+    ChaCha20 stream keyed by [seed]).  [?composition] selects the hash
+    composition of the whole system — CPLA circuit, RA tree, reward and
+    reputation keygen all follow it (default
+    {!Zebra_hashcomp.Hash_composition.default}, i.e. Poseidon). *)
 val create_system :
   ?num_nodes:int ->
   ?tree_depth:int ->
   ?wallet_bits:int ->
   ?rng:Zebra_rng.Source.t ->
   ?retry:retry_policy ->
+  ?composition:Zebra_hashcomp.Hash_composition.t ->
   seed:string ->
   unit ->
   system

@@ -24,15 +24,38 @@
     claims the credit onto an epoch pseudonym with a link proof; anyone
     reads pseudonym scores and requesters may e.g. gate tasks on them. *)
 
-(** SNARK parameters for the link statement (one-time setup, like PP). *)
+(** SNARK parameters for the link statement (one-time setup, like PP).
+    The hash [H] of both tag equations is the
+    {!Zebra_hashcomp.Hash_composition} parameter (default Poseidon: the
+    whole link circuit is 974 constraints against MiMC's 1 458; see
+    [BENCH_lint.json]).  It {b must} match the composition of the CPLA
+    parameters whose t1 the task tag is linked against — tags of different
+    arms never collide. *)
 type params
 
-val setup : random_bytes:(int -> bytes) -> params
+val setup :
+  ?composition:Zebra_hashcomp.Hash_composition.t ->
+  random_bytes:(int -> bytes) ->
+  unit ->
+  params
 
-(** {!setup} through a keypair cache under the fixed id ["reputation/link"];
-    randomness derives from [seed] alone, so results are byte-identical to
-    a fresh seeded setup (see {!Zebra_snark.Snark.Keycache}). *)
-val setup_cached : Zebra_snark.Snark.Keycache.t -> seed:string -> params
+(** {!setup} through a keypair cache under the id
+    [reputation/link/h=<composition>] (one entry per arm); randomness
+    derives from [seed] alone, so results are byte-identical to a fresh
+    seeded setup (see {!Zebra_snark.Snark.Keycache}). *)
+val setup_cached :
+  ?composition:Zebra_hashcomp.Hash_composition.t ->
+  Zebra_snark.Snark.Keycache.t ->
+  seed:string ->
+  params
+
+(** The link circuit synthesised at the dummy assignment, for static
+    analysis ([Zebra_lint]). *)
+val constraint_system :
+  ?composition:Zebra_hashcomp.Hash_composition.t -> unit -> Zebra_r1cs.Cs.t
+
+(** The hash composition these parameters were set up with. *)
+val composition : params -> Zebra_hashcomp.Hash_composition.t
 
 val circuit_size : params -> int
 val vk_bytes : params -> bytes
@@ -40,11 +63,20 @@ val vk_bytes : params -> bytes
 type claim_proof = Zebra_snark.Snark.proof
 
 (** [task_tag key ~task_prefix] = [H(prefix, sk)] — equals the t1 of any
-    attestation the worker made in that task. *)
-val task_tag : Zebra_anonauth.Cpla.user_key -> task_prefix:Fp.t -> Fp.t
+    attestation the worker made in that task {e under the same
+    composition}. *)
+val task_tag :
+  ?composition:Zebra_hashcomp.Hash_composition.t ->
+  Zebra_anonauth.Cpla.user_key ->
+  task_prefix:Fp.t ->
+  Fp.t
 
 (** [epoch_pseudonym key ~epoch]. *)
-val epoch_pseudonym : Zebra_anonauth.Cpla.user_key -> epoch:int -> Fp.t
+val epoch_pseudonym :
+  ?composition:Zebra_hashcomp.Hash_composition.t ->
+  Zebra_anonauth.Cpla.user_key ->
+  epoch:int ->
+  Fp.t
 
 (** [prove_link ~random_bytes params ~key ~task_prefix ~epoch] — the
     worker-side claim proof. *)

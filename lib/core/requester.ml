@@ -18,7 +18,7 @@ let create_task ?circuit ?(max_per_worker = 1) ?(ra_rsa_pub = Bytes.empty)
   let esk, epk = Elgamal.generate ~random_bytes in
   let circuit =
     match circuit with
-    | None -> Reward_circuit.setup ~random_bytes ~policy ~n
+    | None -> Reward_circuit.setup ~random_bytes ~policy ~n ()
     | Some c ->
       if not (Policy.equal (Reward_circuit.policy c) policy) || Reward_circuit.n c <> n then
         invalid_arg "Requester.create_task: circuit does not match policy/arity";

@@ -1,10 +1,12 @@
 module Snark = Zebra_snark.Snark
 module Elgamal = Zebra_elgamal.Elgamal
+module Hash_composition = Zebra_hashcomp.Hash_composition
 open Zebra_r1cs
 
 type t = {
   policy : Policy.t;
   n : int;
+  composition : Hash_composition.t;
   keys : Snark.keypair;
   n_constraints : int;
 }
@@ -86,7 +88,7 @@ let synthesize_majority ~choices ~quota (cs, v_rho, v_m, v_rewards) =
     if quota <= 0 then None
     else begin
       let lt = less_than cs !best_count (ci quota) ~bits:count_bits in
-      Some (c Fp.one -: v lt)
+      Some (c Fp.one -: lt)
     end
   in
   Array.iteri
@@ -134,7 +136,7 @@ let synthesize_auction ~winners ~max_bid (cs, v_rho, v_m, v_rewards) =
       let si, _ = sort_keys.(i) and sj, _ = sort_keys.(j) in
       let lt_ij = less_than cs si sj ~bits:s_bits in
       let eq_ij = eq cs si sj in
-      beats.(i).(j) <- v lt_ij +: v eq_ij;
+      beats.(i).(j) <- lt_ij +: v eq_ij;
       (* earlier index wins ties *)
       beats.(j).(i) <- c Fp.one -: beats.(i).(j)
     done
@@ -171,7 +173,7 @@ let synthesize_auction ~winners ~max_bid (cs, v_rho, v_m, v_rewards) =
     (fun j rank ->
       let _, valid = sort_keys.(j) in
       let in_top = less_than cs rank (ci winners) ~bits:rank_bits in
-      let winner = mul cs (v in_top) valid in
+      let winner = mul cs in_top valid in
       let w_pay = mul cs (v winner) (v pay) in
       enforce_eq cs ~label:(Printf.sprintf "reward[%d]" j) (v w_pay) (v v_rewards.(j)))
     ranks;
@@ -195,28 +197,39 @@ let constraint_system ~policy ~n =
     ~esk_bits:(Array.make Elgamal.exponent_bits false)
     ~plaintexts:(Array.make n Fp.zero)
 
-let setup ~random_bytes ~policy ~n =
+let setup ?(composition = Hash_composition.default) ~random_bytes ~policy ~n () =
   let cs = constraint_system ~policy ~n in
-  { policy; n; keys = Snark.setup ~random_bytes cs; n_constraints = Cs.num_constraints cs }
+  {
+    policy;
+    n;
+    composition;
+    keys = Snark.setup ~random_bytes cs;
+    n_constraints = Cs.num_constraints cs;
+  }
 
 (* (policy, n) determines the synthesised structure, so a digest of the
    policy encoding plus n is a sound cache identifier — the named path lets
-   a hit skip synthesis as well as setup. *)
-let circuit_id ~policy ~n =
-  Printf.sprintf "reward/%s/n=%d"
+   a hit skip synthesis as well as setup.  The policy tails are hash-free,
+   so the composition does not change the structure; it is still keyed into
+   the id so a cache shared with hash-bearing circuits follows one uniform
+   "keypairs never cross arms" rule. *)
+let circuit_id ?(composition = Hash_composition.default) ~policy ~n () =
+  Printf.sprintf "reward/%s/n=%d/h=%s"
     (Zebra_hashing.Sha256.to_hex (Zebra_hashing.Sha256.digest (Policy.to_bytes policy)))
     n
+    (Hash_composition.to_string composition)
 
-let setup_cached cache ~seed ~policy ~n =
+let setup_cached ?(composition = Hash_composition.default) cache ~seed ~policy ~n =
   if n <= 0 then invalid_arg "Reward_circuit.setup_cached: need n > 0";
   let keys, shape =
-    Snark.Keycache.setup_named cache ~circuit_id:(circuit_id ~policy ~n) ~seed (fun () ->
-        constraint_system ~policy ~n)
+    Snark.Keycache.setup_named cache ~circuit_id:(circuit_id ~composition ~policy ~n ()) ~seed
+      (fun () -> constraint_system ~policy ~n)
   in
-  { policy; n; keys; n_constraints = shape.Snark.Keycache.constraints }
+  { policy; n; composition; keys; n_constraints = shape.Snark.Keycache.constraints }
 
 let policy t = t.policy
 let n t = t.n
+let composition t = t.composition
 let num_constraints t = t.n_constraints
 let vk_bytes t = Snark.vk_to_bytes t.keys.Snark.vk
 

@@ -18,24 +18,48 @@
     majority, so their reward is forced to 0.
 
     Supported policies: {!Policy.Majority}, {!Policy.Majority_threshold}
-    and {!Policy.Reverse_auction}. *)
+    and {!Policy.Reverse_auction}.
+
+    Hash-composition note: unlike CPLA and the reputation link circuit,
+    the reward statement contains {e no} hashing — the policy tails are
+    built from ElGamal decryption, equality, comparison and selection
+    gadgets only, so the Poseidon/MiMC choice does not change the
+    synthesised structure.  The composition is still accepted, recorded
+    and keyed into the cache id ([.../h=poseidon]) so registries and key
+    caches treat every deployed circuit uniformly (keypairs never cross
+    arms). *)
 
 type t
 
 (** [setup ~random_bytes ~policy ~n] compiles the circuit for a task
     collecting [n] answers and runs the SNARK setup.  Executed off-line by
     the requester before publishing (paper Section VI,
-    "establishments of zk-SNARKs"). *)
-val setup : random_bytes:(int -> bytes) -> policy:Policy.t -> n:int -> t
+    "establishments of zk-SNARKs").  [?composition] (default
+    {!Zebra_hashcomp.Hash_composition.default}) is recorded for registry
+    bookkeeping; see the hash-composition note above. *)
+val setup :
+  ?composition:Zebra_hashcomp.Hash_composition.t ->
+  random_bytes:(int -> bytes) ->
+  policy:Policy.t ->
+  n:int ->
+  unit ->
+  t
 
 (** [setup_cached cache ~seed ~policy ~n] — {!setup} through a keypair
-    cache.  The cache key is derived from the policy encoding, [n] and
-    [seed]; on a hit, both circuit synthesis and the trusted setup are
-    skipped.  Setup randomness comes from [seed] alone, so hit and miss
-    produce byte-identical keys (see {!Zebra_snark.Snark.Keycache}).
+    cache.  The cache key is derived from the policy encoding, [n], the
+    hash composition and [seed] (id shape
+    [reward/<policy-sha256>/n=<n>/h=<composition>]); on a hit, both
+    circuit synthesis and the trusted setup are skipped.  Setup randomness
+    comes from [seed] alone, so hit and miss produce byte-identical keys
+    (see {!Zebra_snark.Snark.Keycache}).
     @raise Invalid_argument when [n <= 0]. *)
 val setup_cached :
-  Zebra_snark.Snark.Keycache.t -> seed:string -> policy:Policy.t -> n:int -> t
+  ?composition:Zebra_hashcomp.Hash_composition.t ->
+  Zebra_snark.Snark.Keycache.t ->
+  seed:string ->
+  policy:Policy.t ->
+  n:int ->
+  t
 
 (** The circuit synthesised at the setup's dummy assignment — the structure
     {!setup} compiles, exposed for static analysis ([Zebra_lint]).
@@ -44,6 +68,11 @@ val constraint_system : policy:Policy.t -> n:int -> Zebra_r1cs.Cs.t
 
 val policy : t -> Policy.t
 val n : t -> int
+
+(** The hash composition this instance was registered under (bookkeeping
+    only — the reward statement is hash-free). *)
+val composition : t -> Zebra_hashcomp.Hash_composition.t
+
 val num_constraints : t -> int
 val vk_bytes : t -> bytes
 

@@ -1,0 +1,40 @@
+module Mimc = Zebra_mimc.Mimc
+module Poseidon = Zebra_poseidon.Poseidon
+module G = Zebra_r1cs.Gadgets
+
+type t = Poseidon | Mimc
+
+let default = Poseidon
+let all = [ Poseidon; Mimc ]
+
+let to_string = function Poseidon -> "poseidon" | Mimc -> "mimc"
+
+let of_string = function
+  | "poseidon" -> Some Poseidon
+  | "mimc" -> Some Mimc
+  | _ -> None
+
+let of_string_exn s =
+  match of_string s with
+  | Some c -> c
+  | None -> invalid_arg (Printf.sprintf "Hash_composition.of_string_exn: %S" s)
+
+let equal (a : t) (b : t) = a = b
+let pp fmt c = Format.pp_print_string fmt (to_string c)
+
+(* --- native --- *)
+
+let hash2 = function Poseidon -> Poseidon.hash2 | Mimc -> Mimc.hash2
+let hash_list = function Poseidon -> Poseidon.hash_list | Mimc -> Mimc.hash_list
+
+(* --- gadgets --- *)
+
+let hash_gadget = function
+  | Poseidon -> Poseidon.hash_list_gadget
+  | Mimc -> G.mimc_hash
+
+let merkle_root_gadget = function
+  | Poseidon -> Poseidon.merkle_root_gadget
+  | Mimc -> G.merkle_root
+
+let constraints_per_hash2 = function Poseidon -> 243 | Mimc -> 728

@@ -342,7 +342,25 @@ let recomposition_findings cs views bool_ok =
                        encode values outside the range"
                       (describe_wire cs (fst (List.hd unbound)))))
             else
-              let coeffs = List.map snd bits in
+              (* The decomposition's own bits are the trailing block of
+                 consecutively-allocated bit wires (bits_of_expr allocates
+                 them back to back, immediately before this constraint).
+                 Boolean wires reaching the constraint through the {e
+                 recomposed expression} — e.g. a stripped less_than
+                 complement summed into the input — sit at older,
+                 non-contiguous indices and belong to the input side, not
+                 the chain. *)
+              let own_bits =
+                let desc =
+                  List.sort (fun (v, _) (w, _) -> compare w v) bits (* index descending *)
+                in
+                let rec run prev acc = function
+                  | (v, k) :: rest when v = prev - 1 -> run v ((v, k) :: acc) rest
+                  | _ -> acc
+                in
+                match desc with [] -> [] | (v, k) :: rest -> run v [ (v, k) ] rest
+              in
+              let coeffs = List.map snd own_bits in
               if doubling coeffs || doubling (List.map Fp.neg coeffs) then None
               else
                 Some

@@ -30,7 +30,12 @@
       no booleanity constraint.  ZL031: a ["bit recomposition"] constraint
       whose bit coefficients are not the strict doubling chain
       [1, 2, 4, ...] or whose bit wires lack booleanity — the decomposition
-      would not sum back to its input.
+      would not sum back to its input.  The chain is checked on the
+      decomposition's {e own} bits — the trailing block of
+      consecutively-allocated bit wires; boolean wires reaching the
+      constraint through the recomposed expression (e.g. a
+      {!Zebra_r1cs.Gadgets.less_than} complement summed into the input)
+      are input-side terms, though their booleanity is still required.
 
     Analysis is read-only: it never mutates the system, its assignment, or
     subsequent prove/verify behaviour (property-tested in

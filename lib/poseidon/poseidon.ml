@@ -91,9 +91,19 @@ let permute_gadget cs state =
   done;
   !state
 
+(* Constant folding mirrors Gadgets.mimc_hash: a compression whose inputs
+   are both circuit constants (the IV/length-absorption step of
+   hash_list_gadget) is computed natively and costs no constraints. *)
 let hash2_gadget cs a b =
-  let out = permute_gadget cs [| G.c Fp.zero; a; b |] in
-  out.(0)
+  match (G.as_const cs a, G.as_const cs b) with
+  | Some ka, Some kb -> G.c (hash2 ka kb)
+  | _ ->
+    let out = permute_gadget cs [| G.c Fp.zero; a; b |] in
+    out.(0)
+
+let hash_list_gadget cs ms =
+  let len = G.ci (List.length ms) in
+  List.fold_left (fun h m -> hash2_gadget cs h m) (hash2_gadget cs (G.c Fp.zero) len) ms
 
 let merkle_root_gadget cs ~leaf ~path_bits ~siblings =
   let depth = Array.length path_bits in
@@ -102,7 +112,7 @@ let merkle_root_gadget cs ~leaf ~path_bits ~siblings =
   let cur = ref leaf in
   for i = 0 to depth - 1 do
     let bit = path_bits.(i) and sib = G.v siblings.(i) in
-    let left = G.v (G.select cs ~cond:bit sib !cur) in
+    let left = G.v (G.select cs ~cond:(G.v bit) sib !cur) in
     let right = G.( -: ) (G.( +: ) sib !cur) left in
     cur := hash2_gadget cs left right
   done;

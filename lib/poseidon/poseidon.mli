@@ -1,13 +1,30 @@
-(** The Poseidon permutation and 2-to-1 compression over {!Fp}.
+(** The Poseidon permutation and 2-to-1 compression over {!Fp} — the
+    {e default} in-circuit hash of the deployed circuits.
 
     The paper remarks that "a lot of dedicated optimizations of zk-SNARK
     exist which can directly benefit our protocol"; the single biggest one
     for its circuits is the in-circuit hash.  This module provides the
     modern choice — Poseidon with t = 3, x^5 S-box, 8 full and 57 partial
-    rounds on the BN254 scalar field — as a drop-in alternative to
-    {!Zebra_mimc.Mimc}: a 2-to-1 compression costs ~250 R1CS constraints
-    versus MiMC's ~730 (the `ablation-hash` benchmark quantifies the
-    end-to-end effect on attestation circuits).
+    rounds on the BN254 scalar field.  Since the Poseidon-first migration
+    it is what CPLA attestation, RA certification and reputation-link
+    circuits compile by default; {!Zebra_mimc.Mimc} remains selectable as
+    the ablation arm via [Zebra_hashcomp.Hash_composition].
+
+    Constraint budget (exact, enforced by tests): one permutation — and
+    hence one {!hash2_gadget} call on non-constant inputs — costs
+    [3*8 + 57 = 81] x^5 S-boxes at 3 constraints each, i.e. {b 243}
+    constraints, versus MiMC's 728 for the same 2-to-1 compression
+    (2 x 91 rounds x 4).  A depth-[d] Merkle path costs [245*d]
+    (243 + 1 select + 1 path-bit booleanity per level): 1960 at depth 8,
+    3920 at depth 16 — 2.98x below the MiMC arm's 11680.
+
+    Security rationale for the parameters: width t = 3 gives rate 2 +
+    capacity 1, i.e. 2-to-1 compression with ~127-bit collision resistance
+    on the ~254-bit field; alpha = 5 is the smallest S-box exponent coprime
+    to p - 1 for this field; R_F = 8 full rounds provide the statistical
+    margin and R_P = 57 partial rounds the algebraic margin recommended by
+    the Poseidon authors' rule for (t = 3, alpha = 5, 128-bit security),
+    including their +25% safety factor on interpolation/Groebner attacks.
 
     Parameter generation note: round constants are derived from SHA-256 in
     counter mode and the MDS matrix is the Cauchy matrix over
@@ -37,13 +54,33 @@ val hash2 : Fp.t -> Fp.t -> Fp.t
     first (mirrors {!Zebra_mimc.Mimc.hash_list}'s domain separation). *)
 val hash_list : Fp.t list -> Fp.t
 
-(** {1 Circuit gadget} — mirrors the native computation exactly. *)
+(** {1 Circuit gadgets} — mirror the native computation exactly.
 
+    Wire discipline: gadgets take and return {!Zebra_r1cs.Gadgets.expr}
+    linear combinations; only S-box multiplications allocate wires.  Both
+    gadgets constant-fold — a call whose inputs are all circuit constants
+    emits zero constraints (this is what makes the length-absorption step
+    of {!hash_list_gadget} free). *)
+
+(** [hash2_gadget cs a b]: 243 constraints on non-constant inputs
+    (81 S-boxes x 3); 0 when both inputs are constants. *)
 val hash2_gadget :
   Zebra_r1cs.Cs.t -> Zebra_r1cs.Gadgets.expr -> Zebra_r1cs.Gadgets.expr -> Zebra_r1cs.Gadgets.expr
 
-(** [merkle_root_gadget] — {!Zebra_r1cs.Gadgets.merkle_root} with Poseidon
-    instead of MiMC (for the ablation benchmark). *)
+(** [hash_list_gadget cs ms] = {!hash_list} over expressions: the
+    length-absorption step folds to a constant, then one {!hash2_gadget}
+    per element — [243 * k] constraints for [k] non-constant inputs
+    (cf. [364 * k] for {!Zebra_r1cs.Gadgets.mimc_hash}). *)
+val hash_list_gadget :
+  Zebra_r1cs.Cs.t -> Zebra_r1cs.Gadgets.expr list -> Zebra_r1cs.Gadgets.expr
+
+(** [merkle_root_gadget cs ~leaf ~path_bits ~siblings] —
+    {!Zebra_r1cs.Gadgets.merkle_root} with Poseidon instead of MiMC:
+    per level 1 select + 243 = 244 constraints (the caller's
+    [alloc_bit] adds the path-bit booleanity).  [path_bits.(i) = 1] means
+    the current node is the right child at level [i]; bits must be boolean
+    wires; arrays must have equal length (the tree depth).
+    @raise Invalid_argument on a length mismatch. *)
 val merkle_root_gadget :
   Zebra_r1cs.Cs.t ->
   leaf:Zebra_r1cs.Gadgets.expr ->

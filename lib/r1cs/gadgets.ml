@@ -64,11 +64,13 @@ let is_zero cs a =
 
 let eq cs a b = is_zero cs (a -: b)
 
-(* out = b + cond * (a - b): one constraint. *)
+(* out = b + cond * (a - b): one constraint.  [cond] is any boolean-valued
+   expression, so gadgets returning boolean expressions (less_than, a
+   complemented bit, ...) can steer a select without an adapter wire. *)
 let select cs ~cond a b =
-  let cv = Cs.value cs cond in
+  let cv = eval cs cond in
   let out = Cs.alloc cs ~label:"select" (if Fp.equal cv Fp.one then eval cs a else eval cs b) in
-  Cs.enforce cs ~label:"select" (v cond) (a -: b) (v out -: b);
+  Cs.enforce cs ~label:"select" cond (a -: b) (v out -: b);
   out
 
 let pack_bits bits =
@@ -94,10 +96,13 @@ let less_than cs a b ~bits =
   let shift = Fp.pow_int Fp.two bits in
   let d = a -: b +: c shift in
   let dbits = bits_of_expr cs d (bits + 1) in
-  let msb = dbits.(bits) in
-  let out = Cs.alloc cs ~label:"less_than" (Fp.sub Fp.one (Cs.value cs msb)) in
-  enforce_eq cs ~label:"less_than" (v out) (c Fp.one -: v msb);
-  out
+  (* The complement of the (already boolean-constrained) top bit is the
+     answer; returning it as an expression costs no further wire or
+     constraint.  An earlier version allocated a copy wire here — ZL020's
+     rank analysis showed it was always uniquely determined, i.e. pure
+     redundancy, so it was stripped when the deployed circuits were
+     regenerated for the Poseidon migration. *)
+  c Fp.one -: v dbits.(bits)
 
 (* Forward declaration of as_const (defined below for MiMC); duplicated
    check here to keep exp self-contained. *)
@@ -164,7 +169,7 @@ let merkle_root cs ~leaf ~path_bits ~siblings =
   for i = 0 to depth - 1 do
     let bit = path_bits.(i) and sib = v siblings.(i) in
     (* bit = 1 means current node is the right child. *)
-    let left = v (select cs ~cond:bit sib !cur) in
+    let left = v (select cs ~cond:(v bit) sib !cur) in
     let right = sib +: !cur -: left in
     cur := mimc_hash cs [ left; right ]
   done;

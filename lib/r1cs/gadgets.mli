@@ -28,6 +28,13 @@ val eval : Cs.t -> expr -> Fp.t
     between rounds or term counts grow exponentially. *)
 val simplify : expr -> expr
 
+(** [as_const cs e] is [Some (eval cs e)] when every term of [e] rides on
+    the constant-1 wire — i.e. the expression is a circuit constant — and
+    [None] otherwise.  Hash gadgets use it to fold constant prefixes
+    (length absorption, fixed IVs) to native computation, emitting zero
+    constraints for them. *)
+val as_const : Cs.t -> expr -> Fp.t option
+
 (** {1 Core gadgets} *)
 
 (** [mul cs a b] allocates and returns the product wire. *)
@@ -59,8 +66,12 @@ val is_zero : Cs.t -> expr -> Cs.var
 (** [eq cs a b] is a bit wire: 1 iff [a = b]. *)
 val eq : Cs.t -> expr -> expr -> Cs.var
 
-(** [select cs ~cond a b] is [cond ? a : b]; [cond] must be boolean. *)
-val select : Cs.t -> cond:Cs.var -> expr -> expr -> Cs.var
+(** [select cs ~cond a b] is [cond ? a : b] (1 wire + 1 constraint).
+    [cond] must be a boolean-valued {e expression} — a bit wire [v b], or
+    a boolean combination such as the output of {!less_than}; passing an
+    unconstrained expression is unsound (the prover could pick any mix of
+    [a] and [b]). *)
+val select : Cs.t -> cond:expr -> expr -> expr -> Cs.var
 
 (** [bits_of_expr cs a n] decomposes [a] into [n] little-endian boolean
     wires and enforces the recomposition (completeness requires
@@ -71,23 +82,40 @@ val bits_of_expr : Cs.t -> expr -> int -> Cs.var array
 (** [pack_bits cs bits] is the linear expression [sum b_i 2^i]. *)
 val pack_bits : Cs.var array -> expr
 
-(** [less_than cs a b ~bits] is a bit wire: 1 iff [a < b], for values
-    already known to fit in [bits] bits ([bits <= 250]). *)
-val less_than : Cs.t -> expr -> expr -> bits:int -> Cs.var
+(** [less_than cs a b ~bits] is a boolean expression: 1 iff [a < b], for
+    values already known to fit in [bits] bits ([bits <= 250]).  Costs the
+    [bits + 1] booleanity constraints of the shifted-difference
+    decomposition plus its recomposition — [bits + 2] total.  The result
+    is the complement of an already-constrained bit wire, so no output
+    wire is allocated (ZL020 rank analysis showed the former copy wire was
+    always determined; it was stripped in the Poseidon migration). *)
+val less_than : Cs.t -> expr -> expr -> bits:int -> expr
 
 (** [exp cs ~base ~bits] computes [base ^ (sum bits_i 2^i)] by
     square-and-multiply, msb first.  [bits] must be boolean wires.
     3 constraints per bit. *)
 val exp : Cs.t -> base:expr -> bits:Cs.var array -> Cs.var
 
-(** {1 MiMC gadgets} — mirror {!Zebra_mimc.Mimc} exactly. *)
+(** {1 MiMC gadgets} — mirror {!Zebra_mimc.Mimc} exactly.
 
-(** [mimc_encrypt cs ~key x]: 4 constraints per round. *)
+    These are the legacy arm of the hash-composition parameter (see
+    [Zebra_hashcomp.Hash_composition]); new circuits default to the
+    Poseidon gadgets in [Zebra_poseidon.Poseidon], which cost ~3x fewer
+    constraints for the same statement. *)
+
+(** [mimc_encrypt cs ~key x]: 4 constraints per round, 364 for the full
+    91-round cipher.  Constant-folds to zero constraints when both [key]
+    and [x] are circuit constants ({!as_const}). *)
 val mimc_encrypt : Cs.t -> key:expr -> expr -> expr
 
+(** Miyaguchi–Preneel compression [encrypt ~key:h m + m + h]: 364
+    constraints (the wrap-around additions are linear). *)
 val mimc_compress : Cs.t -> expr -> expr -> expr
 
-(** [mimc_hash cs ms] = [Mimc.hash_list] over expressions. *)
+(** [mimc_hash cs ms] = [Mimc.hash_list] over expressions: one compression
+    per element plus one for the length absorption; the length compression
+    folds to a constant (the IV and length are literals), so hashing [k]
+    non-constant elements costs [364 * k] constraints. *)
 val mimc_hash : Cs.t -> expr list -> expr
 
 (** {1 Merkle gadget} *)
@@ -95,5 +123,11 @@ val mimc_hash : Cs.t -> expr list -> expr
 (** [merkle_root cs ~leaf ~path_bits ~siblings] recomputes a MiMC Merkle
     root from the leaf upward.  [path_bits.(i) = 1] means the current node
     is the right child at level [i].  Bits must be boolean wires.  Arrays
-    must have equal length (the tree depth). *)
+    must have equal length (the tree depth).  Per level: 1 select + two
+    MiMC compressions (the length one folds) = 1 + 2*364 = 729 constraints,
+    plus the path bit's booleanity — 730/level, 11680 at depth 16.  The
+    Poseidon equivalent is [Zebra_poseidon.Poseidon.merkle_root_gadget]
+    at 245/level (3920 at depth 16, a 2.98x reduction); circuits
+    should go through [Zebra_hashcomp.Hash_composition.merkle_root_gadget]
+    and take the composition as a parameter. *)
 val merkle_root : Cs.t -> leaf:expr -> path_bits:Cs.var array -> siblings:Cs.var array -> expr

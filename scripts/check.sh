@@ -44,6 +44,32 @@ for domains in 1 4; do
   done
 done
 
+# Hash composition gate: the deployed default is Poseidon; its CPLA
+# attestation digest is pinned in bench/main.ml and must be the same
+# bytes across ZEBRA_DOMAINS x ZEBRA_KEYCACHE.  The MiMC ablation arm is
+# checked once -- it must still prove and must NOT produce the Poseidon
+# digest (the arms really are different circuits).
+echo "== hash composition gate (cpla poseidon digest x domains x keycache) =="
+cpla_ref="5a4895c25784fefa60837b1c2732e9e40b23d01aefad767c78bea9d6ce3259c7"
+for domains in 1 4; do
+  for cache in off on; do
+    d="$(ZEBRA_DOMAINS=$domains ZEBRA_KEYCACHE=$cache "$BENCH" snark-digest cpla-poseidon)"
+    if [ "$d" != "$cpla_ref" ]; then
+      echo "composition gate FAILED: cpla-poseidon digest moved at ZEBRA_DOMAINS=$domains ZEBRA_KEYCACHE=$cache" >&2
+      echo "  expected $cpla_ref" >&2
+      echo "  got      $d" >&2
+      exit 1
+    fi
+    echo "ZEBRA_DOMAINS=$domains ZEBRA_KEYCACHE=$cache: cpla-poseidon digest $d"
+  done
+done
+dm="$("$BENCH" snark-digest cpla-mimc)"
+if [ "$dm" = "$cpla_ref" ]; then
+  echo "composition gate FAILED: mimc arm produced the poseidon digest" >&2
+  exit 1
+fi
+echo "cpla-mimc ablation arm proves, digest $dm"
+
 # Chaos gate: each (seed, plan) pair must print the identical fault trace
 # and settlement at ZEBRA_DOMAINS=1 and =4 -- the fault schedule may not
 # leak pool-size dependence -- and the run itself must keep the chaos

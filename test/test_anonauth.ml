@@ -6,6 +6,10 @@ open Zebra_field
 module Ra = Zebra_anonauth.Ra
 module Cpla = Zebra_anonauth.Cpla
 module Mimc = Zebra_mimc.Mimc
+module Hc = Zebra_hashcomp.Hash_composition
+
+let qtest name ~count gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen f)
 
 let rng = Zebra_rng.Chacha20.create ~seed:"test_anonauth"
 let random_bytes n = Zebra_rng.Chacha20.bytes rng n
@@ -18,10 +22,10 @@ let depth = 4 (* small tree keeps proving fast in tests *)
 (* Shared fixture: params, RA, two registered users. *)
 let fixture =
   lazy
-    (let params = Cpla.setup ~random_bytes ~depth in
-     let ra = Ra.create ~depth in
-     let alice = Cpla.keygen ~random_bytes in
-     let bob = Cpla.keygen ~random_bytes in
+    (let params = Cpla.setup ~random_bytes ~depth () in
+     let ra = Ra.create ~depth () in
+     let alice = Cpla.keygen ~random_bytes () in
+     let bob = Cpla.keygen ~random_bytes () in
      let ia = Ra.register ra alice.Cpla.pk in
      let ib = Ra.register ra bob.Cpla.pk in
      (params, ra, (alice, ia), (bob, ib)))
@@ -33,14 +37,14 @@ let auth_as params ra (key, index) ~prefix ~message =
 (* --- RA tree --- *)
 
 let test_ra_tree_roots_change () =
-  let ra = Ra.create ~depth:3 in
+  let ra = Ra.create ~depth:3 () in
   let r0 = Ra.root ra in
   let _ = Ra.register ra (fresh_fp ()) in
   let r1 = Ra.root ra in
   Alcotest.(check bool) "root changes on registration" false (Fp.equal r0 r1)
 
 let test_ra_paths_verify () =
-  let ra = Ra.create ~depth:3 in
+  let ra = Ra.create ~depth:3 () in
   let pks = List.init 5 (fun _ -> fresh_fp ()) in
   let idxs = List.map (Ra.register ra) pks in
   List.iter2
@@ -52,21 +56,21 @@ let test_ra_paths_verify () =
     pks idxs
 
 let test_ra_duplicate_refused () =
-  let ra = Ra.create ~depth:3 in
+  let ra = Ra.create ~depth:3 () in
   let pk = fresh_fp () in
   let _ = Ra.register ra pk in
   Alcotest.check_raises "duplicate" (Failure "Ra.register: duplicate identity") (fun () ->
       ignore (Ra.register ra pk))
 
 let test_ra_full () =
-  let ra = Ra.create ~depth:1 in
+  let ra = Ra.create ~depth:1 () in
   let _ = Ra.register ra (fresh_fp ()) in
   let _ = Ra.register ra (fresh_fp ()) in
   Alcotest.check_raises "full" (Failure "Ra.register: tree full") (fun () ->
       ignore (Ra.register ra (fresh_fp ())))
 
 let test_ra_wrong_path_rejected () =
-  let ra = Ra.create ~depth:3 in
+  let ra = Ra.create ~depth:3 () in
   let pk = fresh_fp () in
   let i = Ra.register ra pk in
   let _ = Ra.register ra (fresh_fp ()) in
@@ -76,7 +80,7 @@ let test_ra_wrong_path_rejected () =
     (Ra.verify_path ~root:(Ra.root ra) ~leaf:pk ~index:i path)
 
 let test_ra_capacity_bookkeeping () =
-  let ra = Ra.create ~depth:3 in
+  let ra = Ra.create ~depth:3 () in
   Alcotest.(check int) "capacity" 8 (Ra.capacity ra);
   let _ = Ra.register ra (fresh_fp ()) in
   Alcotest.(check int) "count" 1 (Ra.num_registered ra);
@@ -109,7 +113,7 @@ let test_unregistered_cannot_authenticate () =
   (* Mallory holds a key the RA never registered; her path cannot match the
      root, so her attestation must be rejected (unforgeability). *)
   let params, ra, _, _ = Lazy.force fixture in
-  let mallory = Cpla.keygen ~random_bytes in
+  let mallory = Cpla.keygen ~random_bytes () in
   let prefix = fresh_fp () and message = fresh_fp () in
   let att =
     Cpla.auth ~random_bytes params ~prefix ~message ~key:mallory ~index:3
@@ -191,9 +195,9 @@ let test_registration_after_auth_breaks_old_root () =
   (* Paths are valid per root snapshot: after another registration the old
      attestation stays valid under the old root but not under the new one,
      so verifiers must pin the root (task contracts snapshot it). *)
-  let params = Cpla.setup ~random_bytes ~depth in
-  let ra = Ra.create ~depth in
-  let key = Cpla.keygen ~random_bytes in
+  let params = Cpla.setup ~random_bytes ~depth () in
+  let ra = Ra.create ~depth () in
+  let key = Cpla.keygen ~random_bytes () in
   let i = Ra.register ra key.Cpla.pk in
   let old_root = Ra.root ra in
   let prefix = fresh_fp () and message = fresh_fp () in
@@ -201,7 +205,7 @@ let test_registration_after_auth_breaks_old_root () =
     Cpla.auth ~random_bytes params ~prefix ~message ~key ~index:i ~path:(Ra.path ra i)
       ~root:old_root
   in
-  let _ = Ra.register ra (Cpla.keygen ~random_bytes).Cpla.pk in
+  let _ = Ra.register ra (Cpla.keygen ~random_bytes ()).Cpla.pk in
   Alcotest.(check bool) "valid under old root" true
     (Cpla.verify params ~prefix ~message ~root:old_root att);
   Alcotest.(check bool) "invalid under new root" false
@@ -238,6 +242,70 @@ let test_attestation_size_constant () =
     Cpla.attestation_size_bytes (auth_as params ra bob ~prefix:(fresh_fp ()) ~message:(fresh_fp ()))
   in
   Alcotest.(check int) "constant size" s1 s2
+
+(* --- hash composition arms --- *)
+
+(* One trusted setup per arm at a small depth, shared across the tests. *)
+let arm_depth = 3
+
+let arm_fixture =
+  lazy
+    (List.map
+       (fun composition ->
+         (composition, Cpla.setup ~composition ~random_bytes ~depth:arm_depth ()))
+       Hc.all)
+
+let test_composition_accessors () =
+  Alcotest.(check int) "two arms" 2 (List.length Hc.all);
+  List.iter
+    (fun (composition, params) ->
+      Alcotest.(check string) "params record their arm" (Hc.to_string composition)
+        (Hc.to_string (Cpla.composition params));
+      Alcotest.(check int) "depth" arm_depth (Cpla.depth params);
+      let ra = Ra.create ~hash:composition ~depth:arm_depth () in
+      Alcotest.(check string) "ra records its arm" (Hc.to_string composition)
+        (Hc.to_string (Ra.hash_composition ra)))
+    (Lazy.force arm_fixture);
+  (* The default arm is Poseidon, and the two arms synthesise different
+     circuits (the ablation is real). *)
+  Alcotest.(check string) "default is poseidon" "poseidon" (Hc.to_string Hc.default);
+  (* At this shallow fixture depth the composition-independent parts of the
+     circuit dominate, so we only lock the ordering here; the 2.5x+ gap at
+     deployed depths is locked by BENCH_lint.json and the check.sh gate. *)
+  let size comp = Cpla.circuit_size (List.assoc comp (Lazy.force arm_fixture)) in
+  Alcotest.(check bool) "poseidon circuit is smaller" true
+    (size Hc.Poseidon < size Hc.Mimc)
+
+(* The same CPLA statement proves and verifies under either composition,
+   and a tampered Merkle path is rejected by both — the in-circuit path
+   check really binds to the arm's hash. *)
+let prop_both_arms_verify_and_reject_tamper =
+  qtest "both arms verify; tampered path rejected" ~count:3
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      List.for_all
+        (fun (composition, params) ->
+          let r = Zebra_rng.Chacha20.create ~seed:(Printf.sprintf "arm-%d" seed) in
+          let rb n = Zebra_rng.Chacha20.bytes r n in
+          let ra = Ra.create ~hash:composition ~depth:arm_depth () in
+          let key = Cpla.keygen ~composition ~random_bytes:rb () in
+          let index = Ra.register ra key.Cpla.pk in
+          let prefix = Fp.random rb and message = Fp.random rb in
+          let path = Ra.path ra index in
+          let root = Ra.root ra in
+          let att =
+            Cpla.auth ~random_bytes:rb params ~prefix ~message ~key ~index ~path ~root
+          in
+          let ok = Cpla.verify params ~prefix ~message ~root att in
+          let bad_path = Array.copy path in
+          let j = seed mod Array.length bad_path in
+          bad_path.(j) <- Fp.add bad_path.(j) Fp.one;
+          let att' =
+            Cpla.auth ~random_bytes:rb params ~prefix ~message ~key ~index ~path:bad_path
+              ~root
+          in
+          ok && not (Cpla.verify params ~prefix ~message ~root att'))
+        (Lazy.force arm_fixture))
 
 let () =
   Alcotest.run "anonauth"
@@ -276,5 +344,10 @@ let () =
           Alcotest.test_case "attestation roundtrip" `Quick test_attestation_roundtrip;
           Alcotest.test_case "verify with vk bytes" `Quick test_verify_with_serialized_vk;
           Alcotest.test_case "constant size" `Quick test_attestation_size_constant;
+        ] );
+      ( "composition",
+        [
+          Alcotest.test_case "arm accessors" `Slow test_composition_accessors;
+          prop_both_arms_verify_and_reject_tamper;
         ] );
     ]

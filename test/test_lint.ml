@@ -167,6 +167,43 @@ let test_deployed_circuits_no_errors () =
         [ "ZL001"; "ZL011"; "ZL013"; "ZL030"; "ZL031" ])
     (Zebralancer.Deployed.circuits ())
 
+(* Every parameterised circuit is deployed as two registry arms, one per
+   hash composition, and legacy bare names still resolve (to Poseidon). *)
+let test_deployed_composition_arms () =
+  let names = Zebralancer.Deployed.names () in
+  let bases =
+    [
+      "cpla-depth8";
+      "cpla-depth16";
+      "reward-majority-n3";
+      "reward-majority-n5";
+      "reward-quota-n3";
+      "reward-auction-n4";
+      "reputation-link";
+    ]
+  in
+  List.iter
+    (fun base ->
+      List.iter
+        (fun suffix ->
+          let arm = base ^ suffix in
+          Alcotest.(check bool) (arm ^ " listed") true (List.mem arm names))
+        [ "-poseidon"; "-mimc" ];
+      Alcotest.(check bool) (base ^ " bare name resolves") true
+        (Zebralancer.Deployed.find base <> None))
+    bases;
+  (* and the two arms of the same base are different circuits *)
+  let constraints name =
+    match Zebralancer.Deployed.find name with
+    | Some synth -> Cs.num_constraints (synth ())
+    | None -> Alcotest.fail (name ^ " not found")
+  in
+  Alcotest.(check bool) "cpla arms differ" true
+    (constraints "cpla-depth8-poseidon" < constraints "cpla-depth8-mimc");
+  Alcotest.(check int) "bare name is the poseidon arm"
+    (constraints "cpla-depth8-poseidon")
+    (constraints "cpla-depth8")
+
 (* --- observability --- *)
 
 let test_obs_counters () =
@@ -245,8 +282,10 @@ let () =
             test_zl031_broken_recomposition;
         ] );
       ( "deployed",
-        [ Alcotest.test_case "registry has zero errors" `Slow test_deployed_circuits_no_errors ]
-      );
+        [
+          Alcotest.test_case "registry has zero errors" `Slow test_deployed_circuits_no_errors;
+          Alcotest.test_case "composition arms listed" `Quick test_deployed_composition_arms;
+        ] );
       ( "integration",
         [
           Alcotest.test_case "obs counters" `Quick test_obs_counters;

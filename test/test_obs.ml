@@ -199,7 +199,7 @@ let test_protocol_deploy_rejected () =
   let sys = Lazy.force sys in
   (* A key the RA never registered: the deployment attestation cannot match
      the on-chain root, so the task contract refuses to initialise. *)
-  let forged = { Protocol.key = Cpla.keygen_rng ~rng:sys.Protocol.rng; cert_index = 0 } in
+  let forged = { Protocol.key = Cpla.keygen_rng ~rng:sys.Protocol.rng (); cert_index = 0 } in
   (match
      Protocol.publish_task_r sys ~requester:forged ~policy:(Policy.Majority { choices = 4 })
        ~n:1 ~budget:30 ()

@@ -57,6 +57,22 @@ let test_gadget_matches_native () =
   Alcotest.check fp "gadget = native" (Poseidon.hash2 a b) (Gadgets.eval cs out);
   Alcotest.(check bool) "satisfied" true (Cs.is_satisfied cs)
 
+let test_hash_list_gadget_matches_native () =
+  (* The composition layer (Zebra_hashcomp) routes CPLA's tag hashes
+     through hash_list_gadget; it must agree with the native hash_list at
+     every arity the circuits use. *)
+  List.iter
+    (fun n ->
+      let cs = Cs.create () in
+      let xs = List.init n (fun _ -> fresh_fp ()) in
+      let vars = List.map (fun x -> Gadgets.v (Cs.alloc cs x)) xs in
+      let out = Poseidon.hash_list_gadget cs vars in
+      Alcotest.check fp
+        (Printf.sprintf "gadget = native at arity %d" n)
+        (Poseidon.hash_list xs) (Gadgets.eval cs out);
+      Alcotest.(check bool) "satisfied" true (Cs.is_satisfied cs))
+    [ 1; 2; 3 ]
+
 let test_gadget_constraint_count () =
   let count_gadget build =
     let cs = Cs.create () in
@@ -68,7 +84,11 @@ let test_gadget_constraint_count () =
   let mimc = count_gadget (fun cs a b -> Gadgets.mimc_hash cs [ a; b ]) in
   Alcotest.(check bool)
     (Printf.sprintf "poseidon (%d) < mimc (%d)" poseidon mimc)
-    true (poseidon < mimc)
+    true (poseidon < mimc);
+  (* Lock the exact budget the .mli documents: 81 S-boxes x 3 constraints
+     (8 full rounds x 3 lanes + 57 partial).  The documented CPLA counts
+     (245*depth + 6*243) stand on this number. *)
+  Alcotest.(check int) "hash2_gadget is exactly 243 constraints" 243 poseidon
 
 let test_merkle_gadget () =
   let depth = 4 in
@@ -116,6 +136,8 @@ let () =
       ( "gadget",
         [
           Alcotest.test_case "matches native" `Quick test_gadget_matches_native;
+          Alcotest.test_case "hash_list matches native" `Quick
+            test_hash_list_gadget_matches_native;
           Alcotest.test_case "cheaper than MiMC" `Quick test_gadget_constraint_count;
           Alcotest.test_case "merkle root" `Quick test_merkle_gadget;
           Alcotest.test_case "cheating detected" `Quick test_gadget_detects_cheating;

@@ -199,7 +199,7 @@ let test_unregistered_worker_rejected () =
       ~budget:90 ()
   in
   (* Mallory never registered: she forges a certificate for leaf 0. *)
-  let mallory = { Protocol.key = Cpla.keygen ~random_bytes:(rb sys); cert_index = 0 } in
+  let mallory = { Protocol.key = Cpla.keygen ~random_bytes:(rb sys) (); cert_index = 0 } in
   let wallet = Protocol.fresh_funded_wallet sys ~amount:10 in
   match submit_raw sys ~task:task.Requester.contract ~wallet ~identity:mallory ~answer:1 with
   | { State.status = State.Failed "invalid attestation"; _ } -> ()

@@ -103,7 +103,7 @@ let test_select_gadget () =
       let cs = Cs.create () in
       let vc = Gadgets.alloc_bit cs cond in
       let va = Cs.alloc cs a and vb = Cs.alloc cs b in
-      let out = Gadgets.select cs ~cond:vc (Gadgets.v va) (Gadgets.v vb) in
+      let out = Gadgets.select cs ~cond:(Gadgets.v vc) (Gadgets.v va) (Gadgets.v vb) in
       Alcotest.check fp "selected" (if cond then a else b) (Cs.value cs out);
       Alcotest.(check bool) "satisfied" true (Cs.is_satisfied cs))
     [ true; false ]
@@ -137,7 +137,7 @@ let test_less_than () =
       Alcotest.check fp
         (Printf.sprintf "%d < %d" a b)
         (if expected then Fp.one else Fp.zero)
-        (Cs.value cs out);
+        (Gadgets.eval cs out);
       Alcotest.(check bool) "satisfied" true (Cs.is_satisfied cs))
     cases
 
@@ -225,7 +225,7 @@ let prop_less_than_random =
       let cs = Cs.create () in
       let va = Cs.alloc cs (Fp.of_int a) and vb = Cs.alloc cs (Fp.of_int b) in
       let out = Gadgets.less_than cs (Gadgets.v va) (Gadgets.v vb) ~bits:16 in
-      Cs.is_satisfied cs && Fp.equal (Cs.value cs out) (if a < b then Fp.one else Fp.zero))
+      Cs.is_satisfied cs && Fp.equal (Gadgets.eval cs out) (if a < b then Fp.one else Fp.zero))
 
 let () =
   Alcotest.run "r1cs"

@@ -10,10 +10,10 @@ let rng = Zebra_rng.Chacha20.create ~seed:"test_reputation"
 let random_bytes n = Zebra_rng.Chacha20.bytes rng n
 let fresh_fp () = Fp.random random_bytes
 
-let params = lazy (Reputation.setup ~random_bytes)
+let params = lazy (Reputation.setup ~random_bytes ())
 let vk = lazy (Reputation.vk_bytes (Lazy.force params))
 
-let worker = lazy (Cpla.keygen ~random_bytes)
+let worker = lazy (Cpla.keygen ~random_bytes ())
 
 (* --- link circuit --- *)
 
@@ -32,8 +32,8 @@ let test_task_tag_matches_cpla_t1 () =
      in the task contract's storage. *)
   let key = Lazy.force worker in
   let depth = 3 in
-  let cpla = Cpla.setup ~random_bytes ~depth in
-  let ra = Zebra_anonauth.Ra.create ~depth in
+  let cpla = Cpla.setup ~random_bytes ~depth () in
+  let ra = Zebra_anonauth.Ra.create ~depth () in
   let i = Zebra_anonauth.Ra.register ra key.Cpla.pk in
   let task_prefix = fresh_fp () in
   let att =
@@ -47,7 +47,7 @@ let test_wrong_pseudonym_rejected () =
   (* Claiming onto someone else's pseudonym fails: same sk must underlie
      both tags. *)
   let p = Lazy.force params and key = Lazy.force worker in
-  let other = Cpla.keygen ~random_bytes in
+  let other = Cpla.keygen ~random_bytes () in
   let task_prefix = fresh_fp () in
   let proof = Reputation.prove_link ~random_bytes p ~key ~task_prefix ~epoch:1 in
   Alcotest.(check bool) "stolen pseudonym rejected" false
@@ -186,6 +186,28 @@ let test_contract_epoch_advance () =
   | { State.status = State.Ok _; _ } -> ()
   | { State.status = State.Failed m; _ } -> Alcotest.failf "fresh claim failed: %s" m
 
+(* --- hash composition arms --- *)
+
+let test_mimc_arm_roundtrip () =
+  (* The MiMC ablation arm stays provable end to end, and its tags live in
+     a different space than the Poseidon default's. *)
+  let composition = Zebra_hashcomp.Hash_composition.Mimc in
+  let p = Reputation.setup ~composition ~random_bytes () in
+  Alcotest.(check string) "params record the arm" "mimc"
+    (Zebra_hashcomp.Hash_composition.to_string (Reputation.composition p));
+  let key = Cpla.keygen ~composition ~random_bytes () in
+  let task_prefix = fresh_fp () in
+  let proof = Reputation.prove_link ~random_bytes p ~key ~task_prefix ~epoch:2 in
+  Alcotest.(check bool) "mimc link proof verifies" true
+    (Reputation.verify_link ~vk_bytes:(Reputation.vk_bytes p)
+       ~task_tag:(Reputation.task_tag ~composition key ~task_prefix)
+       ~pseudonym:(Reputation.epoch_pseudonym ~composition key ~epoch:2)
+       ~task_prefix ~epoch:2 proof);
+  Alcotest.(check bool) "arms tag differently" false
+    (Fp.equal
+       (Reputation.task_tag ~composition key ~task_prefix)
+       (Reputation.task_tag key ~task_prefix))
+
 let () =
   Alcotest.run "reputation"
     [
@@ -202,4 +224,6 @@ let () =
           Alcotest.test_case "credit/claim cycle" `Quick test_contract_credit_claim_cycle;
           Alcotest.test_case "epoch advance" `Quick test_contract_epoch_advance;
         ] );
+      ( "composition",
+        [ Alcotest.test_case "mimc arm roundtrip" `Slow test_mimc_arm_roundtrip ] );
     ]
