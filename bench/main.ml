@@ -836,6 +836,58 @@ let lint () =
         ("seconds", Json.Num dt);
       ]
   in
+  (* The ZL1xx/ZL2xx chain-layer passes: scenario construction dominates
+     (it runs the whole deployed protocol once), analysis itself is
+     cheap — both numbers go into the JSON so regressions in either are
+     visible separately. *)
+  let module Txlint = Zebra_lint.Txlint in
+  let module Seclint = Zebra_lint.Seclint in
+  Printf.printf "\ntx lint (ZL1xx footprints + ZL2xx secret flow):\n%!";
+  let cases, scenario_dt = wall (fun () -> Deployed_txs.cases ()) in
+  let tx_reports, tx_dt = wall (fun () -> Txlint.analyze_all cases) in
+  let codec_reports, codec_dt =
+    wall (fun () -> List.map Seclint.analyze (Deployed_txs.codecs ()))
+  in
+  Printf.printf "%-38s %6s %9s %6s %6s %6s\n%!" "kind" "cases" "lint(s)" "err" "warn" "info";
+  List.iter
+    (fun (r : Txlint.report) ->
+      Printf.printf "%-38s %6d %9s %6d %6d %6d\n%!" r.Txlint.kind r.Txlint.cases "-"
+        (Txlint.errors r) (Txlint.warnings r) (Txlint.infos r))
+    tx_reports;
+  Printf.printf
+    "scenario build %.3fs (%d cases), ZL1xx analyze %.3fs, ZL2xx scan %.3fs (%d codec cases)\n%!"
+    scenario_dt (List.length cases) tx_dt codec_dt (List.length codec_reports);
+  let tx_kind_json (r : Txlint.report) =
+    Json.Obj
+      [
+        ("kind", Json.Str r.Txlint.kind);
+        ("cases", Json.Num (float_of_int r.Txlint.cases));
+        ("errors", Json.Num (float_of_int (Txlint.errors r)));
+        ("warnings", Json.Num (float_of_int (Txlint.warnings r)));
+        ("infos", Json.Num (float_of_int (Txlint.infos r)));
+      ]
+  in
+  let codec_json (r : Seclint.report) =
+    Json.Obj
+      [
+        ("codec", Json.Str r.Seclint.codec);
+        ("secrets", Json.Num (float_of_int r.Seclint.secrets));
+        ("outputs", Json.Num (float_of_int r.Seclint.outputs));
+        ("errors", Json.Num (float_of_int (Seclint.errors r)));
+        ("warnings", Json.Num (float_of_int (Seclint.warnings r)));
+      ]
+  in
+  let tx_json =
+    Json.Obj
+      [
+        ("scenario_seconds", Json.Num scenario_dt);
+        ("cases", Json.Num (float_of_int (List.length cases)));
+        ("analyze_seconds", Json.Num tx_dt);
+        ("secret_scan_seconds", Json.Num codec_dt);
+        ("kinds", Json.List (List.map tx_kind_json tx_reports));
+        ("codecs", Json.List (List.map codec_json codec_reports));
+      ]
+  in
   let json =
     Json.to_string
       (Json.Obj
@@ -845,6 +897,7 @@ let lint () =
              Json.Num (float_of_int largest.Lint.num_constraints) );
            ("largest_seconds", Json.Num largest_dt);
            ("circuits", Json.List (List.map row_json rows));
+           ("tx", tx_json);
          ])
   in
   let oc = open_out "BENCH_lint.json" in

@@ -244,14 +244,35 @@ let stats_cmd =
 
 let lint_cmd =
   let module Lint = Zebra_lint.Lint in
+  let module Txlint = Zebra_lint.Txlint in
+  let module Seclint = Zebra_lint.Seclint in
+  let module Sarif = Zebra_lint.Sarif in
   let module Json = Zebra_obs.Json in
   let strict_arg =
     let doc = "Exit with status 1 if any $(b,Error)-severity finding is reported." in
     Arg.(value & flag & info [ "strict" ] ~doc)
   in
   let json_arg =
-    let doc = "Print the reports as one JSON array instead of text." in
+    let doc = "Shorthand for $(b,--format json)." in
     Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let format_arg =
+    let doc =
+      "Output format: $(b,text), $(b,json), or $(b,sarif) (SARIF 2.1.0, for CI PR \
+       annotation)."
+    in
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json); ("sarif", `Sarif) ]) `Text
+      & info [ "format" ] ~docv:"FMT" ~doc)
+  in
+  let tx_arg =
+    let doc =
+      "Analyze the deployed transaction kinds and secret-flow codec registry \
+       ($(b,Deployed_txs)) instead of the R1CS circuits: footprint soundness and \
+       minimality (ZL1xx) plus secret canary leaks (ZL2xx)."
+    in
+    Arg.(value & flag & info [ "tx" ] ~doc)
   in
   let circuit_arg =
     let doc =
@@ -259,56 +280,127 @@ let lint_cmd =
     in
     Arg.(value & opt_all string [] & info [ "circuit" ] ~docv:"NAME" ~doc)
   in
+  let kind_arg =
+    let doc =
+      "With $(b,--tx): only analyze the named transaction kind (see $(b,zebra lint --tx \
+       --list)); repeatable."
+    in
+    Arg.(value & opt_all string [] & info [ "kind" ] ~docv:"NAME" ~doc)
+  in
   let list_arg =
-    let doc = "List the deployed circuit names and exit." in
+    let doc = "List the deployed circuit (or, with $(b,--tx), tx kind) names and exit." in
     Arg.(value & flag & info [ "list" ] ~doc)
   in
   let max_arg =
-    let doc = "Warn/info findings printed per rule before eliding." in
+    let doc = "Warn/info findings printed per rule before eliding (circuit reports)." in
     Arg.(value & opt int 5 & info [ "max-per-rule" ] ~docv:"K" ~doc)
   in
-  let run strict json only list max_per_rule =
+  let run strict json format tx only only_kinds list max_per_rule =
+    let format = if json then `Json else format in
     if list then begin
-      List.iter print_endline (Deployed.names ());
+      List.iter print_endline (if tx then Deployed_txs.kinds () else Deployed.names ());
       `Ok ()
     end
     else
       try
-        let selected =
-          match only with
-          | [] -> Deployed.circuits ()
-          | names ->
-            List.map
-              (fun n ->
-                match Deployed.find n with
-                | Some synth -> (n, synth)
-                | None -> failwith (Printf.sprintf "unknown circuit %S (try --list)" n))
-              names
-        in
-        let reports =
-          List.map (fun (name, synth) -> Lint.analyze ~name (synth ())) selected
-        in
-        if json then
-          print_endline (Json.to_string (Json.List (List.map Lint.to_json reports)))
+        if tx then begin
+          let cases = Deployed_txs.cases () in
+          let tx_reports =
+            match only_kinds with
+            | [] -> Txlint.analyze_all cases
+            | kinds ->
+              let known = Deployed_txs.kinds () in
+              List.map
+                (fun k ->
+                  if not (List.mem k known) then
+                    failwith (Printf.sprintf "unknown tx kind %S (try --tx --list)" k);
+                  Txlint.analyze ~kind:k
+                    (List.filter (fun (c : Txlint.case) -> c.Txlint.kind = k) cases))
+                kinds
+          in
+          let sec_reports =
+            if only_kinds = [] then List.map Seclint.analyze (Deployed_txs.codecs ())
+            else []
+          in
+          (match format with
+          | `Json ->
+            print_endline
+              (Json.to_string
+                 (Json.Obj
+                    [
+                      ("kinds", Json.List (List.map Txlint.to_json tx_reports));
+                      ("codecs", Json.List (List.map Seclint.to_json sec_reports));
+                    ]))
+          | `Sarif ->
+            let results =
+              List.concat_map Sarif.of_tx_report tx_reports
+              @ List.concat_map Sarif.of_codec_report sec_reports
+            in
+            print_endline (Json.to_string (Sarif.report results))
+          | `Text ->
+            List.iter (fun r -> print_string (Txlint.render r)) tx_reports;
+            List.iter (fun r -> print_string (Seclint.render r)) sec_reports;
+            let total sel = List.fold_left (fun acc r -> acc + sel r) 0 tx_reports in
+            let sec_total sel =
+              List.fold_left (fun acc r -> acc + sel r) 0 sec_reports
+            in
+            log "total: %d kind(s), %d codec case(s), %d error(s), %d warn(s), %d info(s)"
+              (List.length tx_reports) (List.length sec_reports)
+              (total Txlint.errors + sec_total Seclint.errors)
+              (total Txlint.warnings + sec_total Seclint.warnings)
+              (total Txlint.infos + sec_total Seclint.infos));
+          let errs =
+            List.fold_left (fun acc r -> acc + Txlint.errors r) 0 tx_reports
+            + List.fold_left (fun acc r -> acc + Seclint.errors r) 0 sec_reports
+          in
+          if strict && errs > 0 then
+            `Error (false, Printf.sprintf "%d Error-severity lint finding(s)" errs)
+          else `Ok ()
+        end
         else begin
-          List.iter (fun r -> print_string (Lint.render ~max_per_rule r)) reports;
-          let total sel = List.fold_left (fun acc r -> acc + sel r) 0 reports in
-          log "total: %d circuit(s), %d error(s), %d warn(s), %d info(s)"
-            (List.length reports) (total Lint.errors) (total Lint.warnings)
-            (total Lint.infos)
-        end;
-        let errs = List.fold_left (fun acc r -> acc + Lint.errors r) 0 reports in
-        if strict && errs > 0 then
-          `Error (false, Printf.sprintf "%d Error-severity lint finding(s)" errs)
-        else `Ok ()
+          let selected =
+            match only with
+            | [] -> Deployed.circuits ()
+            | names ->
+              List.map
+                (fun n ->
+                  match Deployed.find n with
+                  | Some synth -> (n, synth)
+                  | None -> failwith (Printf.sprintf "unknown circuit %S (try --list)" n))
+                names
+          in
+          let reports =
+            List.map (fun (name, synth) -> Lint.analyze ~name (synth ())) selected
+          in
+          (match format with
+          | `Json ->
+            print_endline (Json.to_string (Json.List (List.map Lint.to_json reports)))
+          | `Sarif ->
+            let results = List.concat_map Sarif.of_circuit_report reports in
+            print_endline (Json.to_string (Sarif.report results))
+          | `Text ->
+            List.iter (fun r -> print_string (Lint.render ~max_per_rule r)) reports;
+            let total sel = List.fold_left (fun acc r -> acc + sel r) 0 reports in
+            log "total: %d circuit(s), %d error(s), %d warn(s), %d info(s)"
+              (List.length reports) (total Lint.errors) (total Lint.warnings)
+              (total Lint.infos));
+          let errs = List.fold_left (fun acc r -> acc + Lint.errors r) 0 reports in
+          if strict && errs > 0 then
+            `Error (false, Printf.sprintf "%d Error-severity lint finding(s)" errs)
+          else `Ok ()
+        end
       with Failure m -> `Error (false, m)
   in
   let doc =
     "Statically analyze the deployed R1CS circuits (unconstrained wires, degenerate \
-     constraints, Jacobian rank, gadget contracts) before any trusted setup."
+     constraints, Jacobian rank, gadget contracts), or with $(b,--tx) the deployed \
+     transaction kinds (footprint soundness/minimality, secret-flow canaries)."
   in
   Cmd.v (Cmd.info "lint" ~doc)
-    Term.(ret (const run $ strict_arg $ json_arg $ circuit_arg $ list_arg $ max_arg))
+    Term.(
+      ret
+        (const run $ strict_arg $ json_arg $ format_arg $ tx_arg $ circuit_arg $ kind_arg
+       $ list_arg $ max_arg))
 
 (* --- chaos --- *)
 

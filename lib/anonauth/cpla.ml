@@ -12,6 +12,8 @@ type params = {
 
 type user_key = { sk : Fp.t; pk : Fp.t }
 
+let key_canary (k : user_key) = Fp.to_bytes_be k.sk
+
 type attestation = { t1 : Fp.t; t2 : Fp.t; proof : Snark.proof }
 
 (* Synthesise the Auth circuit.  Public inputs (in order): prefix, message,

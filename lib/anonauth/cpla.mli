@@ -38,6 +38,12 @@ type params
 
 type user_key = { sk : Fp.t; pk : Fp.t }
 
+(** Canary bytes of the master identity secret [sk] (canonical big-endian
+    field encoding) for the ZL2xx secret-flow lint: the master secret must
+    never appear in any on-chain payload, store entry, obs export or log
+    line — only tags and proofs derived from it may. *)
+val key_canary : user_key -> bytes
+
 type attestation = { t1 : Fp.t; t2 : Fp.t; proof : Zebra_snark.Snark.proof }
 
 (** [setup ~random_bytes ~depth ()] runs the zk-SNARK trusted setup for

@@ -7,13 +7,12 @@ let m_retried_txs = Obs.Counter.make "chain.exec.retried_txs"
 let m_fallbacks = Obs.Counter.make "chain.exec.serial_fallbacks"
 let h_waves = Obs.Histogram.make "chain.exec.waves_per_block"
 
-let footprint tx =
-  let static =
-    match tx.Tx.dst with
-    | Tx.Call dst -> [ tx.Tx.sender; dst ]
-    | Tx.Create _ -> [ tx.Tx.sender; Address.of_creator tx.Tx.sender tx.Tx.nonce ]
-  in
-  static @ tx.Tx.footprint
+let static_footprint tx =
+  match tx.Tx.dst with
+  | Tx.Call dst -> [ tx.Tx.sender; dst ]
+  | Tx.Create _ -> [ tx.Tx.sender; Address.of_creator tx.Tx.sender tx.Tx.nonce ]
+
+let footprint tx = static_footprint tx @ tx.Tx.footprint
 
 let shard_mask tx =
   List.fold_left (fun m a -> m lor (1 lsl State.shard_of_address a)) 0 (footprint tx)

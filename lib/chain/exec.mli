@@ -21,6 +21,14 @@
     declared [Tx.footprint]. *)
 val footprint : Tx.t -> Address.t list
 
+(** Just the static part (sender, destination / created address) — what a
+    transaction touches {e before} any contract logic runs.  A declared
+    [Tx.footprint] only needs to cover accesses beyond these; footprint
+    builders (e.g. [Requester.settlement_footprint]) subtract them rather
+    than re-deriving the rule by hand, and the ZL1xx lint asserts the
+    combination is exactly sound and minimal. *)
+val static_footprint : Tx.t -> Address.t list
+
 (** Shard bitmask of {!footprint} (bit [s] = touches shard [s]). *)
 val shard_mask : Tx.t -> int
 

@@ -113,6 +113,7 @@ let crash_node t ~node =
   end
 
 let blocks t = List.rev t.chain
+let genesis t = t.genesis
 
 let restart_node t ~node =
   if node < 0 || node >= Array.length t.nodes then

@@ -146,6 +146,11 @@ val receipt : t -> bytes -> State.receipt option
 
 val blocks : t -> Block.t list
 
+(** The genesis allocation the network was created with — lets a replayer
+    (e.g. the footprint lint) rebuild the pre-state of any mined
+    transaction with {!State.create}. *)
+val genesis : t -> (Address.t * int) list
+
 (** Sum of balances across all accounts (conservation invariant). *)
 val total_supply : t -> int
 

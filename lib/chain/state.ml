@@ -81,6 +81,12 @@ let contract_storage t addr =
     (fun c -> c.storage)
     (Hashtbl.find_opt t.shards.(shard_of_key key).contracts key)
 
+let contract_behavior t addr =
+  let key = Address.to_hex addr in
+  Option.map
+    (fun c -> c.behavior)
+    (Hashtbl.find_opt t.shards.(shard_of_key key).contracts key)
+
 let is_contract t addr =
   let key = Address.to_hex addr in
   Hashtbl.mem t.shards.(shard_of_key key).contracts key
@@ -102,10 +108,18 @@ type undo_log = undo list (* newest first *)
 
 exception Escape of string
 
-type txn = { st : t; allowed : int; mutable undos : undo_log }
+type txn = {
+  st : t;
+  allowed : int;
+  trace : (string -> unit) option;
+  mutable undos : undo_log;
+}
 
 let txn_shard txn key =
   let s = shard_of_key key in
+  (* Trace before the mask check so an access that *would* escape is still
+     recorded — the footprint lint wants exactly those. *)
+  (match txn.trace with Some f -> f key | None -> ());
   if txn.allowed >= 0 && (txn.allowed lsr s) land 1 = 0 then raise (Escape key);
   txn.st.shards.(s)
 
@@ -176,8 +190,8 @@ let apply_actions txn ~self actions =
       | Contract.Log msg -> Some msg)
     actions
 
-let apply_tx_logged t ~height ?(allowed = -1) tx =
-  let txn = { st = t; allowed; undos = [] } in
+let apply_tx_logged_traced t ~height ?(allowed = -1) ?trace tx =
+  let txn = { st = t; allowed; trace; undos = [] } in
   let tx_hash = Tx.hash tx in
   let gas = ref (Contract.Gas.base + (Contract.Gas.per_byte * Tx.size_bytes tx)) in
   let fail reason =
@@ -289,9 +303,30 @@ let apply_tx_logged t ~height ?(allowed = -1) tx =
       end
   end
 
+let apply_tx_logged t ~height ?allowed tx = apply_tx_logged_traced t ~height ?allowed tx
+
 let apply_tx t ~height tx =
   match apply_tx_logged t ~height tx with
   | Result.Ok (receipt, _log) -> receipt
+  | Result.Error _ -> assert false (* unguarded execution cannot escape *)
+
+(* Execute unguarded with every shard access recorded, then roll the
+   transaction back: a pure observation of "which state keys would this
+   transaction touch here?" for the footprint lint (ZL1xx).  Keys are
+   reported deduplicated, in first-access order. *)
+let apply_tx_traced t ~height tx =
+  let seen = Hashtbl.create 8 in
+  let acc = ref [] in
+  let trace key =
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      acc := key :: !acc
+    end
+  in
+  match apply_tx_logged_traced t ~height ~trace tx with
+  | Result.Ok (receipt, log) ->
+    undo t log;
+    (receipt, List.rev !acc)
   | Result.Error _ -> assert false (* unguarded execution cannot escape *)
 
 let root t =

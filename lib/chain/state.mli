@@ -39,6 +39,10 @@ val nonce : t -> Address.t -> int
 (** [contract_storage t addr] is [None] when [addr] has no code. *)
 val contract_storage : t -> Address.t -> bytes option
 
+(** Registered behaviour name of the contract at [addr], if any — used by
+    the footprint lint to classify transactions into kinds. *)
+val contract_behavior : t -> Address.t -> string option
+
 val is_contract : t -> Address.t -> bool
 
 (** Number of address shards (a power of two; shard masks fit one [int]). *)
@@ -46,6 +50,10 @@ val num_shards : int
 
 (** Shard index of an address: [0 .. num_shards - 1]. *)
 val shard_of_address : Address.t -> int
+
+(** Shard index of a raw state key (an address in hex) — the same
+    partition {!shard_of_address} uses. *)
+val shard_of_key : string -> int
 
 (** Journal of one applied transaction's mutations, newest first.  Opaque;
     pass back to {!undo} to revert that transaction exactly.  Logs must be
@@ -75,6 +83,15 @@ val undo : t -> undo_log -> unit
 (** [apply_tx t ~height tx] executes one transaction serially (unguarded).
     Never raises on bad transactions — every outcome is a receipt. *)
 val apply_tx : t -> height:int -> Tx.t -> receipt
+
+(** [apply_tx_traced t ~height tx] executes [tx] unguarded with every
+    shard access recorded, then rolls the transaction back completely
+    (including the nonce): a side-effect-free observation of which state
+    keys the transaction touches at this state.  Returns the receipt it
+    {e would} produce and the accessed keys, deduplicated in first-access
+    order.  The footprint lint (ZL1xx) checks these against the declared
+    footprint's shard mask. *)
+val apply_tx_traced : t -> height:int -> Tx.t -> receipt * string list
 
 (** Canonical state root (SHA-256 over the sorted serialised state);
     compared across nodes after every block.  Independent of sharding

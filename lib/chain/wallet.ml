@@ -1,9 +1,22 @@
-type t = { priv : Zebra_rsa.Rsa.private_key; addr : Address.t }
+module Secret = Zebra_secret.Secret
+
+(* The public key is kept outside the box — addresses and signature
+   verification need it freely; only the private exponent is secret. *)
+type t = {
+  priv : Zebra_rsa.Rsa.private_key Secret.t;
+  pub : Zebra_rsa.Rsa.public_key;
+  addr : Address.t;
+}
 
 let generate ?(bits = 512) ~random_bytes () =
   let priv = Zebra_rsa.Rsa.generate ~bits ~random_bytes in
-  { priv; addr = Address.of_public_key priv.Zebra_rsa.Rsa.pub }
+  {
+    priv = Secret.make ~label:"wallet.sk" priv;
+    pub = priv.Zebra_rsa.Rsa.pub;
+    addr = Address.of_public_key priv.Zebra_rsa.Rsa.pub;
+  }
 
 let address w = w.addr
-let public_key w = w.priv.Zebra_rsa.Rsa.pub
-let sign w msg = Zebra_rsa.Pkcs1.sign w.priv msg
+let public_key w = w.pub
+let sign w msg = Secret.use w.priv (fun priv -> Zebra_rsa.Pkcs1.sign priv msg)
+let secret_canary w = Secret.use w.priv (fun priv -> Nat.to_bytes_be priv.Zebra_rsa.Rsa.d)

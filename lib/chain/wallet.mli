@@ -16,3 +16,9 @@ val public_key : t -> Zebra_rsa.Rsa.public_key
 
 (** [sign w msg] — RSASSA-PKCS1-v1_5/SHA-256. *)
 val sign : t -> bytes -> bytes
+
+(** Canary bytes of the boxed signing key (the RSA private exponent,
+    big-endian) for the ZL2xx secret-flow lint: these bytes must never
+    appear in any serialisation, store put, obs export or log sink. *)
+val secret_canary : t -> bytes
+

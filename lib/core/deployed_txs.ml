@@ -1,0 +1,247 @@
+module Network = Zebra_chain.Network
+module Wallet = Zebra_chain.Wallet
+module Address = Zebra_chain.Address
+module Tx = Zebra_chain.Tx
+module State = Zebra_chain.State
+module Block = Zebra_chain.Block
+module Cpla = Zebra_anonauth.Cpla
+module Snark = Zebra_snark.Snark
+module Store = Zebra_store.Store
+module Obs = Zebra_obs.Obs
+module Cs = Zebra_r1cs.Cs
+module Gadgets = Zebra_r1cs.Gadgets
+module Txlint = Zebra_lint.Txlint
+module Seclint = Zebra_lint.Seclint
+
+let scenario_seed = "deployed-txs/lint-scenario-v1"
+
+(* Kind of a mined transaction, from its pre-state: contract deploys by
+   behaviour, contract calls by behaviour + decoded message, everything
+   else a plain transfer. *)
+let classify st (tx : Tx.t) =
+  match tx.Tx.dst with
+  | Tx.Create { behavior; _ } -> "deploy." ^ behavior
+  | Tx.Call dst -> (
+    match State.contract_behavior st dst with
+    | None -> "transfer"
+    | Some b when b = Task_contract.behavior_name -> (
+      match Task_contract.message_of_bytes tx.Tx.payload with
+      | Task_contract.Submit _ -> b ^ ".submit"
+      | Task_contract.Submit_plain _ -> b ^ ".submit-plain"
+      | Task_contract.Instruct _ -> b ^ ".instruct"
+      | Task_contract.Finalize -> b ^ ".finalize"
+      | exception _ -> b ^ ".call")
+    | Some b when b = Ra_contract.behavior_name -> b ^ ".set-root"
+    | Some b when b = Reputation_contract.behavior_name -> (
+      match Reputation_contract.message_of_bytes tx.Tx.payload with
+      | Reputation_contract.Credit _ -> b ^ ".credit"
+      | Reputation_contract.Claim _ -> b ^ ".claim"
+      | Reputation_contract.Advance_epoch -> b ^ ".advance-epoch"
+      | exception _ -> b ^ ".call")
+    | Some b -> b ^ ".call")
+
+type scenario = {
+  s_cases : Txlint.case list;
+  s_codecs : Seclint.codec_case list;
+}
+
+let build_scenario () =
+  (* Enabled obs makes the export a non-vacuous ZL2xx sink; restore the
+     caller's setting afterwards. *)
+  let obs_was = Obs.enabled () in
+  Obs.set_enabled true;
+  Fun.protect ~finally:(fun () -> Obs.set_enabled obs_was) @@ fun () ->
+  let sys = Protocol.create_system ~seed:scenario_seed () in
+  Reputation_contract.register ();
+  let rb = Protocol.random_bytes sys in
+  let requester = Protocol.enroll sys in
+  let w1 = Protocol.enroll sys in
+  let w2 = Protocol.enroll sys in
+  let policy = Policy.Majority { choices = 4 } in
+  (* Task A settles by Instruct.  budget = 61 with n = 2 makes rho = 30:
+     both workers get a nonzero reward and 1 unit refunds to the
+     requester, so every settlement branch (worker payment, refund) is an
+     actually-covered path for the minimality check. *)
+  let task_a = Protocol.publish_task sys ~requester ~policy ~n:2 ~budget:61 () in
+  let _ =
+    Protocol.submit_answers sys ~task:task_a.Requester.contract ~workers:[ (w1, 1); (w2, 1) ]
+  in
+  let _ = Protocol.reward sys task_a in
+  (* Task B settles by the third-party Finalize fallback: 2 of 3 slots
+     submitted, budget 61 -> share 30 each, refund 1 to the requester. *)
+  let task_b = Protocol.publish_task sys ~requester ~policy ~n:3 ~budget:61 () in
+  let _ =
+    Protocol.submit_answers sys ~task:task_b.Requester.contract ~workers:[ (w1, 2); (w2, 2) ]
+  in
+  Protocol.finalize sys task_b;
+  (* Reputation: board deploy, credit of task A's first tag, the worker's
+     link-proof claim onto an epoch pseudonym, and an epoch advance. *)
+  let rep = Reputation.setup_cached sys.Protocol.keycache ~seed:scenario_seed in
+  let op = Protocol.fresh_funded_wallet sys ~amount:100 in
+  let deploy =
+    Tx.make ~wallet:op ~nonce:0
+      ~dst:
+        (Tx.Create
+           {
+             behavior = Reputation_contract.behavior_name;
+             args = Reputation_contract.init_args ~link_vk:(Reputation.vk_bytes rep);
+           })
+      ~value:0 ~payload:Bytes.empty
+  in
+  Network.submit sys.Protocol.net deploy;
+  ignore (Network.mine sys.Protocol.net);
+  let board = Address.of_creator (Wallet.address op) 0 in
+  let call msg =
+    let tx =
+      Tx.make ~wallet:op
+        ~nonce:(Network.nonce sys.Protocol.net (Wallet.address op))
+        ~dst:(Tx.Call board) ~value:0
+        ~payload:(Reputation_contract.message_to_bytes msg)
+    in
+    Network.submit sys.Protocol.net tx;
+    ignore (Network.mine sys.Protocol.net);
+    match Option.get (Network.receipt sys.Protocol.net (Tx.hash tx)) with
+    | { State.status = State.Ok _; _ } -> ()
+    | { State.status = State.Failed m; _ } ->
+      failwith ("Deployed_txs scenario: reputation call failed: " ^ m)
+  in
+  let storage_a = Protocol.task_storage sys task_a.Requester.contract in
+  let s1 = List.hd storage_a.Task_contract.submissions in
+  let prefix = Address.to_field task_a.Requester.contract in
+  call (Reputation_contract.Credit { task_tag = s1.Task_contract.tag; task_prefix = prefix; score = 3 });
+  let key = w1.Protocol.key in
+  let pseudonym = Reputation.epoch_pseudonym key ~epoch:0 in
+  let proof = Reputation.prove_link ~random_bytes:rb rep ~key ~task_prefix:prefix ~epoch:0 in
+  call
+    (Reputation_contract.Claim
+       {
+         task_tag = s1.Task_contract.tag;
+         pseudonym;
+         proof = Snark.proof_to_bytes proof;
+       });
+  call Reputation_contract.Advance_epoch;
+  (* --- harvest: serial replay from genesis, tracing every tx against
+     exactly the state it executed on --- *)
+  let blocks = Network.blocks sys.Protocol.net in
+  let st = State.create ~genesis:(Network.genesis sys.Protocol.net) in
+  let cases = ref [] in
+  List.iter
+    (fun (b : Block.t) ->
+      let height = b.Block.header.Block.height in
+      List.iteri
+        (fun i tx ->
+          let kind = classify st tx in
+          let case = Printf.sprintf "block %d tx %d" height i in
+          cases := Txlint.trace_case ~kind ~case st ~height tx :: !cases;
+          ignore (State.apply_tx st ~height tx))
+        b.Block.txs)
+    blocks;
+  let s_cases = List.rev !cases in
+  (* --- ZL2xx codec registry --- *)
+  let secrets_of_chain =
+    [
+      ("wallet.sk(faucet)", Wallet.secret_canary sys.Protocol.faucet);
+      ("wallet.sk(task A requester)", Wallet.secret_canary task_a.Requester.wallet);
+      ("cpla.msk(requester)", Cpla.key_canary requester.Protocol.key);
+      ("cpla.msk(worker 1)", Cpla.key_canary w1.Protocol.key);
+      ("cpla.msk(worker 2)", Cpla.key_canary w2.Protocol.key);
+      ("requester.task.esk(task A)", Requester.esk_canary task_a);
+      ("requester.task.esk(task B)", Requester.esk_canary task_b);
+      ("snark.trapdoor.t_s(reward circuit A)", Reward_circuit.trapdoor_canary task_a.Requester.circuit);
+    ]
+  in
+  let tx_outputs =
+    List.concat_map
+      (fun (b : Block.t) ->
+        List.mapi
+          (fun i tx ->
+            ( Seclint.Serialization,
+              Printf.sprintf "tx bytes (block %d tx %d)" b.Block.header.Block.height i,
+              Tx.to_bytes tx ))
+          b.Block.txs)
+      blocks
+  in
+  let storage_outputs =
+    List.filter_map
+      (fun (name, addr) ->
+        Option.map
+          (fun bytes -> (Seclint.Serialization, "contract storage " ^ name, bytes))
+          (Network.contract_storage sys.Protocol.net addr))
+      [
+        ("task A", task_a.Requester.contract);
+        ("task B", task_b.Requester.contract);
+        ("ra", sys.Protocol.ra_contract);
+        ("reputation board", board);
+      ]
+  in
+  let log_output =
+    ( Seclint.Log_line,
+      "network logs",
+      Bytes.of_string (String.concat "\n" (Network.all_logs sys.Protocol.net)) )
+  in
+  let obs_output = (Seclint.Obs_export, "obs json export", Bytes.of_string (Obs.to_json_string ())) in
+  let chain_case =
+    {
+      Seclint.codec = "chain.persisted";
+      secrets = secrets_of_chain;
+      outputs = tx_outputs @ storage_outputs @ [ log_output; obs_output ];
+    }
+  in
+  (* The PR 5 regression lock, on the verifying-key side: the vk is the
+     part of a keypair that leaves the requester's machine (on-chain task
+     parameters, auditors), so its encoding, a content-addressed store
+     round-trip of it, and the re-encoding of its decode must all be
+     trapdoor-free.  The proving key's encoding is deliberately NOT a
+     registered sink: the simulation models the real scheme's hiding
+     commitments g^{s^i} as raw field powers, so pk bytes contain s^1
+     verbatim by construction — a modelling artifact, not a leak.  The
+     historic bug (t_s written as an explicit field of the keypair
+     encoding) is locked by a synthetic leaky-encoder fixture in
+     [test_txlint.ml]. *)
+  let snark_case =
+    let cs = Cs.create () in
+    let x = Cs.alloc_input cs ~label:"x" (Fp.of_int 3) in
+    let _y = Gadgets.square cs (Gadgets.v x) in
+    let kp = Snark.setup ~random_bytes:rb cs in
+    let bytes = Snark.vk_to_bytes kp.Snark.vk in
+    let store = Store.create () in
+    let h = Store.put store bytes in
+    let stored = Option.get (Store.get store h) in
+    let reencoded = Snark.vk_to_bytes (Snark.vk_of_bytes bytes) in
+    {
+      Seclint.codec = "snark.keypair";
+      secrets = [ ("snark.trapdoor.t_s", Snark.trapdoor_canary kp) ];
+      outputs =
+        [
+          (Seclint.Serialization, "vk_to_bytes", bytes);
+          (Seclint.Store_put, "store round-trip", stored);
+          (Seclint.Serialization, "decode/re-encode", reencoded);
+        ];
+    }
+  in
+  let params_case =
+    {
+      Seclint.codec = "task.params";
+      secrets =
+        [
+          ("requester.task.esk(task A)", Requester.esk_canary task_a);
+          ("snark.trapdoor.t_s(reward circuit A)", Reward_circuit.trapdoor_canary task_a.Requester.circuit);
+          ("cpla.msk(requester)", Cpla.key_canary requester.Protocol.key);
+        ];
+      outputs =
+        [
+          ( Seclint.Serialization,
+            "params_to_bytes",
+            Task_contract.params_to_bytes task_a.Requester.params );
+        ];
+    }
+  in
+  { s_cases; s_codecs = [ chain_case; snark_case; params_case ] }
+
+let scenario = lazy (build_scenario ())
+
+let cases () = (Lazy.force scenario).s_cases
+let codecs () = (Lazy.force scenario).s_codecs
+
+let kinds () =
+  List.sort_uniq compare (List.map (fun (c : Txlint.case) -> c.Txlint.kind) (cases ()))

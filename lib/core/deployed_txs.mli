@@ -1,0 +1,42 @@
+(** The deployed transaction-kind registry — {!Deployed}'s analogue for
+    the chain layer, feeding the ZL1xx/ZL2xx lint passes
+    ({!Zebra_lint.Txlint}, {!Zebra_lint.Seclint}), the [zebra lint --tx]
+    CLI mode, [bench lint] and the [scripts/check.sh] gate.
+
+    One seeded end-to-end scenario exercises every transaction kind the
+    protocol deploys: faucet funding transfers, the RA contract deploy and
+    its root updates (one per enrolment), two task publishes, anonymous
+    submissions, a proof-carrying Instruct settlement (with a nonzero
+    refund, so the refund branch is a covered path), a third-party
+    Finalize after the instruction deadline, and the reputation board
+    (deploy, credit, claim, epoch advance).  The mined chain is then
+    replayed serially from genesis; each transaction is classified into
+    its kind from the pre-state (behaviour name + decoded payload) and
+    traced with {!Zebra_chain.State.apply_tx_traced} against exactly the
+    state it executed on.
+
+    Everything is derived from {!scenario_seed}, so kinds, cases and
+    conflict signatures are deterministic; the scenario is built once per
+    process and memoised. *)
+
+(** Seed of the memoised scenario. *)
+val scenario_seed : string
+
+(** All traced cases, in chain order.  Kind names are
+    ["transfer"], ["deploy.<behavior>"], ["<behavior>.<message>"] — e.g.
+    ["zebralancer-task.instruct"], ["zebralancer-reputation.claim"]. *)
+val cases : unit -> Zebra_lint.Txlint.case list
+
+(** The distinct kind names of {!cases}, sorted. *)
+val kinds : unit -> string list
+
+(** The ZL2xx codec registry: every secret the scenario holds (wallet
+    signing keys, CPLA master identities, task decryption keys, SNARK
+    trapdoors), scanned against every persisted output — transaction
+    bytes, contract storages, receipt logs, obs export, verifying-key
+    encodings and a {!Zebra_store.Store} round-trip (the PR 5
+    trapdoor-leak regression lock).  Proving-key encodings are not
+    registered sinks: the simulation models the real scheme's hiding
+    commitments [g^(s^i)] as raw field powers, so pk bytes contain [s]
+    verbatim by construction — a modelling artifact, not a leak. *)
+val codecs : unit -> Zebra_lint.Seclint.codec_case list

@@ -439,7 +439,7 @@ let finalize_r sys (task : Requester.task) =
       let storage = task_storage sys task.Requester.contract in
       let tx =
         Tx.make_ext ~wallet:caller ~fee:0
-          ~footprint:(Requester.settlement_footprint storage)
+          ~footprint:(Requester.settlement_footprint ~sender:(Wallet.address caller) storage)
           ~nonce:0 ~dst:(Tx.Call task.Requester.contract) ~value:0
           ~payload:(Task_contract.message_to_bytes Task_contract.Finalize)
       in

@@ -3,19 +3,23 @@ module Address = Zebra_chain.Address
 module Tx = Zebra_chain.Tx
 module Elgamal = Zebra_elgamal.Elgamal
 module Cpla = Zebra_anonauth.Cpla
+module Secret = Zebra_secret.Secret
 
 type task = {
   wallet : Wallet.t;
   contract : Address.t;
-  esk : Elgamal.secret_key;
+  esk : Elgamal.secret_key Secret.t;
   circuit : Reward_circuit.t;
   params : Task_contract.params;
 }
+
+let esk_canary task = Secret.use task.esk Elgamal.secret_canary
 
 let create_task ?circuit ?(max_per_worker = 1) ?(ra_rsa_pub = Bytes.empty)
     ?(data_digest = Bytes.empty) ?(fee = 0) ~random_bytes ~cpla ~key ~cert_index ~ra_path
     ~ra_root ~wallet ~nonce ~policy ~n ~budget ~answer_deadline ~instruct_deadline () =
   let esk, epk = Elgamal.generate ~random_bytes in
+  let esk = Secret.make ~label:"requester.task.esk" esk in
   let circuit =
     match circuit with
     | None -> Reward_circuit.setup ~random_bytes ~policy ~n ()
@@ -68,7 +72,7 @@ let decrypt_answers task (storage : Task_contract.storage) =
   List.iteri
     (fun i (s : Task_contract.submission) ->
       if i < n then begin
-        let m = Elgamal.decrypt task.esk s.Task_contract.ciphertext in
+        let m = Secret.use task.esk (fun esk -> Elgamal.decrypt esk s.Task_contract.ciphertext) in
         answers.(i) <-
           Elgamal.decode_answer ~max:(Policy.answer_space task.params.Task_contract.policy - 1) m
       end)
@@ -84,14 +88,20 @@ let cts_of_storage task (storage : Task_contract.storage) =
   cts
 
 (* The payees of a settlement: every submission's worker, plus the
-   requester refund destination.  Declared as the transaction footprint so
-   the parallel executor can schedule settlements of unrelated tasks
-   concurrently (the requester address only matters for Finalize, whose
-   caller is a third party — for Instruct it equals the sender). *)
-let settlement_footprint (storage : Task_contract.storage) =
-  storage.Task_contract.requester
-  :: List.map (fun (s : Task_contract.submission) -> s.Task_contract.worker)
-       storage.Task_contract.submissions
+   requester refund destination.  The executor already accounts the
+   transaction's static footprint ([Exec.static_footprint]: sender and
+   destination), so payees covered by it are subtracted rather than
+   re-declared — one payee list serves both Instruct (whose sender is the
+   requester) and Finalize (whose caller is a third party), and the ZL1xx
+   lint asserts the result is exactly sound and minimal, so the two
+   encodings cannot drift. *)
+let settlement_footprint ~sender (storage : Task_contract.storage) =
+  let payees =
+    storage.Task_contract.requester
+    :: List.map (fun (s : Task_contract.submission) -> s.Task_contract.worker)
+         storage.Task_contract.submissions
+  in
+  List.filter (fun a -> not (Address.equal a sender)) payees
 
 let instruct_with_rewards ?(fee = 0) ~random_bytes task ~storage ~nonce ~rewards =
   let n = task.params.Task_contract.n in
@@ -99,7 +109,10 @@ let instruct_with_rewards ?(fee = 0) ~random_bytes task ~storage ~nonce ~rewards
   let policy = task.params.Task_contract.policy in
   let cts = cts_of_storage task storage in
   let rho = Reward_circuit.rho_of ~policy ~budget ~n in
-  let proof = Reward_circuit.prove ~random_bytes task.circuit ~esk:task.esk ~rho ~cts ~rewards in
+  let proof =
+    Secret.use task.esk (fun esk ->
+        Reward_circuit.prove ~random_bytes task.circuit ~esk ~rho ~cts ~rewards)
+  in
   let msg =
     Task_contract.Instruct
       {
@@ -108,7 +121,9 @@ let instruct_with_rewards ?(fee = 0) ~random_bytes task ~storage ~nonce ~rewards
       }
   in
   let tx =
-    Tx.make_ext ~wallet:task.wallet ~fee ~footprint:(settlement_footprint storage) ~nonce
+    Tx.make_ext ~wallet:task.wallet ~fee
+      ~footprint:(settlement_footprint ~sender:(Wallet.address task.wallet) storage)
+      ~nonce
       ~dst:(Tx.Call task.contract) ~value:0
       ~payload:(Task_contract.message_to_bytes msg)
   in

@@ -8,10 +8,15 @@
 type task = {
   wallet : Zebra_chain.Wallet.t;  (** the one-task-only address alpha_R *)
   contract : Zebra_chain.Address.t;  (** predicted alpha_C *)
-  esk : Zebra_elgamal.Elgamal.secret_key;
+  esk : Zebra_elgamal.Elgamal.secret_key Zebra_secret.Secret.t;
+      (** the task decryption key, boxed — read it with [Secret.use] *)
   circuit : Reward_circuit.t;
   params : Task_contract.params;
 }
+
+(** Canary bytes of the boxed [esk] for the ZL2xx secret-flow lint (see
+    {!Zebra_elgamal.Elgamal.secret_canary}). *)
+val esk_canary : task -> bytes
 
 (** [create_task ~random_bytes ~cpla ~key ~cert_index ~ra_path ~ra_root
      ~wallet ~policy ~n ~budget ~answer_deadline ~instruct_deadline]
@@ -53,8 +58,15 @@ val create_task :
 val decrypt_answers : task -> Task_contract.storage -> Policy.answer array
 
 (** The payees a settlement transaction must declare as its footprint:
-    every submission's worker plus the requester refund destination. *)
-val settlement_footprint : Task_contract.storage -> Zebra_chain.Address.t list
+    every submission's worker plus the requester refund destination,
+    minus [sender] — the executor's static footprint
+    ({!Zebra_chain.Exec.static_footprint}) already covers the sender, so
+    re-declaring it would be exactly the over-declaration the ZL102 lint
+    rejects.  One payee list serves both Instruct (sender = requester) and
+    Finalize (sender = any caller); the ZL1xx conflict signatures assert
+    the declaration is sound and minimal against the executor's mask. *)
+val settlement_footprint :
+  sender:Zebra_chain.Address.t -> Task_contract.storage -> Zebra_chain.Address.t list
 
 (** [instruct ~random_bytes task ~storage ~nonce] computes the policy
     rewards, proves the instruction correct, and returns the rewards with

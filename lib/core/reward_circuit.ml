@@ -232,6 +232,7 @@ let n t = t.n
 let composition t = t.composition
 let num_constraints t = t.n_constraints
 let vk_bytes t = Snark.vk_to_bytes t.keys.Snark.vk
+let trapdoor_canary t = Snark.trapdoor_canary t.keys
 
 let public_inputs ~epk ~rho ~cts ~rewards =
   let parts =

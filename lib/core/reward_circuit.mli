@@ -76,6 +76,11 @@ val composition : t -> Zebra_hashcomp.Hash_composition.t
 val num_constraints : t -> int
 val vk_bytes : t -> bytes
 
+(** Canary bytes of the setup trapdoor (see
+    {!Zebra_snark.Snark.trapdoor_canary}) — the ZL2xx lint scans every
+    persisted task artifact for them. *)
+val trapdoor_canary : t -> bytes
+
 (** The canonical public-input vector; the task contract recomputes this
     from its own storage, so a lying requester cannot substitute inputs. *)
 val public_inputs :

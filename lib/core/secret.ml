@@ -1,0 +1,3 @@
+(* Re-export so protocol code can say [Zebralancer.Secret] (the "Zebra_core"
+   of the design docs) without depending on the leaf library directly. *)
+include Zebra_secret.Secret

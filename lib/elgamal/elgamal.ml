@@ -18,6 +18,7 @@ let generate ~random_bytes =
   (sk, Fp.pow g sk)
 
 let secret_bits sk = Array.init exponent_bits (Nat.testbit sk)
+let secret_canary sk = Nat.to_bytes_be sk
 
 let encrypt ~random_bytes epk m =
   if Fp.is_zero m then invalid_arg "Elgamal.encrypt: zero plaintext";

@@ -30,6 +30,12 @@ val generate : random_bytes:(int -> bytes) -> secret_key * public_key
     reward circuit. *)
 val secret_bits : secret_key -> bool array
 
+(** Canary bytes (minimal big-endian exponent) for the ZL2xx secret-flow
+    lint: a decryption key must never reach a serialisation, store put,
+    obs export or log sink, and the lint scans those sinks for exactly
+    these bytes. *)
+val secret_canary : secret_key -> bytes
+
 (** [encrypt ~random_bytes epk m] for [m <> 0].
     @raise Invalid_argument on zero. *)
 val encrypt : random_bytes:(int -> bytes) -> public_key -> Fp.t -> ciphertext

@@ -40,6 +40,14 @@ let rules =
     ("ZL021", "underdetermined-wire", Warn);
     ("ZL030", "missing-booleanity", Error);
     ("ZL031", "broken-bit-recomposition", Error);
+    (* chain/protocol layer (Txlint): declared-footprint analysis *)
+    ("ZL101", "under-declared-footprint", Error);
+    ("ZL102", "over-declared-footprint", Error);
+    ("ZL103", "vacuous-tx-case", Error);
+    ("ZL110", "shard-conflict-signature", Info);
+    (* secret-flow (Seclint): canary-byte taint checking *)
+    ("ZL201", "secret-leaked-to-sink", Error);
+    ("ZL202", "secret-canary-too-short", Warn);
   ]
 
 let rule_name id =
@@ -69,6 +77,16 @@ let rule_counters =
       Hashtbl.replace tbl id (Obs.Counter.make ("lint.rule." ^ String.lowercase_ascii id)))
     rules;
   tbl
+
+(* Shared by [analyze] and the chain-layer passes (Txlint, Seclint). *)
+let observe_findings findings =
+  List.iter
+    (fun f ->
+      Obs.Counter.incr (severity_counter f.severity);
+      match Hashtbl.find_opt rule_counters f.rule with
+      | Some c -> Obs.Counter.incr c
+      | None -> ())
+    findings
 
 (* --- sparse linear algebra over Fp ---
 
@@ -166,6 +184,8 @@ let finding ?wire ?wire_label ?constraint_index ?constraint_label rule message =
     constraint_label;
     message;
   }
+
+let make_finding = finding
 
 let wire_finding cs rule w message =
   finding rule message ~wire:w ?wire_label:(Cs.wire_label cs (Cs.var_of_int w))
@@ -468,13 +488,7 @@ let analyze ?(name = "circuit") cs =
           [ zl001; zl002; degenerate; duplicates; zl012; rank_findings; zl030; zl031 ]
         |> List.stable_sort (fun f1 f2 -> compare f1.rule f2.rule)
       in
-      List.iter
-        (fun f ->
-          Obs.Counter.incr (severity_counter f.severity);
-          match Hashtbl.find_opt rule_counters f.rule with
-          | Some c -> Obs.Counter.incr c
-          | None -> ())
-        findings;
+      observe_findings findings;
       {
         circuit = name;
         findings;

@@ -72,8 +72,31 @@ type report = {
 }
 
 (** [(id, name, severity)] of every rule, in id order — the linter's public
-    contract surface, used by docs and tests. *)
+    contract surface, used by docs and tests.  ZL0xx rules are the R1CS
+    families below; ZL1xx (declared-footprint soundness/minimality) and
+    ZL2xx (secret canary flow) are produced by the chain-layer passes
+    {!Txlint} and {!Seclint}, which share this finding type, severity
+    mapping and obs counters. *)
 val rules : (string * string * severity) list
+
+(** [make_finding ?wire ?wire_label ?constraint_index ?constraint_label id
+    message] — a finding under a registered rule id (name and severity are
+    looked up; raises [Invalid_argument] on an unknown id).  Used by the
+    chain-layer passes; the wire/constraint locators are typically absent
+    there. *)
+val make_finding :
+  ?wire:int ->
+  ?wire_label:string ->
+  ?constraint_index:int ->
+  ?constraint_label:string ->
+  string ->
+  string ->
+  finding
+
+(** Bump the per-severity and per-rule [lint.*] obs counters for each
+    finding (no-ops unless {!Zebra_obs.Obs} is enabled).  {!analyze} calls
+    this itself; external passes call it once per report. *)
+val observe_findings : finding list -> unit
 
 (** [analyze ?name cs] runs every rule.  Read-only; safe to call on a board
     that will subsequently be handed to [Snark.setup]/[prove]. *)
@@ -91,6 +114,9 @@ val by_rule : report -> string -> finding list
       "jacobian_rank":..,"free_aux_wires":..,
       "counts":{"error":..,"warn":..,"info":..},"findings":[...]}]. *)
 val to_json : report -> Zebra_obs.Json.t
+
+(** JSON shape of one finding (the element type of ["findings"] above). *)
+val finding_to_json : finding -> Zebra_obs.Json.t
 
 (** Human rendering: one header line, then one line per finding; [Warn]-
     and [Info]-level findings are grouped per rule and truncated to

@@ -1,0 +1,78 @@
+module Json = Zebra_obs.Json
+
+let level_of_severity = function
+  | Lint.Error -> "error"
+  | Lint.Warn -> "warning"
+  | Lint.Info -> "note"
+
+let rule_to_json (id, name, severity) =
+  Json.Obj
+    [
+      ("id", Json.Str id);
+      ("name", Json.Str name);
+      ( "defaultConfiguration",
+        Json.Obj [ ("level", Json.Str (level_of_severity severity)) ] );
+    ]
+
+let result_to_json (location, (f : Lint.finding)) =
+  (* Wire/constraint locators, when present, go into the message: the
+     subjects are synthesised artifacts, so logical location is all the
+     anchoring SARIF can do. *)
+  let message =
+    match (f.Lint.wire, f.Lint.constraint_index) with
+    | Some w, _ -> Printf.sprintf "wire %d: %s" w f.Lint.message
+    | None, Some i -> Printf.sprintf "constraint #%d: %s" i f.Lint.message
+    | None, None -> f.Lint.message
+  in
+  Json.Obj
+    [
+      ("ruleId", Json.Str f.Lint.rule);
+      ("level", Json.Str (level_of_severity f.Lint.severity));
+      ("message", Json.Obj [ ("text", Json.Str message) ]);
+      ( "locations",
+        Json.List
+          [
+            Json.Obj
+              [
+                ( "logicalLocations",
+                  Json.List [ Json.Obj [ ("name", Json.Str location) ] ] );
+              ];
+          ] );
+    ]
+
+let report results =
+  Json.Obj
+    [
+      ( "$schema",
+        Json.Str
+          "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+      );
+      ("version", Json.Str "2.1.0");
+      ( "runs",
+        Json.List
+          [
+            Json.Obj
+              [
+                ( "tool",
+                  Json.Obj
+                    [
+                      ( "driver",
+                        Json.Obj
+                          [
+                            ("name", Json.Str "zebra-lint");
+                            ("rules", Json.List (List.map rule_to_json Lint.rules));
+                          ] );
+                    ] );
+                ("results", Json.List (List.map result_to_json results));
+              ];
+          ] );
+    ]
+
+let of_circuit_report (r : Lint.report) =
+  List.map (fun f -> ("circuit:" ^ r.Lint.circuit, f)) r.Lint.findings
+
+let of_tx_report (r : Txlint.report) =
+  List.map (fun f -> ("tx:" ^ r.Txlint.kind, f)) r.Txlint.findings
+
+let of_codec_report (r : Seclint.report) =
+  List.map (fun f -> ("codec:" ^ r.Seclint.codec, f)) r.Seclint.findings

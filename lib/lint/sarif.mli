@@ -1,0 +1,19 @@
+(** SARIF 2.1.0 export of lint findings, so CI can annotate them on PRs.
+
+    One run, one [tool.driver] (["zebra-lint"]) carrying every registered
+    rule from {!Lint.rules} with its default severity; each finding
+    becomes a [result] anchored to a {e logical} location — the circuit,
+    tx kind or codec name — since the subjects are synthesised artifacts,
+    not files.  Severity maps [Error]→["error"], [Warn]→["warning"],
+    [Info]→["note"]. *)
+
+(** [report results] — [results] pairs each finding with its logical
+    location name (e.g. ["circuit:cpla/auth"],
+    ["tx:zebralancer-task.instruct"], ["codec:snark.keypair"]). *)
+val report : (string * Lint.finding) list -> Zebra_obs.Json.t
+
+(** Convenience: the logical-location pairs of the three report shapes. *)
+val of_circuit_report : Lint.report -> (string * Lint.finding) list
+
+val of_tx_report : Txlint.report -> (string * Lint.finding) list
+val of_codec_report : Seclint.report -> (string * Lint.finding) list

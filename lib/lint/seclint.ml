@@ -1,0 +1,106 @@
+module Obs = Zebra_obs.Obs
+module Json = Zebra_obs.Json
+module Secret = Zebra_secret.Secret
+
+let m_runs = Obs.Counter.make "lint.sec.runs"
+let m_codecs = Obs.Counter.make "lint.sec.codecs"
+let m_scans = Obs.Counter.make "lint.sec.scans"
+
+type sink = Serialization | Store_put | Obs_export | Log_line
+
+let sink_to_string = function
+  | Serialization -> "serialization"
+  | Store_put -> "store-put"
+  | Obs_export -> "obs-export"
+  | Log_line -> "log"
+
+type codec_case = {
+  codec : string;
+  secrets : (string * bytes) list;
+  outputs : (sink * string * bytes) list;
+}
+
+type report = {
+  codec : string;
+  secrets : int;
+  outputs : int;
+  findings : Lint.finding list;
+}
+
+let analyze (case : codec_case) =
+  Obs.with_span "lint.sec.analyze" (fun () ->
+      Obs.Counter.incr m_runs;
+      Obs.Counter.incr m_codecs;
+      let zl202 =
+        List.filter_map
+          (fun (label, needle) ->
+            if Bytes.length needle >= Secret.min_canary_len then None
+            else
+              Some
+                (Lint.make_finding "ZL202"
+                   (Printf.sprintf
+                      "canary of secret %s is %d byte(s), below the scannable minimum of %d: \
+                       this case cannot detect a leak of it"
+                      label (Bytes.length needle) Secret.min_canary_len)))
+          case.secrets
+      in
+      let zl201 =
+        List.concat_map
+          (fun (label, needle) ->
+            List.filter_map
+              (fun (sink, out_label, hay) ->
+                Obs.Counter.incr m_scans;
+                if Secret.leaks ~needle hay then
+                  Some
+                    (Lint.make_finding "ZL201"
+                       (Printf.sprintf
+                          "secret %s reaches the %s sink %s: its canary bytes occur in the \
+                           output (%d bytes scanned)"
+                          label (sink_to_string sink) out_label (Bytes.length hay)))
+                else None)
+              case.outputs)
+          case.secrets
+      in
+      let findings =
+        List.stable_sort
+          (fun f1 f2 -> compare f1.Lint.rule f2.Lint.rule)
+          (zl201 @ zl202)
+      in
+      Lint.observe_findings findings;
+      {
+        codec = case.codec;
+        secrets = List.length case.secrets;
+        outputs = List.length case.outputs;
+        findings;
+      })
+
+let count sev r = List.length (List.filter (fun f -> f.Lint.severity = sev) r.findings)
+let errors = count Lint.Error
+let warnings = count Lint.Warn
+let infos = count Lint.Info
+
+let to_json r =
+  Json.Obj
+    [
+      ("codec", Json.Str r.codec);
+      ("secrets", Json.Num (float_of_int r.secrets));
+      ("outputs", Json.Num (float_of_int r.outputs));
+      ( "counts",
+        Json.Obj
+          [
+            ("error", Json.Num (float_of_int (errors r)));
+            ("warn", Json.Num (float_of_int (warnings r)));
+            ("info", Json.Num (float_of_int (infos r)));
+          ] );
+      ("findings", Json.List (List.map Lint.finding_to_json r.findings));
+    ]
+
+let render r =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "%s: %d secret(s) against %d output(s) -- %d error(s), %d warn(s)\n"
+       r.codec r.secrets r.outputs (errors r) (warnings r));
+  List.iter
+    (fun f -> Buffer.add_string b (Format.asprintf "  %a\n" Lint.pp_finding f))
+    r.findings;
+  Buffer.contents b

@@ -1,0 +1,180 @@
+module Obs = Zebra_obs.Obs
+module Json = Zebra_obs.Json
+module State = Zebra_chain.State
+module Tx = Zebra_chain.Tx
+module Exec = Zebra_chain.Exec
+module Address = Zebra_chain.Address
+
+let m_runs = Obs.Counter.make "lint.tx.runs"
+let m_kinds = Obs.Counter.make "lint.tx.kinds"
+let m_cases = Obs.Counter.make "lint.tx.cases"
+
+type case = {
+  kind : string;
+  case : string;
+  tx : Tx.t;
+  receipt : State.receipt;
+  accessed : string list;
+}
+
+let trace_case ~kind ~case st ~height tx =
+  let receipt, accessed = State.apply_tx_traced st ~height tx in
+  { kind; case; tx; receipt; accessed }
+
+type report = {
+  kind : string;
+  cases : int;
+  findings : Lint.finding list;
+  accessed_shards : int list;
+  declared_shards : int list;
+}
+
+let shard_set_to_string shards =
+  "{" ^ String.concat "," (List.map string_of_int shards) ^ "}"
+
+let shards_of_mask m =
+  let out = ref [] in
+  for s = State.num_shards - 1 downto 0 do
+    if (m lsr s) land 1 = 1 then out := s :: !out
+  done;
+  !out
+
+let analyze ~kind cases =
+  Obs.with_span "lint.tx.analyze" (fun () ->
+      if cases = [] then invalid_arg "Txlint.analyze: no cases";
+      List.iter
+        (fun (c : case) ->
+          if c.kind <> kind then
+            invalid_arg
+              (Printf.sprintf "Txlint.analyze: case %s has kind %s, expected %s" c.case c.kind
+                 kind))
+        cases;
+      Obs.Counter.incr m_runs;
+      Obs.Counter.incr m_kinds;
+      List.iter (fun _ -> Obs.Counter.incr m_cases) cases;
+      let accessed = Hashtbl.create 8 and declared = Hashtbl.create 8 in
+      (* ZL101: accesses outside the declared mask, per case, one finding
+         per offending shard (the first offending key names it). *)
+      let zl101 =
+        List.concat_map
+          (fun c ->
+            let mask = Exec.shard_mask c.tx in
+            List.iter (fun s -> Hashtbl.replace declared s ()) (shards_of_mask mask);
+            let seen = Hashtbl.create 4 in
+            List.filter_map
+              (fun key ->
+                let s = State.shard_of_key key in
+                Hashtbl.replace accessed s ();
+                if (mask lsr s) land 1 = 1 || Hashtbl.mem seen s then None
+                else begin
+                  Hashtbl.replace seen s ();
+                  Some
+                    (Lint.make_finding "ZL101"
+                       (Printf.sprintf
+                          "case %s: access to %s (shard %d) is outside the declared mask %s — \
+                           at runtime this kind escapes and is re-executed serially"
+                          c.case key s
+                          (shard_set_to_string (shards_of_mask mask))))
+                end)
+              c.accessed)
+          cases
+      in
+      (* ZL103: a representative case that did not actually execute its
+         branch binds nothing — the coverage it claims is vacuous. *)
+      let zl103 =
+        List.filter_map
+          (fun c ->
+            match c.receipt.State.status with
+            | State.Ok _ -> None
+            | State.Failed reason ->
+              Some
+                (Lint.make_finding "ZL103"
+                   (Printf.sprintf
+                      "case %s failed (%s): the contract branch this case was meant to cover \
+                       was never explored"
+                      c.case reason)))
+          cases
+      in
+      (* ZL102: declared extras (beyond the static sender/destination part)
+         whose shard no analysed path ever touches. *)
+      let zl102 =
+        let seen_addr = Hashtbl.create 8 in
+        List.concat_map
+          (fun c ->
+            List.filter_map
+              (fun a ->
+                let hex = Address.to_hex a in
+                let s = State.shard_of_address a in
+                if Hashtbl.mem accessed s || Hashtbl.mem seen_addr hex then None
+                else begin
+                  Hashtbl.replace seen_addr hex ();
+                  Some
+                    (Lint.make_finding "ZL102"
+                       (Printf.sprintf
+                          "declared footprint address %s (shard %d) is never accessed on any \
+                           analysed path — the declaration serialises waves for nothing"
+                          hex s))
+                end)
+              c.tx.Tx.footprint)
+          cases
+      in
+      let sorted tbl = List.sort compare (Hashtbl.fold (fun s () acc -> s :: acc) tbl []) in
+      let accessed_shards = sorted accessed and declared_shards = sorted declared in
+      let zl110 =
+        [
+          Lint.make_finding "ZL110"
+            (Printf.sprintf "%d case(s): shards accessed %s, declared %s" (List.length cases)
+               (shard_set_to_string accessed_shards)
+               (shard_set_to_string declared_shards));
+        ]
+      in
+      let findings =
+        List.concat [ zl101; zl102; zl103; zl110 ]
+        |> List.stable_sort (fun f1 f2 -> compare f1.Lint.rule f2.Lint.rule)
+      in
+      Lint.observe_findings findings;
+      { kind; cases = List.length cases; findings; accessed_shards; declared_shards })
+
+let analyze_all (cases : case list) =
+  let kinds = List.sort_uniq compare (List.map (fun (c : case) -> c.kind) cases) in
+  List.map
+    (fun kind -> analyze ~kind (List.filter (fun (c : case) -> c.kind = kind) cases))
+    kinds
+
+let conflict_signature r = r.kind ^ " " ^ shard_set_to_string r.accessed_shards
+
+let count sev r = List.length (List.filter (fun f -> f.Lint.severity = sev) r.findings)
+let errors = count Lint.Error
+let warnings = count Lint.Warn
+let infos = count Lint.Info
+
+let to_json r =
+  let ints l = Json.List (List.map (fun s -> Json.Num (float_of_int s)) l) in
+  Json.Obj
+    [
+      ("kind", Json.Str r.kind);
+      ("cases", Json.Num (float_of_int r.cases));
+      ("accessed_shards", ints r.accessed_shards);
+      ("declared_shards", ints r.declared_shards);
+      ( "counts",
+        Json.Obj
+          [
+            ("error", Json.Num (float_of_int (errors r)));
+            ("warn", Json.Num (float_of_int (warnings r)));
+            ("info", Json.Num (float_of_int (infos r)));
+          ] );
+      ("findings", Json.List (List.map Lint.finding_to_json r.findings));
+    ]
+
+let render r =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "%s: %d case(s), shards accessed %s declared %s -- %d error(s), %d warn(s), %d info(s)\n"
+       r.kind r.cases
+       (shard_set_to_string r.accessed_shards)
+       (shard_set_to_string r.declared_shards)
+       (errors r) (warnings r) (infos r));
+  List.iter
+    (fun f -> Buffer.add_string b (Format.asprintf "  %a\n" Lint.pp_finding f))
+    r.findings;
+  Buffer.contents b

@@ -4,6 +4,7 @@ module Source = Zebra_rng.Source
 module Parallel = Zebra_parallel.Parallel
 module Sha256 = Zebra_hashing.Sha256
 module Store = Zebra_store.Store
+module Secret = Zebra_secret.Secret
 
 (* Field multiplications per chunk below which fanning out is a loss. *)
 let par_min_ops = 1 lsl 10
@@ -67,7 +68,12 @@ type verifying_key = {
   io_c : Fp.t array;
 }
 
-type trapdoor = { t_s : Fp.t; t_vk : verifying_key }
+(* The toxic-waste secret s lives in a [Secret] box: the type system makes
+   every read explicit, and the ZL2xx lint scans all persisted encodings
+   for its canary bytes (the PR 5 leak regression lock). *)
+type trapdoor = { t_s : Fp.t Secret.t; t_vk : verifying_key }
+
+let box_t_s s = Secret.make ~label:"snark.trapdoor.t_s" s
 
 type proof = {
   pi_a : Fp.t;
@@ -81,6 +87,24 @@ type proof = {
 }
 
 type keypair = { pk : proving_key; vk : verifying_key; trapdoor : trapdoor }
+
+(* Canary projection for the ZL2xx secret-flow lint: the boxed t_s as
+   canonical bytes.  If these 32 bytes ever show up in a persisted keypair
+   encoding, a store entry, an obs export or a log line, the trapdoor
+   leaked (exactly the PR 5 incident). *)
+let trapdoor_canary kp =
+  Secret.use kp.trapdoor.t_s (fun s ->
+      (* Minimal big-endian: leading zero bytes stripped, so the zero
+         placeholder of a decoded keypair yields an empty (never-matching)
+         canary instead of a 32-zero-byte needle that would false-positive
+         against ordinary padding. *)
+      let b = Fp.to_bytes_be s in
+      let n = Bytes.length b in
+      let i = ref 0 in
+      while !i < n && Bytes.get b !i = '\x00' do
+        incr i
+      done;
+      Bytes.sub b !i (n - !i))
 
 let g_sparse_mat_nnz = Obs.Gauge.make "snark.sparse.mat_nnz"
 let g_sparse_aux_nnz = Obs.Gauge.make "snark.sparse.aux_nnz"
@@ -251,7 +275,7 @@ let setup ~random_bytes cs =
       io_c = slice c_s;
     }
   in
-  { pk; vk; trapdoor = { t_s = s; t_vk = vk } }
+  { pk; vk; trapdoor = { t_s = box_t_s s; t_vk = vk } }
 
 let prove ~random_bytes pk cs =
   if
@@ -668,7 +692,7 @@ let keypair_of_bytes b =
          zero here.  [simulate] only needs the verification-key half, and
          [Keycache] replaces the placeholder with the seed-derived value
          when serving a store hit. *)
-      { pk; vk; trapdoor = { t_s = Fp.zero; t_vk = vk } })
+      { pk; vk; trapdoor = { t_s = box_t_s Fp.zero; t_vk = vk } })
     b
 
 let proof_size_bytes p = Bytes.length (proof_to_bytes p)
@@ -853,9 +877,10 @@ module Keycache = struct
             (* Setup draws s first from the seeded stream, so replaying
                the stream head reproduces the trapdoor exactly. *)
             let t_s =
-              sample_secret_point
-                ~random_bytes:(Source.fn (Source.of_seed seed))
-                kp.pk.p_domain
+              box_t_s
+                (sample_secret_point
+                   ~random_bytes:(Source.fn (Source.of_seed seed))
+                   kp.pk.p_domain)
             in
             let kp = { kp with trapdoor = { kp.trapdoor with t_s } } in
             let shape = shape_of_kp kp in

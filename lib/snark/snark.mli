@@ -42,6 +42,13 @@ type proof
 (** Everything one trusted setup produces. *)
 type keypair = { pk : proving_key; vk : verifying_key; trapdoor : trapdoor }
 
+(** Canary bytes of the boxed trapdoor secret [t_s] (minimal big-endian
+    field encoding), for the ZL2xx secret-flow lint: {!keypair_to_bytes}
+    and every other sink must never contain them.  A keypair decoded from
+    bytes carries a zero placeholder, whose canary is empty and never
+    matches. *)
+val trapdoor_canary : keypair -> bytes
+
 (** [setup ~random_bytes cs] runs the trusted setup for the {e structure} of
     [cs] (witness values on the board are ignored).  The returned keys fix
     the number of public inputs of [cs].

@@ -10,6 +10,12 @@ cd "$(dirname "$0")/.."
 dune build @check
 echo "== circuit lint (zebra lint --strict) =="
 dune exec bin/zebra.exe -- lint --strict
+# Chain-layer gate: every deployed tx kind must declare a sound and
+# minimal footprint (ZL1xx), and no secret canary may appear in any
+# persisted output -- tx bytes, contract storage, logs, obs export, vk
+# encodings, store round-trips (ZL2xx).
+echo "== tx lint (zebra lint --tx --strict) =="
+dune exec bin/zebra.exe -- lint --tx --strict
 echo "== tests, ZEBRA_DOMAINS=1 =="
 ZEBRA_DOMAINS=1 dune runtest --force
 echo "== tests, ZEBRA_DOMAINS=4 =="
