@@ -12,12 +12,23 @@ let m_txs_per_block = Obs.Histogram.make "chain.mine.txs_per_block"
 
 type node = {
   id : int;
-  state : State.t;
+  mutable state : State.t;
   mutable up : bool;
   mutable applied_height : int;  (** last block height executed on [state] *)
 }
 
 type mempool_fault = height:int -> Tx.t list -> Tx.t list * (int * Tx.t) list
+
+(* An active partition: the minority side mines its own branch off the last
+   common block.  Both sides extend by one block per clock tick, so the two
+   branches have equal length at heal time and the fork-choice tie-break
+   (lexicographically smaller tip hash) decides the winner — chain height
+   never moves backwards across a heal. *)
+type partition_state = {
+  p_minority : int list;  (* node ids on the minority side; never node 0 *)
+  p_fork_height : int;  (* height of the last common block *)
+  mutable p_chain : Block.t list;  (* minority branch, newest first *)
+}
 
 type t = {
   genesis : (Address.t * int) list;
@@ -29,6 +40,7 @@ type t = {
   mutable delayed : (int * Tx.t) list; (* (release_height, tx), oldest first *)
   mutable block_hook : (height:int -> unit) option;
   mutable chain : Block.t list; (* newest first *)
+  mutable partition : partition_state option;
   receipts : (string, State.receipt) Hashtbl.t;
   mutable logs : string list; (* reversed *)
 }
@@ -48,6 +60,7 @@ let create ?(difficulty = 0) ~num_nodes ~genesis () =
     delayed = [];
     block_hook = None;
     chain = [];
+    partition = None;
     receipts = Hashtbl.create 64;
     logs = [];
   }
@@ -85,13 +98,19 @@ let set_block_hook t f = t.block_hook <- f
 
 let tip_hash t = match t.chain with [] -> Block.genesis_hash | b :: _ -> Block.hash b
 
+(* During a partition only the majority side serves reads and extends the
+   canonical chain; minority nodes follow their own branch until the heal. *)
+let in_minority t id =
+  match t.partition with None -> false | Some p -> List.mem id p.p_minority
+
 (* The first live replica: the node every read-only view answers from.
-   [crash_node] refuses to take the last replica down, so this is total. *)
+   [crash_node] refuses to take the last replica down and partitions keep
+   node 0 on the majority side, so this is total. *)
 let live_node t =
   let rec find i =
     if i >= Array.length t.nodes then
       raise (Consensus_failure "no live replica")
-    else if t.nodes.(i).up then t.nodes.(i)
+    else if t.nodes.(i).up && not (in_minority t i) then t.nodes.(i)
     else find (i + 1)
   in
   find 0
@@ -142,6 +161,163 @@ let restart_node t ~node =
                 node (height t))));
     n.up <- true
   end
+
+(* --- forks and partitions --- *)
+
+let replay_fresh t =
+  let fresh = State.create ~genesis:t.genesis in
+  List.iter
+    (fun (b : Block.t) ->
+      List.iter
+        (fun tx -> ignore (State.apply_tx fresh ~height:b.Block.header.Block.height tx))
+        b.Block.txs)
+    (blocks t);
+  fresh
+
+(* Re-derive everything that hangs off the canonical chain after a reorg:
+   every node full-syncs by a fresh replay from genesis, and the receipts
+   and logs are rebuilt from the new chain — first-wins per transaction
+   hash, exactly as live mining records them. *)
+let rebuild_from_chain t =
+  Hashtbl.reset t.receipts;
+  t.logs <- [];
+  let reference = State.create ~genesis:t.genesis in
+  List.iter
+    (fun (b : Block.t) ->
+      List.iter
+        (fun tx ->
+          let r = State.apply_tx reference ~height:b.Block.header.Block.height tx in
+          let k = Sha256.to_hex r.State.tx_hash in
+          if not (Hashtbl.mem t.receipts k) then Hashtbl.replace t.receipts k r;
+          t.logs <- List.rev_append r.State.logs t.logs)
+        b.Block.txs)
+    (blocks t);
+  (match t.chain with
+  | [] -> ()
+  | tip :: _ ->
+    if not (Bytes.equal (State.root reference) tip.Block.header.Block.state_root) then
+      raise (Consensus_failure "reorg replay diverges from the adopted tip root"));
+  Array.iter
+    (fun n ->
+      n.state <- replay_fresh t;
+      n.applied_height <- height t)
+    t.nodes
+
+let partition_active t = t.partition <> None
+
+let start_partition t ~minority =
+  if t.partition <> None then invalid_arg "Network.start_partition: partition already active";
+  let n = Array.length t.nodes in
+  let minority = List.sort_uniq compare minority in
+  if minority = [] then invalid_arg "Network.start_partition: empty minority";
+  if List.mem 0 minority then
+    invalid_arg "Network.start_partition: node 0 must stay on the majority side";
+  List.iter
+    (fun id -> if id < 0 || id >= n then invalid_arg "Network.start_partition: no such node")
+    minority;
+  if List.length minority >= n then invalid_arg "Network.start_partition: minority too large";
+  t.partition <- Some { p_minority = minority; p_fork_height = height t; p_chain = [] }
+
+type heal_report = { adopted_fork : bool; reorged_blocks : int; requeued_txs : int }
+
+let rec split_at k l =
+  if k = 0 then ([], l)
+  else match l with [] -> ([], []) | x :: tl -> let a, b = split_at (k - 1) tl in (x :: a, b)
+
+let heal_partition t =
+  match t.partition with
+  | None -> invalid_arg "Network.heal_partition: no active partition"
+  | Some p ->
+    t.partition <- None;
+    let main_len = height t - p.p_fork_height in
+    let fork_len = List.length p.p_chain in
+    (* Fork choice: longest chain wins; equal lengths break the tie toward
+       the lexicographically smaller tip hash. *)
+    let adopt =
+      fork_len > main_len
+      || fork_len = main_len && fork_len > 0
+         &&
+         (match (p.p_chain, t.chain) with
+         | fb :: _, mb :: _ -> Bytes.compare (Block.hash fb) (Block.hash mb) < 0
+         | _ -> false)
+    in
+    if not adopt then begin
+      (* Majority branch kept: minority nodes full-sync back onto it. *)
+      Array.iter
+        (fun node ->
+          if List.mem node.id p.p_minority then begin
+            node.state <- replay_fresh t;
+            node.applied_height <- height t
+          end)
+        t.nodes;
+      { adopted_fork = false; reorged_blocks = 0; requeued_txs = 0 }
+    end
+    else begin
+      (* Fork choice picked the minority branch: the majority blocks above
+         the fork point are orphaned.  Their transactions rejoin the front
+         of the mempool in block order (minus any already on the adopted
+         branch) so the next block re-mines them; receipts, logs and every
+         node state are rebuilt from the adopted chain. *)
+      let abandoned, common = split_at main_len t.chain in
+      t.chain <- p.p_chain @ common;
+      let on_adopted = Hashtbl.create 64 in
+      List.iter
+        (fun (b : Block.t) ->
+          List.iter
+            (fun tx -> Hashtbl.replace on_adopted (Sha256.to_hex (Tx.hash tx)) ())
+            b.Block.txs)
+        p.p_chain;
+      let orphaned =
+        List.concat_map
+          (fun (b : Block.t) ->
+            List.filter
+              (fun tx -> not (Hashtbl.mem on_adopted (Sha256.to_hex (Tx.hash tx))))
+              b.Block.txs)
+          (List.rev abandoned)
+      in
+      t.mempool <- t.mempool @ List.rev orphaned;
+      rebuild_from_chain t;
+      { adopted_fork = true; reorged_blocks = main_len; requeued_txs = List.length orphaned }
+    end
+
+(* A byzantine miner mines a conflicting sibling of the current tip (same
+   parent, same height, permuted transactions).  Between two equal-length
+   chains the fork choice is the lexicographically smaller tip hash, so
+   the sibling is adopted — a one-block reorg — exactly when its hash
+   sorts below the honest tip's.  [None] means there was nothing to fork
+   (no tip, an active partition, or an identity permutation). *)
+let fork_tip t ~permute =
+  match t.chain with
+  | [] -> None
+  | _ when t.partition <> None -> None
+  | tip :: rest ->
+    let txs' = permute tip.Block.txs in
+    let same =
+      List.length txs' = List.length tip.Block.txs
+      && List.for_all2 (fun a b -> Bytes.equal (Tx.hash a) (Tx.hash b)) txs' tip.Block.txs
+    in
+    if same then None
+    else begin
+      let st = State.create ~genesis:t.genesis in
+      List.iter
+        (fun (b : Block.t) ->
+          List.iter
+            (fun tx -> ignore (State.apply_tx st ~height:b.Block.header.Block.height tx))
+            b.Block.txs)
+        (List.rev rest);
+      let h = tip.Block.header.Block.height in
+      List.iter (fun tx -> ignore (State.apply_tx st ~height:h tx)) txs';
+      let sibling =
+        Block.make ~difficulty:t.difficulty ~height:h
+          ~prev_hash:tip.Block.header.Block.prev_hash ~state_root:(State.root st) txs'
+      in
+      if Bytes.compare (Block.hash sibling) (Block.hash tip) < 0 then begin
+        t.chain <- sibling :: rest;
+        rebuild_from_chain t;
+        Some true
+      end
+      else Some false
+    end
 
 type exec_result =
   | Applied of State.receipt
@@ -227,7 +403,11 @@ let mine_ext t =
   let valid = List.filter_map (fun (tx, ok) -> if ok then Some tx else None) tagged in
   Obs.Histogram.observe m_txs_per_block (float_of_int (List.length valid));
   Obs.Counter.add m_txs (List.length valid);
-  let live = Array.to_list t.nodes |> List.filter (fun n -> n.up) in
+  (* During a partition only the majority side sees the mempool and mines
+     the canonical-candidate branch; the minority side extends its own
+     (empty) branch below.  Fork choice at heal time decides which one
+     survives. *)
+  let live = Array.to_list t.nodes |> List.filter (fun n -> n.up && not (in_minority t n.id)) in
   (* Every live node executes the block independently; receipts must agree.
      The exec span gets one sample per node per block, so its histogram is
      the distribution of per-node block execution time. *)
@@ -263,6 +443,45 @@ let mine_ext t =
   t.chain <- block :: t.chain;
   List.iter (fun n -> n.applied_height <- new_height) live;
   Obs.Counter.incr m_blocks;
+  (* The partitioned minority mines one block per tick too — empty, since
+     the mempool lives on the majority side — so both branches grow at the
+     same rate and the heal-time fork choice comes down to the tip-hash
+     tie-break. *)
+  (match t.partition with
+  | None -> ()
+  | Some p ->
+    let m_live =
+      Array.to_list t.nodes |> List.filter (fun n -> n.up && List.mem n.id p.p_minority)
+    in
+    (match m_live with
+    | [] -> ()
+    | _ ->
+      let m_height = p.p_fork_height + List.length p.p_chain + 1 in
+      List.iter
+        (fun node -> ignore (Exec.apply_block node.state ~height:m_height []))
+        m_live;
+      let roots = List.map (fun node -> State.root node.state) m_live in
+      let root0 = List.hd roots in
+      List.iter
+        (fun r ->
+          if not (Bytes.equal r root0) then
+            raise
+              (Consensus_failure
+                 (Printf.sprintf "minority branch diverges at height %d" m_height)))
+        roots;
+      let prev =
+        match p.p_chain with
+        | b :: _ -> Block.hash b
+        | [] ->
+          if p.p_fork_height = 0 then Block.genesis_hash
+          else Block.hash (List.nth t.chain (height t - p.p_fork_height))
+      in
+      let mblock =
+        Block.make ~difficulty:t.difficulty ~height:m_height ~prev_hash:prev
+          ~state_root:root0 []
+      in
+      p.p_chain <- mblock :: p.p_chain;
+      List.iter (fun n -> n.applied_height <- m_height) m_live));
   let rs = List.hd all_receipts in
   (* First-wins per transaction hash: a duplicated transaction (fault
      injection) re-executes and fails on nonce replay, but must not

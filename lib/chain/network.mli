@@ -103,6 +103,48 @@ val restart_node : t -> node:int -> unit
 
 val node_up : t -> int -> bool
 
+(** {1 Partitions, forks and reorgs}
+
+    A network partition splits the replicas into a majority side (which
+    keeps the mempool and mines the candidate branch) and a minority side
+    (which mines empty blocks on its own branch at the same rate).  At
+    heal time the {e fork choice} picks the longer branch; equal lengths
+    break the tie toward the lexicographically smaller tip hash.  When the
+    minority branch wins, the orphaned majority transactions rejoin the
+    front of the mempool and every replica, receipt and log is rebuilt by
+    a deterministic replay of the adopted chain. *)
+
+(** [start_partition t ~minority] cuts the given replica ids off from the
+    mempool and the majority branch, starting with the next mined block.
+    @raise Invalid_argument if a partition is already active, [minority]
+    is empty or covers all nodes, contains node 0 (the canonical read
+    replica stays on the majority side), or names an unknown node. *)
+val start_partition : t -> minority:int list -> unit
+
+val partition_active : t -> bool
+
+type heal_report = {
+  adopted_fork : bool;  (** the minority branch won the fork choice *)
+  reorged_blocks : int;  (** majority blocks orphaned by the adoption *)
+  requeued_txs : int;  (** orphaned transactions returned to the mempool *)
+}
+
+(** [heal_partition t] reconnects the sides, runs the fork choice and
+    replays the losing side onto the winning branch.  The chain height
+    never decreases: both branches grew one block per {!mine_ext} tick.
+    @raise Invalid_argument if no partition is active.
+    @raise Consensus_failure if the reorg replay diverges. *)
+val heal_partition : t -> heal_report
+
+(** [fork_tip t ~permute] lets a byzantine miner propose a conflicting
+    sibling of the current tip: same parent and height, transactions
+    permuted by [permute].  The sibling is adopted — a one-block reorg,
+    with receipts and replicas rebuilt — exactly when the fork choice
+    prefers its hash.  Returns [None] when there is nothing to fork (empty
+    chain, active partition, or an identity permutation), otherwise
+    [Some adopted]. *)
+val fork_tip : t -> permute:(Tx.t list -> Tx.t list) -> bool option
+
 (** State root of node [i] (stale while the node is down) — lets tests
     assert per-replica agreement. *)
 val node_state_root : t -> int -> bytes

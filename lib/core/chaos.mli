@@ -39,6 +39,13 @@ type outcome = {
       (** fetches (including heals) needed to retrieve the task blob *)
   store_recovered : bool;
       (** the blob came back intact despite loss/corruption faults *)
+  indexer_events : int;  (** chain events the off-chain indexer decoded *)
+  indexer_reorgs : int;
+      (** reorgs the indexer survived (partition heals, byzantine forks) *)
+  indexer_agrees : bool;
+      (** the indexer's event-rebuilt contract state is byte-identical to
+          the chain's — the strongest end-of-run consistency oracle *)
+  indexer_error : string option;  (** why, when [indexer_agrees] is false *)
   trace : string list;  (** the injected-fault log, oldest first *)
 }
 
@@ -55,7 +62,14 @@ val outcome_to_string : outcome -> string
     (default {!Protocol.default_retry}).  If the plan says
     [withhold_worker], the last enrolled worker never submits; if
     [no_instruction], the requester never instructs and the round settles
-    through Finalize.
+    through Finalize; [collude=K] makes the last K answering workers
+    submit an identical deviant answer; [eclipse=W:F-T] holds worker [W]'s
+    submission for the window (the driver plays the victim's client and
+    registers its one-task wallet with the controller).  An off-chain
+    {!Zebra_index.Indexer} follows the chain throughout — incremental
+    mid-run syncs, reorg detection across partition heals and byzantine
+    forks — and the outcome asserts its rebuilt state agrees with the
+    contracts byte-for-byte.
 
     Crash windows at heights the boot sequence has already mined (the
     chain is ~4 blocks tall when faults attach) are skipped by the

@@ -13,7 +13,7 @@ module Gadgets = Zebra_r1cs.Gadgets
 module Txlint = Zebra_lint.Txlint
 module Seclint = Zebra_lint.Seclint
 
-let scenario_seed = "deployed-txs/lint-scenario-v1"
+let scenario_seed = Scenario.default_seed
 
 (* Kind of a mined transaction, from its pre-state: contract deploys by
    behaviour, contract calls by behaviour + decoded message, everything
@@ -51,75 +51,12 @@ let build_scenario () =
   let obs_was = Obs.enabled () in
   Obs.set_enabled true;
   Fun.protect ~finally:(fun () -> Obs.set_enabled obs_was) @@ fun () ->
-  let sys = Protocol.create_system ~seed:scenario_seed () in
-  Reputation_contract.register ();
+  (* The chain itself comes from the shared fixture; this module only
+     harvests it into the lint corpus. *)
+  let { Scenario.sys; requester; w1; w2; task_a; task_b; board; rep = _ } =
+    Scenario.build ~seed:scenario_seed ()
+  in
   let rb = Protocol.random_bytes sys in
-  let requester = Protocol.enroll sys in
-  let w1 = Protocol.enroll sys in
-  let w2 = Protocol.enroll sys in
-  let policy = Policy.Majority { choices = 4 } in
-  (* Task A settles by Instruct.  budget = 61 with n = 2 makes rho = 30:
-     both workers get a nonzero reward and 1 unit refunds to the
-     requester, so every settlement branch (worker payment, refund) is an
-     actually-covered path for the minimality check. *)
-  let task_a = Protocol.publish_task sys ~requester ~policy ~n:2 ~budget:61 () in
-  let _ =
-    Protocol.submit_answers sys ~task:task_a.Requester.contract ~workers:[ (w1, 1); (w2, 1) ]
-  in
-  let _ = Protocol.reward sys task_a in
-  (* Task B settles by the third-party Finalize fallback: 2 of 3 slots
-     submitted, budget 61 -> share 30 each, refund 1 to the requester. *)
-  let task_b = Protocol.publish_task sys ~requester ~policy ~n:3 ~budget:61 () in
-  let _ =
-    Protocol.submit_answers sys ~task:task_b.Requester.contract ~workers:[ (w1, 2); (w2, 2) ]
-  in
-  Protocol.finalize sys task_b;
-  (* Reputation: board deploy, credit of task A's first tag, the worker's
-     link-proof claim onto an epoch pseudonym, and an epoch advance. *)
-  let rep = Reputation.setup_cached sys.Protocol.keycache ~seed:scenario_seed in
-  let op = Protocol.fresh_funded_wallet sys ~amount:100 in
-  let deploy =
-    Tx.make ~wallet:op ~nonce:0
-      ~dst:
-        (Tx.Create
-           {
-             behavior = Reputation_contract.behavior_name;
-             args = Reputation_contract.init_args ~link_vk:(Reputation.vk_bytes rep);
-           })
-      ~value:0 ~payload:Bytes.empty
-  in
-  Network.submit sys.Protocol.net deploy;
-  ignore (Network.mine sys.Protocol.net);
-  let board = Address.of_creator (Wallet.address op) 0 in
-  let call msg =
-    let tx =
-      Tx.make ~wallet:op
-        ~nonce:(Network.nonce sys.Protocol.net (Wallet.address op))
-        ~dst:(Tx.Call board) ~value:0
-        ~payload:(Reputation_contract.message_to_bytes msg)
-    in
-    Network.submit sys.Protocol.net tx;
-    ignore (Network.mine sys.Protocol.net);
-    match Option.get (Network.receipt sys.Protocol.net (Tx.hash tx)) with
-    | { State.status = State.Ok _; _ } -> ()
-    | { State.status = State.Failed m; _ } ->
-      failwith ("Deployed_txs scenario: reputation call failed: " ^ m)
-  in
-  let storage_a = Protocol.task_storage sys task_a.Requester.contract in
-  let s1 = List.hd storage_a.Task_contract.submissions in
-  let prefix = Address.to_field task_a.Requester.contract in
-  call (Reputation_contract.Credit { task_tag = s1.Task_contract.tag; task_prefix = prefix; score = 3 });
-  let key = w1.Protocol.key in
-  let pseudonym = Reputation.epoch_pseudonym key ~epoch:0 in
-  let proof = Reputation.prove_link ~random_bytes:rb rep ~key ~task_prefix:prefix ~epoch:0 in
-  call
-    (Reputation_contract.Claim
-       {
-         task_tag = s1.Task_contract.tag;
-         pseudonym;
-         proof = Snark.proof_to_bytes proof;
-       });
-  call Reputation_contract.Advance_epoch;
   (* --- harvest: serial replay from genesis, tracing every tx against
      exactly the state it executed on --- *)
   let blocks = Network.blocks sys.Protocol.net in

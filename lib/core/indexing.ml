@@ -1,0 +1,130 @@
+module Address = Zebra_chain.Address
+module Indexer = Zebra_index.Indexer
+
+type task_view = {
+  t_addr : Address.t;
+  t_phase : string;
+  t_submissions : int;
+  t_slots : int;
+  t_budget : int;
+  t_balance : int;
+  t_answer_deadline : int;
+  t_instruct_deadline : int;
+}
+
+type reputation_view = {
+  r_addr : Address.t;
+  r_epoch : int;
+  r_unclaimed : int;
+  r_scores : (string * int) list;
+}
+
+type ra_view = {
+  a_addr : Address.t;
+  a_root : string;
+  a_history : int;
+}
+
+type view = {
+  tasks : task_view list;
+  reputations : reputation_view list;
+  ras : ra_view list;
+  others : (Address.t * string) list;
+}
+
+let fp_prefix fp =
+  let hex = Zebra_hashing.Sha256.to_hex (Fp.to_bytes_be fp) in
+  String.sub hex 0 8
+
+let of_indexer idx =
+  let decode addr acc =
+    let behavior = Option.get (Indexer.behavior idx addr) in
+    let storage = Option.get (Indexer.storage idx addr) in
+    if behavior = Task_contract.behavior_name then begin
+      let s = Task_contract.storage_of_bytes storage in
+      let p = s.Task_contract.params in
+      let tv =
+        {
+          t_addr = addr;
+          t_phase =
+            (match s.Task_contract.phase with
+            | Task_contract.Collecting -> "collecting"
+            | Task_contract.Finished -> "finished");
+          t_submissions = List.length s.Task_contract.submissions;
+          t_slots = p.Task_contract.n;
+          t_budget = p.Task_contract.budget;
+          t_balance = Option.value ~default:0 (Indexer.balance idx addr);
+          t_answer_deadline = p.Task_contract.answer_deadline;
+          t_instruct_deadline = p.Task_contract.instruct_deadline;
+        }
+      in
+      { acc with tasks = tv :: acc.tasks }
+    end
+    else if behavior = Reputation_contract.behavior_name then begin
+      let s = Reputation_contract.storage_of_bytes storage in
+      let rv =
+        {
+          r_addr = addr;
+          r_epoch = s.Reputation_contract.epoch;
+          r_unclaimed = List.length s.Reputation_contract.credits;
+          r_scores =
+            List.map
+              (fun (pseudonym, score) -> (String.sub pseudonym 0 8, score))
+              s.Reputation_contract.scores;
+        }
+      in
+      { acc with reputations = rv :: acc.reputations }
+    end
+    else if behavior = Ra_contract.behavior_name then begin
+      let s = Ra_contract.storage_of_bytes storage in
+      let av =
+        {
+          a_addr = addr;
+          a_root = fp_prefix s.Ra_contract.root;
+          a_history = List.length s.Ra_contract.history;
+        }
+      in
+      { acc with ras = av :: acc.ras }
+    end
+    else { acc with others = (addr, behavior) :: acc.others }
+  in
+  let empty = { tasks = []; reputations = []; ras = []; others = [] } in
+  let v = List.fold_left (fun acc addr -> decode addr acc) empty (Indexer.contract_addresses idx) in
+  {
+    tasks = List.rev v.tasks;
+    reputations = List.rev v.reputations;
+    ras = List.rev v.ras;
+    others = List.rev v.others;
+  }
+
+let render v =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "contracts: %d task(s), %d reputation board(s), %d ra, %d other\n"
+       (List.length v.tasks) (List.length v.reputations) (List.length v.ras)
+       (List.length v.others));
+  List.iter
+    (fun t ->
+      Buffer.add_string b
+        (Printf.sprintf "task %s phase=%s submissions=%d/%d budget=%d escrow=%d deadlines=%d/%d\n"
+           (Address.to_hex t.t_addr) t.t_phase t.t_submissions t.t_slots t.t_budget t.t_balance
+           t.t_answer_deadline t.t_instruct_deadline))
+    v.tasks;
+  List.iter
+    (fun r ->
+      Buffer.add_string b
+        (Printf.sprintf "reputation %s epoch=%d unclaimed=%d scores=[%s]\n"
+           (Address.to_hex r.r_addr) r.r_epoch r.r_unclaimed
+           (String.concat "; "
+              (List.map (fun (p, s) -> Printf.sprintf "%s:%d" p s) r.r_scores))))
+    v.reputations;
+  List.iter
+    (fun a ->
+      Buffer.add_string b
+        (Printf.sprintf "ra %s root=%s history=%d\n" (Address.to_hex a.a_addr) a.a_root a.a_history))
+    v.ras;
+  List.iter
+    (fun (addr, behavior) ->
+      Buffer.add_string b (Printf.sprintf "other %s behavior=%s\n" (Address.to_hex addr) behavior))
+    v.others;
+  Buffer.contents b

@@ -1,0 +1,53 @@
+(** Decoded marketplace views over the chain-event indexer.
+
+    {!Zebra_index.Indexer} mirrors raw contract storage; this module
+    decodes the mirrors of the behaviours this repo registers — task
+    contracts, reputation boards and the RA interface contract — into
+    the "task / worker / reputation state" a dashboard or the
+    [zebra index] CLI would show, without ever reading replica state
+    directly.  Decoding is total over tracked contracts: anything with
+    an unknown behaviour lands in [others] instead of being dropped. *)
+
+module Address = Zebra_chain.Address
+module Indexer = Zebra_index.Indexer
+
+type task_view = {
+  t_addr : Address.t;
+  t_phase : string;  (** ["collecting"] or ["finished"] *)
+  t_submissions : int;  (** answers collected so far *)
+  t_slots : int;  (** the contract arity [params.n] *)
+  t_budget : int;
+  t_balance : int;  (** mirror balance (escrow remaining) *)
+  t_answer_deadline : int;
+  t_instruct_deadline : int;
+}
+
+type reputation_view = {
+  r_addr : Address.t;
+  r_epoch : int;
+  r_unclaimed : int;  (** credited task tags not yet claimed *)
+  r_scores : (string * int) list;  (** pseudonym hex prefix -> score *)
+}
+
+type ra_view = {
+  a_addr : Address.t;
+  a_root : string;  (** current certificate-tree root, hex prefix *)
+  a_history : int;  (** superseded roots *)
+}
+
+type view = {
+  tasks : task_view list;
+  reputations : reputation_view list;
+  ras : ra_view list;
+  others : (Address.t * string) list;  (** (address, behaviour) *)
+}
+
+(** Decode every contract the indexer tracks.  Lists follow the
+    indexer's deterministic (hex-sorted) address order.  A tracked
+    contract whose storage fails to decode raises
+    {!Zebra_codec.Codec.Decode_error} — mirror storage is produced by
+    the registered behaviours themselves, so that is always a bug. *)
+val of_indexer : Indexer.t -> view
+
+(** Totals line plus one line per contract, deterministic. *)
+val render : view -> string

@@ -63,6 +63,7 @@ type report = {
   replicas_agree : bool;
   supply_conserved : bool;
   replay_matches : bool option;
+  indexer_agrees : bool;
 }
 
 (* One marketplace task moving through its pipeline.  Each stage holds the
@@ -315,6 +316,14 @@ let run ?(config = default_config) () =
       Some (Bytes.equal (Network.replay net) (Network.state_root net))
     else None
   in
+  (* The off-chain indexer rebuilds every contract purely from chain
+     events; after a full marketplace run its mirror must be
+     byte-identical to the chain (the read-path consistency oracle). *)
+  let indexer_agrees =
+    let idx = Zebra_index.Indexer.create () in
+    ignore (Zebra_index.Indexer.sync idx net);
+    Zebra_index.Indexer.agrees idx net
+  in
   let pctile q =
     if Obs.enabled () then Obs.Histogram.percentile h_settle q
     else
@@ -342,6 +351,7 @@ let run ?(config = default_config) () =
     replicas_agree;
     supply_conserved = Network.total_supply net = supply0;
     replay_matches;
+    indexer_agrees;
   }
 
 (* Deterministic facts only — what the CI gate diffs across ZEBRA_DOMAINS
@@ -362,6 +372,7 @@ let render_deterministic r =
   (match r.replay_matches with
   | Some ok -> Buffer.add_string b (Printf.sprintf "serial replay matches: %b\n" ok)
   | None -> ());
+  Buffer.add_string b (Printf.sprintf "indexer agrees: %b\n" r.indexer_agrees);
   Buffer.contents b
 
 let render_timing r =
@@ -374,4 +385,4 @@ let render_timing r =
   Buffer.contents b
 
 let ok r = r.tasks_failed = 0 && r.replicas_agree && r.supply_conserved
-           && r.replay_matches <> Some false
+           && r.replay_matches <> Some false && r.indexer_agrees

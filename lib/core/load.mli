@@ -56,6 +56,9 @@ type report = {
   replicas_agree : bool;
   supply_conserved : bool;
   replay_matches : bool option;  (** [None] unless [verify_replay] *)
+  indexer_agrees : bool;
+      (** the event-sourced {!Zebra_index.Indexer} mirror is byte-identical
+          to the chain's contract state after the run *)
 }
 
 (** [run ~config ()] drives the whole workload and reports.  Raises only

@@ -2,6 +2,7 @@ module Chacha20 = Zebra_rng.Chacha20
 module Sha256 = Zebra_hashing.Sha256
 module Network = Zebra_chain.Network
 module Tx = Zebra_chain.Tx
+module Address = Zebra_chain.Address
 module Store = Zebra_store.Store
 module Obs = Zebra_obs.Obs
 
@@ -14,8 +15,24 @@ let m_crashes = Obs.Counter.make "faults.node.crashes"
 let m_restarts = Obs.Counter.make "faults.node.restarts"
 let m_lost = Obs.Counter.make "faults.store.lost"
 let m_corrupted = Obs.Counter.make "faults.store.corrupted"
+let m_partitions = Obs.Counter.make "faults.net.partitions"
+let m_byz_reordered = Obs.Counter.make "faults.byz.reordered"
+let m_byz_censored = Obs.Counter.make "faults.byz.censored"
+let m_byz_forks = Obs.Counter.make "faults.byz.forks_adopted"
+let m_eclipsed = Obs.Counter.make "faults.eclipse.held"
 
 type crash_window = { node : int; from_height : int; to_height : int }
+
+type partition_window = { p_majority : int; p_minority : int; p_from : int; p_to : int }
+
+type byz_mode = Byz_reorder | Byz_censor | Byz_fork
+
+let byz_mode_to_string = function
+  | Byz_reorder -> "reorder"
+  | Byz_censor -> "censor"
+  | Byz_fork -> "fork"
+
+type eclipse_window = { victim : int; e_from : int; e_to : int }
 
 type spec = {
   drop : float;
@@ -26,6 +43,10 @@ type spec = {
   store_lose : float;
   store_corrupt : float;
   crashes : crash_window list;
+  partitions : partition_window list;
+  byzmine : (int * byz_mode) option;
+  eclipses : eclipse_window list;
+  collude : int;
   withhold_worker : bool;
   no_instruction : bool;
 }
@@ -40,6 +61,10 @@ let none =
     store_lose = 0.;
     store_corrupt = 0.;
     crashes = [];
+    partitions = [];
+    byzmine = None;
+    eclipses = [];
+    collude = 0;
     withhold_worker = false;
     no_instruction = false;
   }
@@ -62,13 +87,53 @@ let check_spec s =
       if from_height < 1 || to_height < from_height then
         invalid_arg "Faults: crash range must be 1 <= from <= to")
     s.crashes;
+  List.iter
+    (fun { p_majority; p_minority; p_from; p_to } ->
+      if p_majority < 1 || p_minority < 1 then
+        invalid_arg "Faults: partition sides must each have >= 1 node";
+      if p_from < 1 || p_to < p_from then
+        invalid_arg "Faults: partition range must be 1 <= from <= to")
+    s.partitions;
+  (* A partition rewires the replica topology wholesale; overlapping it
+     with another partition or a crash window would make the heal-time
+     replay semantics ambiguous, so the plan must keep them disjoint. *)
+  let rec pairwise = function
+    | [] | [ _ ] -> ()
+    | p :: rest ->
+      List.iter
+        (fun q ->
+          if p.p_from <= q.p_to && q.p_from <= p.p_to then
+            invalid_arg "Faults: partition windows must not overlap")
+        rest;
+      pairwise rest
+  in
+  pairwise s.partitions;
+  List.iter
+    (fun p ->
+      List.iter
+        (fun (c : crash_window) ->
+          if p.p_from <= c.to_height + 1 && c.from_height <= p.p_to + 1 then
+            invalid_arg "Faults: partition and crash windows must not overlap")
+        s.crashes)
+    s.partitions;
+  (match s.byzmine with
+  | Some (node, _) when node < 0 -> invalid_arg "Faults: byzmine node must be >= 0"
+  | _ -> ());
+  List.iter
+    (fun { victim; e_from; e_to } ->
+      if victim < 0 then invalid_arg "Faults: eclipse victim must be >= 0";
+      if e_from < 1 || e_to < e_from then
+        invalid_arg "Faults: eclipse range must be 1 <= from <= to")
+    s.eclipses;
+  if s.collude < 0 then invalid_arg "Faults: collude count must be >= 0";
   s
 
 (* --- plan DSL ---
 
    A plan is a comma-separated list of clauses:
      drop=P | delay=P:K | dup=P | reorder=P | lose=P | corrupt=P
-     | crash=NODE:FROM-TO | withhold | noinstruct
+     | crash=NODE:FROM-TO | partition=A|B:FROM-TO | byzmine=NODE:MODE
+     | eclipse=WORKER:FROM-TO | collude=K | withhold | noinstruct
    and the empty plan spells "none".  [spec_to_string] renders the
    canonical form, so (seed, plan) is a complete, printable repro. *)
 
@@ -123,6 +188,60 @@ let spec_of_string str =
               { acc with crashes = acc.crashes @ [ w ] }
             | _ -> invalid_arg (Printf.sprintf "Faults: bad crash range %S" range))
           | _ -> invalid_arg (Printf.sprintf "Faults: bad crash clause %S (want crash=NODE:FROM-TO)" item))
+        | "partition" -> (
+          match String.split_on_char ':' v with
+          | [ sides; range ] -> (
+            match (String.split_on_char '|' sides, String.split_on_char '-' range) with
+            | [ a; b ], [ f; t ] ->
+              let w =
+                {
+                  p_majority = parse_int "partition majority" a;
+                  p_minority = parse_int "partition minority" b;
+                  p_from = parse_int "partition from" f;
+                  p_to = parse_int "partition to" t;
+                }
+              in
+              { acc with partitions = acc.partitions @ [ w ] }
+            | _ ->
+              invalid_arg
+                (Printf.sprintf "Faults: bad partition clause %S (want partition=A|B:FROM-TO)" item))
+          | _ ->
+            invalid_arg
+              (Printf.sprintf "Faults: bad partition clause %S (want partition=A|B:FROM-TO)" item))
+        | "byzmine" -> (
+          match String.split_on_char ':' v with
+          | [ node; mode ] ->
+            let mode =
+              match mode with
+              | "reorder" -> Byz_reorder
+              | "censor" -> Byz_censor
+              | "fork" -> Byz_fork
+              | m -> invalid_arg (Printf.sprintf "Faults: unknown byzmine mode %S" m)
+            in
+            if acc.byzmine <> None then invalid_arg "Faults: at most one byzmine clause per plan";
+            { acc with byzmine = Some (parse_int "byzmine node" node, mode) }
+          | _ ->
+            invalid_arg
+              (Printf.sprintf "Faults: bad byzmine clause %S (want byzmine=NODE:reorder|censor|fork)"
+                 item))
+        | "eclipse" -> (
+          match String.split_on_char ':' v with
+          | [ victim; range ] -> (
+            match String.split_on_char '-' range with
+            | [ f; t ] ->
+              let w =
+                {
+                  victim = parse_int "eclipse victim" victim;
+                  e_from = parse_int "eclipse from" f;
+                  e_to = parse_int "eclipse to" t;
+                }
+              in
+              { acc with eclipses = acc.eclipses @ [ w ] }
+            | _ -> invalid_arg (Printf.sprintf "Faults: bad eclipse range %S" range))
+          | _ ->
+            invalid_arg
+              (Printf.sprintf "Faults: bad eclipse clause %S (want eclipse=WORKER:FROM-TO)" item))
+        | "collude" -> { acc with collude = parse_int "collude" v }
         | other -> invalid_arg (Printf.sprintf "Faults: unknown plan clause %S" other))
     in
     check_spec
@@ -142,6 +261,17 @@ let spec_to_string s =
     (fun { node; from_height; to_height } ->
       add (Printf.sprintf "crash=%d:%d-%d" node from_height to_height))
     s.crashes;
+  List.iter
+    (fun { p_majority; p_minority; p_from; p_to } ->
+      add (Printf.sprintf "partition=%d|%d:%d-%d" p_majority p_minority p_from p_to))
+    s.partitions;
+  (match s.byzmine with
+  | None -> ()
+  | Some (node, mode) -> add (Printf.sprintf "byzmine=%d:%s" node (byz_mode_to_string mode)));
+  List.iter
+    (fun { victim; e_from; e_to } -> add (Printf.sprintf "eclipse=%d:%d-%d" victim e_from e_to))
+    s.eclipses;
+  if s.collude > 0 then add (Printf.sprintf "collude=%d" s.collude);
   if s.withhold_worker then add "withhold";
   if s.no_instruction then add "noinstruct";
   match List.rev !parts with [] -> "none" | ps -> String.concat "," ps
@@ -153,11 +283,22 @@ type t = {
   key : bytes;  (* 32-byte ChaCha20 key derived from the seed *)
   mutable trace : string list;  (* newest first *)
   mutable store_ops : int;  (* occurrence index for store-fetch decisions *)
+  mutable cur_height : int;  (* height being mined; set by the block hook *)
+  mutable eclipsed : (string * int) list;  (* sender hex -> eclipse victim index *)
 }
 
 let create ~seed spec =
   ignore (check_spec spec);
-  { spec; key = Sha256.digest (Bytes.of_string seed); trace = []; store_ops = 0 }
+  {
+    spec;
+    key = Sha256.digest (Bytes.of_string seed);
+    trace = [];
+    store_ops = 0;
+    cur_height = 0;
+    eclipsed = [];
+  }
+
+let set_eclipsed t ~victim ~sender_hex = t.eclipsed <- (sender_hex, victim) :: t.eclipsed
 
 let spec t = t.spec
 
@@ -183,6 +324,10 @@ and site_reorder = 4l
 and site_shuffle = 5l
 and site_store_lose = 6l
 and site_store_corrupt = 7l
+and site_byz_reorder = 9l
+and site_byz_censor = 10l
+and site_byz_fork = 11l
+and site_byz_shuffle = 12l
 
 let unit_float t ~site ~a ~b =
   let nonce = Bytes.create 12 in
@@ -199,16 +344,29 @@ let rand_below t ~site ~a ~b bound =
 
 let short_hash tx = String.sub (Sha256.to_hex (Tx.hash tx)) 0 8
 
-(* Deterministic Fisher-Yates keyed on (height, position). *)
-let shuffle t ~height txs =
+(* Deterministic Fisher-Yates keyed on (site, height, position). *)
+let shuffle_at t ~site ~height txs =
   let a = Array.of_list txs in
   for i = Array.length a - 1 downto 1 do
-    let j = rand_below t ~site:site_shuffle ~a:height ~b:i (i + 1) in
+    let j = rand_below t ~site ~a:height ~b:i (i + 1) in
     let tmp = a.(i) in
     a.(i) <- a.(j);
     a.(j) <- tmp
   done;
   Array.to_list a
+
+let shuffle t ~height txs = shuffle_at t ~site:site_shuffle ~height txs
+
+(* The height (inclusive) until which an eclipsed sender's traffic is held,
+   or [None] if the sender is not eclipsed at this height. *)
+let eclipse_until t ~height sender_hex =
+  match List.assoc_opt sender_hex t.eclipsed with
+  | None -> None
+  | Some victim ->
+    List.find_map
+      (fun { victim = v; e_from; e_to } ->
+        if v = victim && height >= e_from && height <= e_to then Some e_to else None)
+      t.spec.eclipses
 
 (* The mempool pipeline: per transaction, at most one of drop / delay /
    duplicate fires (in that precedence), then the surviving block order may
@@ -217,6 +375,17 @@ let pipeline t ~height txs =
   let now = ref [] and postponed = ref [] in
   List.iteri
     (fun i tx ->
+      match eclipse_until t ~height (Address.to_hex tx.Tx.sender) with
+      | Some until ->
+        (* Eclipse: the adversary controls all of the victim's links, so
+           every transaction the victim broadcasts during the window is
+           held until the eclipse lifts — a deterministic total hold, no
+           coin.  Release goes through the delay-exemption path, so under
+           synchrony the victim is delayed, never censored. *)
+        Obs.Counter.incr m_eclipsed;
+        record t "h=%d eclipse.hold tx=%s until=%d" height (short_hash tx) (until + 1);
+        postponed := (until + 1, tx) :: !postponed
+      | None ->
       if t.spec.drop > 0. && unit_float t ~site:site_drop ~a:height ~b:i < t.spec.drop
       then begin
         Obs.Counter.incr m_dropped;
@@ -257,10 +426,43 @@ let pipeline t ~height txs =
   in
   (now, List.rev !postponed)
 
-(* The crash schedule, driven off the network's block clock: a window
-   [from-to] means the node misses exactly blocks from..to and re-syncs
-   before block to+1 forms. *)
+let record_heal t ~height ~suffix (r : Network.heal_report) =
+  if r.Network.adopted_fork then
+    record t "h=%d partition.heal fork adopted: reorged %d block(s), requeued %d tx(s)%s" height
+      r.Network.reorged_blocks r.Network.requeued_txs suffix
+  else record t "h=%d partition.heal canonical chain kept%s" height suffix
+
+(* The partition, crash and byzantine-fork schedules, driven off the
+   network's block clock.  A crash window [from-to] means the node misses
+   exactly blocks from..to and re-syncs before block to+1 forms; a
+   partition window splits the replicas over the same heights and runs the
+   fork choice at to+1. *)
 let on_block t net ~height =
+  t.cur_height <- height;
+  List.iter
+    (fun { p_majority; p_minority; p_from; p_to } ->
+      if height = p_from then begin
+        let n = Network.num_nodes net in
+        if p_majority + p_minority <> n then
+          record t "h=%d partition.start refused (%d|%d does not cover %d nodes)" height
+            p_majority p_minority n
+        else begin
+          (* The minority side is always the last [p_minority] replica ids,
+             so node 0 (the canonical read replica) stays on the majority
+             side and the split is a pure function of the plan. *)
+          let minority = List.init p_minority (fun i -> n - p_minority + i) in
+          match Network.start_partition net ~minority with
+          | () ->
+            Obs.Counter.incr m_partitions;
+            record t "h=%d partition.start majority=%d minority=%d until=%d" height p_majority
+              p_minority p_to
+          | exception Invalid_argument why ->
+            record t "h=%d partition.start refused (%s)" height why
+        end
+      end
+      else if height = p_to + 1 && Network.partition_active net then
+        record_heal t ~height ~suffix:"" (Network.heal_partition net))
+    t.spec.partitions;
   List.iter
     (fun { node; from_height; to_height } ->
       if height = from_height then begin
@@ -280,19 +482,68 @@ let on_block t net ~height =
           record t "h=%d node.restart node=%d resync=FAILED (%s)" height node why;
           raise (Network.Consensus_failure why)
       end)
-    t.spec.crashes
+    t.spec.crashes;
+  match t.spec.byzmine with
+  | Some (node, Byz_fork)
+    when (not (Network.partition_active net))
+         && unit_float t ~site:site_byz_fork ~a:height ~b:0 < 0.25 -> (
+    (* The byzantine miner grinds a conflicting sibling of the tip with
+       its transactions shuffled; the network's fork choice decides. *)
+    match
+      Network.fork_tip net ~permute:(fun txs -> shuffle_at t ~site:site_byz_shuffle ~height txs)
+    with
+    | None -> ()
+    | Some true ->
+      Obs.Counter.incr m_byz_forks;
+      record t "h=%d byzmine.fork node=%d sibling adopted (reorg depth 1)" height node
+    | Some false -> record t "h=%d byzmine.fork node=%d sibling rejected (fork-choice)" height node)
+  | _ -> ()
+
+let byz_adversary t node mode txs =
+  let height = t.cur_height in
+  match mode with
+  | Byz_fork -> txs
+  | Byz_reorder ->
+    if List.length txs > 1 && unit_float t ~site:site_byz_reorder ~a:height ~b:0 < 0.5 then begin
+      Obs.Counter.incr m_byz_reordered;
+      record t "h=%d byzmine.reorder node=%d n=%d" height node (List.length txs);
+      shuffle_at t ~site:site_byz_shuffle ~height txs
+    end
+    else txs
+  | Byz_censor ->
+    (* Omit a transaction from this block with probability 0.3 per slot.
+       The network requeues whatever the adversary leaves out, so under
+       synchrony this is bounded delay, not censorship — exactly the
+       miner power the paper grants the adversary. *)
+    List.filteri
+      (fun i tx ->
+        if unit_float t ~site:site_byz_censor ~a:height ~b:i < 0.3 then begin
+          Obs.Counter.incr m_byz_censored;
+          record t "h=%d byzmine.censor node=%d tx=%s" height node (short_hash tx);
+          false
+        end
+        else true)
+      txs
 
 let attach t net =
   Network.set_mempool_fault net (Some (fun ~height txs -> pipeline t ~height txs));
-  Network.set_block_hook net (Some (fun ~height -> on_block t net ~height))
+  Network.set_block_hook net (Some (fun ~height -> on_block t net ~height));
+  match t.spec.byzmine with
+  | None -> ()
+  | Some (node, mode) -> Network.set_adversary net (Some (byz_adversary t node mode))
 
 let detach net =
   Network.set_mempool_fault net None;
-  Network.set_block_hook net None
+  Network.set_block_hook net None;
+  Network.set_adversary net None
 
-(* Restart every still-crashed node so end-of-run invariants can assert
-   full replica agreement.  Raises if a resync diverges. *)
+(* Heal any still-open partition, then restart every still-crashed node,
+   so end-of-run invariants can assert full replica agreement.  Raises if
+   a resync diverges. *)
 let finish t net =
+  if Network.partition_active net then
+    record_heal t ~height:(Network.height net) ~suffix:" (end of run)"
+      (Network.heal_partition net);
   for node = 0 to Network.num_nodes net - 1 do
     if not (Network.node_up net node) then begin
       match Network.restart_node net ~node with

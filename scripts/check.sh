@@ -101,6 +101,57 @@ for spec in \
   echo "seed=$seed plan=$plan: trace identical at 1 and 4 domains"
 done
 
+# Byzantine gate: the adversary corpus -- network partitions with
+# fork-choice heals, a byzantine miner (reorder / censor / conflicting
+# sibling blocks), an eclipsed worker, and a colluding pool attacking the
+# majority policy -- at three fixed seeds per class.  Every run must
+# settle with ALL chaos invariants intact (the CLI now exits non-zero if
+# any of replica agreement, supply conservation, store recovery or
+# indexer agreement fails) and print the identical trace at
+# ZEBRA_DOMAINS=1 and =4.  The seeds are chosen so both fork-choice
+# branches are exercised: part-1 keeps the canonical chain, part-2 adopts
+# the minority branch (a 4-block reorg the indexer must survive), and
+# byz-20 adopts a byzantine sibling block.
+echo "== byzantine gate (adversary corpus, pool-size-invariant traces) =="
+i=0
+for spec in \
+  "part-1@partition=2|1:6-9" \
+  "part-2@partition=2|1:6-9" \
+  "part-7@partition=2|1:6-9,drop=0.1" \
+  "byz-1@byzmine=1:reorder,drop=0.05" \
+  "byz-1@byzmine=2:censor" \
+  "byz-20@byzmine=0:fork" \
+  "ec-1@eclipse=1:6-9" \
+  "ec-2@eclipse=2:6-8" \
+  "ec-3@eclipse=1:6-9,drop=0.1" \
+  "col-1@collude=1" \
+  "col-2@collude=2" \
+  "col-3@collude=1,withhold"; do
+  seed="${spec%%@*}"
+  plan="${spec#*@}"
+  i=$((i + 1))
+  ZEBRA_DOMAINS=1 "$ZEBRA" chaos --seed "$seed" --plan "$plan" >"$tmp/byz-d1-$i.txt"
+  ZEBRA_DOMAINS=4 "$ZEBRA" chaos --seed "$seed" --plan "$plan" >"$tmp/byz-d4-$i.txt"
+  if ! diff -u "$tmp/byz-d1-$i.txt" "$tmp/byz-d4-$i.txt"; then
+    echo "byzantine gate FAILED: seed=$seed plan=$plan differs across pool sizes" >&2
+    exit 1
+  fi
+  echo "seed=$seed plan=$plan: trace identical at 1 and 4 domains"
+done
+
+# Index gate: the off-chain event-sourced mirror must rebuild the
+# canonical scenario's task/reputation state byte-identically to contract
+# storage (the CLI exits non-zero on disagreement), and its decoded event
+# log and views must not depend on the pool size.
+echo "== index gate (event-sourced mirror, 1 vs 4 domains) =="
+ZEBRA_DOMAINS=1 "$ZEBRA" index --events >"$tmp/idx-d1.txt"
+ZEBRA_DOMAINS=4 "$ZEBRA" index --events >"$tmp/idx-d4.txt"
+if ! diff -u "$tmp/idx-d1.txt" "$tmp/idx-d4.txt"; then
+  echo "index gate FAILED: output differs across pool sizes" >&2
+  exit 1
+fi
+echo "zebra index: mirror agrees, identical at 1 and 4 domains"
+
 # Load-smoke gate: a small N x M marketplace run must complete every task
 # with zero invariant violations (the CLI exits non-zero otherwise), its
 # final state root must survive a full serial replay from genesis

@@ -607,6 +607,98 @@ let prop_parallel_equals_serial =
       let root4, replay4 = with_domains 4 (fun () -> run_sharded_scenario ops) in
       Bytes.equal root1 replay1 && Bytes.equal root4 replay4 && Bytes.equal root1 root4)
 
+(* --- partitions, fork choice and reorgs --- *)
+
+let all_replicas_agree net =
+  let root = Network.state_root net in
+  for node = 0 to Network.num_nodes net - 1 do
+    Alcotest.(check bytes)
+      (Printf.sprintf "node %d on the canonical root" node)
+      root
+      (Network.node_state_root net node)
+  done
+
+let test_partition_heal () =
+  let net = fresh_net ~num_nodes:3 () in
+  let a1 = Wallet.address (wallet 1) in
+  Network.submit net
+    (Tx.make ~wallet:(wallet 0) ~nonce:0 ~dst:(Tx.Call a1) ~value:5 ~payload:Bytes.empty);
+  ignore (Network.mine net);
+  Network.start_partition net ~minority:[ 2 ];
+  Alcotest.(check bool) "partition active" true (Network.partition_active net);
+  (* the majority mines the pending transfer; the minority mines an empty
+     sibling branch of equal length *)
+  Network.submit net
+    (Tx.make ~wallet:(wallet 0) ~nonce:1 ~dst:(Tx.Call a1) ~value:7 ~payload:Bytes.empty);
+  ignore (Network.mine net);
+  ignore (Network.mine net);
+  let h = Network.height net in
+  let r = Network.heal_partition net in
+  Alcotest.(check bool) "partition over" false (Network.partition_active net);
+  Alcotest.(check int) "equal-length branches: height is stable" h (Network.height net);
+  if r.Network.adopted_fork then begin
+    Alcotest.(check int) "the whole majority branch reorged" 2 r.Network.reorged_blocks;
+    Alcotest.(check bool) "orphaned transfer requeued" true (r.Network.requeued_txs >= 1)
+  end
+  else Alcotest.(check int) "canonical chain kept: nothing requeued" 0 r.Network.requeued_txs;
+  (* either way: one more block lands any requeued orphans and every
+     replica — including the healed minority — is back on one root *)
+  ignore (Network.mine net);
+  Alcotest.(check int) "both transfers settled exactly once" 1_000_012 (Network.balance net a1);
+  all_replicas_agree net
+
+let test_partition_rejects_bad_splits () =
+  let net = fresh_net ~num_nodes:3 () in
+  List.iter
+    (fun minority ->
+      match Network.start_partition net ~minority with
+      | () -> Alcotest.failf "accepted bad minority"
+      | exception Invalid_argument _ -> ())
+    [ []; [ 0 ]; [ 7 ]; [ 0; 1; 2 ] ];
+  Network.start_partition net ~minority:[ 2 ];
+  (match Network.start_partition net ~minority:[ 1 ] with
+  | () -> Alcotest.fail "accepted a second partition"
+  | exception Invalid_argument _ -> ());
+  ignore (Network.heal_partition net)
+
+let test_fork_tip_choice () =
+  let net = fresh_net ~num_nodes:3 () in
+  Alcotest.(check (option bool)) "no tip to fork at genesis" None
+    (Network.fork_tip net ~permute:List.rev);
+  Network.submit net
+    (Tx.make ~wallet:(wallet 0) ~nonce:0 ~dst:(Tx.Call (Wallet.address (wallet 1))) ~value:3
+       ~payload:Bytes.empty);
+  Network.submit net
+    (Tx.make ~wallet:(wallet 1) ~nonce:0 ~dst:(Tx.Call (Wallet.address (wallet 2))) ~value:4
+       ~payload:Bytes.empty);
+  ignore (Network.mine net);
+  let tip_before =
+    match List.rev (Network.blocks net) with b :: _ -> b | [] -> assert false
+  in
+  Alcotest.(check (option bool)) "identity permutation is not a fork" None
+    (Network.fork_tip net ~permute:(fun txs -> txs));
+  (match Network.fork_tip net ~permute:List.rev with
+  | None -> Alcotest.fail "a two-tx tip must yield a distinct sibling"
+  | Some adopted ->
+    let tip_after =
+      match List.rev (Network.blocks net) with b :: _ -> b | [] -> assert false
+    in
+    let same_tip = Bytes.equal (Block.hash tip_before) (Block.hash tip_after) in
+    Alcotest.(check bool) "tip replaced iff the sibling won fork choice" adopted (not same_tip);
+    if adopted then
+      (* fork choice at equal height: the smaller hash wins *)
+      Alcotest.(check bool) "adopted sibling hashes below the old tip" true
+        (Bytes.compare (Block.hash tip_after) (Block.hash tip_before) < 0);
+    Alcotest.(check int) "height unchanged" 1 (Network.height net));
+  (* the chain keeps working after the (possible) depth-1 reorg *)
+  Network.submit net
+    (Tx.make ~wallet:(wallet 2) ~nonce:0 ~dst:(Tx.Call (Wallet.address (wallet 0))) ~value:1
+       ~payload:Bytes.empty);
+  ignore (Network.mine net);
+  all_replicas_agree net;
+  Alcotest.(check int) "transfers settled exactly once (received 3, sent 4)" 999_999
+    (Network.balance net (Wallet.address (wallet 1)))
+
 let () =
   Alcotest.run "chain"
     [
@@ -656,5 +748,12 @@ let () =
           Alcotest.test_case "conflict retry classification" `Quick
             test_conflict_retry_classification;
           prop_parallel_equals_serial;
+        ] );
+      ( "forks",
+        [
+          Alcotest.test_case "partition heal fork choice" `Quick test_partition_heal;
+          Alcotest.test_case "partition rejects bad splits" `Quick
+            test_partition_rejects_bad_splits;
+          Alcotest.test_case "byzantine sibling fork choice" `Quick test_fork_tip_choice;
         ] );
     ]

@@ -37,6 +37,11 @@ let test_plan_roundtrip () =
       "drop=0.2,delay=0.1:3,dup=0.05,reorder=0.5";
       "lose=0.3,corrupt=0.1";
       "crash=1:5-9,crash=2:12-14,withhold,noinstruct";
+      "partition=2|1:6-9";
+      "byzmine=0:fork";
+      "byzmine=1:reorder";
+      "eclipse=1:6-8,collude=2";
+      "drop=0.1,crash=2:12-14,partition=2|1:6-9,byzmine=1:censor,eclipse=1:6-8,collude=2,withhold";
     ];
   Alcotest.(check string) "empty spells none" "none" (Faults.spec_to_string (Faults.spec_of_string ""))
 
@@ -46,7 +51,28 @@ let test_plan_rejects_malformed () =
       match Faults.spec_of_string s with
       | _ -> Alcotest.failf "accepted malformed plan %S" s
       | exception Invalid_argument _ -> ())
-    [ "drop=1.5"; "drop=x"; "delay=0.1:0"; "crash=1:9-5"; "crash=-1:2-3"; "warp=0.1"; "withhold=1" ]
+    [
+      "drop=1.5";
+      "drop=x";
+      "delay=0.1:0";
+      "crash=1:9-5";
+      "crash=-1:2-3";
+      "warp=0.1";
+      "withhold=1";
+      "partition=2|1:9-5";
+      "partition=0|1:2-3";
+      "partition=2|1";
+      "byzmine=1:evil";
+      "byzmine=-1:reorder";
+      "byzmine=1:reorder,byzmine=2:censor";
+      "eclipse=1:9-5";
+      "eclipse=-1:2-3";
+      "collude=-1";
+      (* a partition window may not touch a crash window (margins included):
+         fork choice over a replica that is also rebooting is undefined *)
+      "crash=1:6-9,partition=2|1:8-12";
+      "partition=2|1:6-9,partition=2|1:9-12";
+    ]
 
 let prop_schedule_deterministic =
   qtest "unit_float: pure function of (seed, site, a, b)" ~count:200
@@ -257,7 +283,18 @@ let test_protocol_rides_out_bounded_delay () =
 
 let check_invariants name (o : Chaos.outcome) =
   Alcotest.(check bool) (name ^ ": replicas agree") true o.Chaos.replicas_agree;
-  Alcotest.(check bool) (name ^ ": supply conserved") true o.Chaos.supply_conserved
+  Alcotest.(check bool) (name ^ ": supply conserved") true o.Chaos.supply_conserved;
+  Alcotest.(check bool) (name ^ ": store recovered") true o.Chaos.store_recovered;
+  let why = match o.Chaos.indexer_error with None -> "" | Some e -> " (" ^ e ^ ")" in
+  Alcotest.(check bool) (name ^ ": indexer agrees" ^ why) true o.Chaos.indexer_agrees
+
+let trace_has (o : Chaos.outcome) needle =
+  let contains line =
+    let n = String.length needle and m = String.length line in
+    let rec go i = i + n <= m && (String.sub line i n = needle || go (i + 1)) in
+    go 0
+  in
+  List.exists contains o.Chaos.trace
 
 let test_chaos_drop_recovers () =
   let plan = Faults.spec_of_string "drop=0.15,delay=0.15:2,dup=0.1" in
@@ -336,6 +373,164 @@ let test_chaos_identical_across_domains () =
   | Chaos.Aborted _ -> Alcotest.fail "bounded plan must settle");
   check_invariants "domains" o4
 
+(* --- byzantine adversary corpus --- *)
+
+(* Partition where fork choice keeps the canonical chain: the minority
+   full-syncs, nothing reorgs, the indexer never notices. *)
+let test_chaos_partition_keep () =
+  let plan = Faults.spec_of_string "partition=2|1:6-9" in
+  let o = Chaos.run ~seed:"part-1" ~plan () in
+  (match o.Chaos.settlement with
+  | Chaos.Rewarded _ -> ()
+  | s -> Alcotest.failf "expected rewards, got %s" (Chaos.settlement_to_string s));
+  check_invariants "partition-keep" o;
+  Alcotest.(check bool) "partition traced" true (trace_has o "partition.start majority=2 minority=1");
+  Alcotest.(check bool) "canonical chain kept" true (trace_has o "partition.heal canonical chain kept");
+  Alcotest.(check int) "no reorg seen by the indexer" 0 o.Chaos.indexer_reorgs
+
+(* Partition where fork choice adopts the minority branch: the whole
+   majority-side history since the fork point reorgs, its transactions are
+   requeued and re-settle exactly once, and the indexer detects the
+   invalidated cursor and re-indexes from genesis. *)
+let test_chaos_partition_reorg () =
+  let plan = Faults.spec_of_string "partition=2|1:6-9" in
+  let o = Chaos.run ~seed:"part-2" ~plan () in
+  (match o.Chaos.settlement with
+  | Chaos.Rewarded _ -> ()
+  | s -> Alcotest.failf "expected rewards, got %s" (Chaos.settlement_to_string s));
+  check_invariants "partition-reorg" o;
+  Alcotest.(check bool) "minority branch adopted" true
+    (trace_has o "partition.heal fork adopted: reorged 4 block(s)");
+  Alcotest.(check int) "indexer survived exactly one reorg" 1 o.Chaos.indexer_reorgs
+
+let test_chaos_byzantine_reorder () =
+  let plan = Faults.spec_of_string "byzmine=1:reorder,drop=0.05" in
+  let o = Chaos.run ~seed:"byz-1" ~plan () in
+  (match o.Chaos.settlement with
+  | Chaos.Rewarded _ -> ()
+  | s -> Alcotest.failf "expected rewards, got %s" (Chaos.settlement_to_string s));
+  check_invariants "byz-reorder" o;
+  Alcotest.(check bool) "reorder traced" true (trace_has o "byzmine.reorder node=1")
+
+let test_chaos_byzantine_censor () =
+  let plan = Faults.spec_of_string "byzmine=2:censor" in
+  let o = Chaos.run ~seed:"byz-1" ~plan () in
+  (match o.Chaos.settlement with
+  | Chaos.Rewarded _ -> ()
+  | s -> Alcotest.failf "censorship is bounded delay, got %s" (Chaos.settlement_to_string s));
+  check_invariants "byz-censor" o;
+  Alcotest.(check bool) "censorship traced" true (trace_has o "byzmine.censor node=2")
+
+(* A byzantine miner whose conflicting sibling block WINS fork choice: a
+   depth-1 reorg every replica adopts, after which the round still settles
+   and the indexer still agrees. *)
+let test_chaos_byzantine_fork_adopted () =
+  let plan = Faults.spec_of_string "byzmine=0:fork" in
+  let o = Chaos.run ~seed:"byz-20" ~plan () in
+  (match o.Chaos.settlement with
+  | Chaos.Rewarded _ -> ()
+  | s -> Alcotest.failf "expected rewards, got %s" (Chaos.settlement_to_string s));
+  check_invariants "byz-fork" o;
+  Alcotest.(check bool) "adopted sibling traced" true
+    (trace_has o "sibling adopted (reorg depth 1)")
+
+(* Eclipse of one worker: its submission is held for the window and lands
+   at release, inside the answer deadline — everyone still gets paid. *)
+let test_chaos_eclipse_release () =
+  let plan = Faults.spec_of_string "eclipse=1:6-9" in
+  let o = Chaos.run ~seed:"ec-1" ~plan () in
+  (match o.Chaos.settlement with
+  | Chaos.Rewarded rewards ->
+    Alcotest.(check (array int)) "eclipsed worker still paid" [| 20; 20; 20 |] rewards
+  | s -> Alcotest.failf "expected rewards, got %s" (Chaos.settlement_to_string s));
+  check_invariants "eclipse" o;
+  Alcotest.(check bool) "hold traced" true (trace_has o "eclipse.hold")
+
+(* Collusion below the majority threshold: the deviant answer loses the
+   vote and the colluder is the one who goes unpaid. *)
+let test_chaos_collusion_minority_unpaid () =
+  let plan = Faults.spec_of_string "collude=1" in
+  let o = Chaos.run ~seed:"col-1" ~plan () in
+  (match o.Chaos.settlement with
+  | Chaos.Rewarded rewards ->
+    Alcotest.(check (array int)) "colluder unpaid, honest majority paid" [| 20; 20; 0 |] rewards
+  | s -> Alcotest.failf "expected rewards, got %s" (Chaos.settlement_to_string s));
+  check_invariants "collude-minority" o
+
+(* Collusion AT the majority threshold: 2 of 3 workers flip the vote, the
+   honest worker goes unpaid.  The ledger invariants all hold — the attack
+   succeeds against the policy, not the chain — which is exactly the
+   documented limit of majority-vote incentives. *)
+let test_chaos_collusion_majority_flips () =
+  let plan = Faults.spec_of_string "collude=2" in
+  let o = Chaos.run ~seed:"col-2" ~plan () in
+  (match o.Chaos.settlement with
+  | Chaos.Rewarded rewards ->
+    Alcotest.(check (array int)) "colluding majority captures the reward" [| 0; 20; 20 |] rewards
+  | s -> Alcotest.failf "expected rewards, got %s" (Chaos.settlement_to_string s));
+  check_invariants "collude-majority" o
+
+(* Fee-ordered sealing must preserve per-sender nonce order no matter what
+   the fault pipeline does to the mempool (drops, delays, duplicates,
+   shuffles).  Canonical receipts only — a duplicate's second inclusion
+   fails nonce replay by design. *)
+let prop_fee_order_keeps_nonce_lanes_under_faults =
+  qtest "fee-ordered sealing keeps nonce lanes under random fault plans" ~count:15
+    QCheck2.Gen.(triple (int_range 0 30) (int_range 0 30) (int_range 0 20))
+    (fun (drop, delay, dup) ->
+      let pct x = float_of_int x /. 100. in
+      let net = fresh_net () in
+      let plan =
+        {
+          Faults.none with
+          Faults.drop = pct drop;
+          delay = pct delay;
+          delay_blocks = 2;
+          duplicate = pct dup;
+          reorder = 0.5;
+        }
+      in
+      let f = Faults.create ~seed:(Printf.sprintf "lanes-%d-%d-%d" drop delay dup) plan in
+      Faults.attach f net;
+      (* 3 senders x 3 nonces with clashing fees, so the miner is tempted
+         to seal high-fee later-nonce txs first *)
+      for nonce = 0 to 2 do
+        for s = 0 to 2 do
+          Network.submit net
+            (Tx.make_ext ~wallet:(wallet s)
+               ~fee:((7 * s) + (5 * (2 - nonce)) mod 9)
+               ~footprint:[] ~nonce
+               ~dst:(Tx.Call (Wallet.address (wallet ((s + 1) mod 3))))
+               ~value:1 ~payload:Bytes.empty)
+        done
+      done;
+      for _ = 1 to 8 do
+        ignore (Network.mine net)
+      done;
+      Faults.detach net;
+      let seen = Hashtbl.create 16 in
+      let last_nonce = Hashtbl.create 4 in
+      let ordered = ref true in
+      List.iter
+        (fun (b : Block.t) ->
+          List.iter
+            (fun (tx : Tx.t) ->
+              let h = tx |> Tx.hash |> Bytes.to_string in
+              if not (Hashtbl.mem seen h) then begin
+                Hashtbl.add seen h ();
+                match Network.receipt net (Tx.hash tx) with
+                | Some { State.status = State.Ok _; _ } ->
+                  let k = Address.to_hex tx.Tx.sender in
+                  (match Hashtbl.find_opt last_nonce k with
+                  | Some p when tx.Tx.nonce <= p -> ordered := false
+                  | _ -> ());
+                  Hashtbl.replace last_nonce k tx.Tx.nonce
+                | _ -> ()
+              end)
+            b.Block.txs)
+        (Network.blocks net);
+      !ordered)
+
 (* The tentpole property: ANY bounded seeded plan settles with a payout or
    a typed error — no exception — and never breaks replica agreement or
    supply conservation.  Expensive (a full system boot per case), so the
@@ -409,5 +604,22 @@ let () =
           Alcotest.test_case "identical across domains" `Quick
             test_chaos_identical_across_domains;
           prop_bounded_plans_settle_or_typed_error;
+        ] );
+      ( "byzantine",
+        [
+          Alcotest.test_case "partition heal keeps canonical" `Quick test_chaos_partition_keep;
+          Alcotest.test_case "partition heal adopts minority (reorg)" `Quick
+            test_chaos_partition_reorg;
+          Alcotest.test_case "byzantine miner reorders" `Quick test_chaos_byzantine_reorder;
+          Alcotest.test_case "byzantine miner censors" `Quick test_chaos_byzantine_censor;
+          Alcotest.test_case "byzantine sibling adopted" `Quick
+            test_chaos_byzantine_fork_adopted;
+          Alcotest.test_case "eclipsed worker released in time" `Quick
+            test_chaos_eclipse_release;
+          Alcotest.test_case "colluding minority unpaid" `Quick
+            test_chaos_collusion_minority_unpaid;
+          Alcotest.test_case "colluding majority flips the vote" `Quick
+            test_chaos_collusion_majority_flips;
+          prop_fee_order_keeps_nonce_lanes_under_faults;
         ] );
     ]
