@@ -5,7 +5,8 @@
      dune exec bench/main.exe table1     -- Table I
      dune exec bench/main.exe fig4       -- Figure 4
      dune exec bench/main.exe memory | link | endtoend | ablation-fft |
-                              ablation-field | nonanon | obs | parallel
+                              ablation-field | nonanon | obs | parallel |
+                              lint | field | snark | chaos | load
 
    Shape, not absolute numbers, is the reproduction target: our substrate
    is a designated-verifier QAP SNARK over Poseidon (MiMC = ablation arm),
@@ -795,6 +796,173 @@ let snark () =
   close_out oc;
   Printf.printf "\nwrote BENCH_snark.json (%d bytes)\n%!" (String.length json)
 
+(* X12: the zero-allocation kernel work.  ns/op and allocated-bytes/op
+   for the pure vs destructive field kernels, the sliding-window
+   exponentiation, an FFT size sweep over the array vs flat-vector
+   paths, and whole-prove allocation per constraint.  Self-asserting:
+   every in-place kernel must cut allocation per op by at least
+   [field_alloc_floor]x against its pure counterpart or the bench exits
+   non-zero (this is what the check.sh field gate runs). *)
+
+let field_alloc_floor = 10.
+
+let field () =
+  header "X12: zero-allocation Montgomery kernels";
+  let module Json = Zebra_obs.Json in
+  let module Source = Zebra_rng.Source in
+  let fresh () = Fp.random random_bytes in
+  let a = fresh () and b = fresh () in
+  let dst = Fp.buffer () in
+  (* Average bytes allocated on this domain per call.  Bracketed by
+     [Gc.minor]: [Gc.allocated_bytes] only folds the nursery in at a
+     collection, so forcing one on each side makes the delta exact — a
+     true zero-allocation kernel reads 0.00 here, and [Fp.mul] reads
+     exactly its 80-byte result (9 limbs + header). *)
+  let bytes_per_op ?(iters = 200_000) fn =
+    fn ();
+    Gc.minor ();
+    let b0 = Gc.allocated_bytes () in
+    for _ = 1 to iters do fn () done;
+    Gc.minor ();
+    Float.max 0. ((Gc.allocated_bytes () -. b0) /. float_of_int iters)
+  in
+  let kernels =
+    [
+      ("mul", (fun () -> ignore (Fp.mul a b)), fun () -> Fp.mul_into ~dst a b);
+      ("sqr", (fun () -> ignore (Fp.sqr a)), fun () -> Fp.sqr_into ~dst a);
+      ("add", (fun () -> ignore (Fp.add a b)), fun () -> Fp.add_into ~dst a b);
+      ("sub", (fun () -> ignore (Fp.sub a b)), fun () -> Fp.sub_into ~dst a b);
+    ]
+  in
+  Printf.printf "%-6s %9s %9s %11s %11s %9s\n%!" "kernel" "pure-ns" "into-ns"
+    "pure-B/op" "into-B/op" "alloc-x";
+  let rows =
+    List.map
+      (fun (name, pure, into) ->
+        let pure_ns = bechamel_ns (name ^ "-pure") pure in
+        let into_ns = bechamel_ns (name ^ "-into") into in
+        let pure_b = bytes_per_op pure in
+        let into_b = bytes_per_op into in
+        let ratio = pure_b /. Float.max 1. into_b in
+        Printf.printf "%-6s %9.1f %9.1f %11.1f %11.1f %8.0fx\n%!" name pure_ns into_ns
+          pure_b into_b ratio;
+        (name, pure_ns, into_ns, pure_b, into_b, ratio))
+      kernels
+  in
+  (* Sliding-window exponentiation over a full-width exponent. *)
+  let e = Fp.to_nat (fresh ()) in
+  let pow_ns = bechamel_ns "pow-254bit" (fun () -> ignore (Fp.pow a e)) in
+  let pow_b = bytes_per_op ~iters:2_000 (fun () -> ignore (Fp.pow a e)) in
+  Printf.printf "pow (254-bit exponent, 4-bit window): %.0f ns, %.0f B/op\n%!" pow_ns pow_b;
+  (* FFT: boxed-array API (converts through a Vec) vs operating on a
+     flat Vec directly. *)
+  let fft_rows =
+    List.map
+      (fun lg ->
+        let d = Fft.domain (1 lsl lg) in
+        let n = Fft.size d in
+        let arr = Array.init n (fun _ -> fresh ()) in
+        let v = Fp.Vec.of_array arr in
+        let arr_ns = bechamel_ns (Printf.sprintf "fft-array-2^%d" lg) (fun () -> Fft.fft d arr) in
+        let vec_ns = bechamel_ns (Printf.sprintf "fft-vec-2^%d" lg) (fun () -> Fft.fft_vec d v) in
+        let arr_b = bytes_per_op ~iters:50 (fun () -> Fft.fft d arr) in
+        let vec_b = bytes_per_op ~iters:50 (fun () -> Fft.fft_vec d v) in
+        Printf.printf
+          "fft 2^%-2d: array %8.1f us / %9.0f B, vec %8.1f us / %9.0f B (%.1fx less alloc)\n%!"
+          lg (arr_ns /. 1e3) arr_b (vec_ns /. 1e3) vec_b
+          (arr_b /. Float.max 1. vec_b);
+        (lg, arr_ns, vec_ns, arr_b, vec_b))
+      [ 10; 12; 14 ]
+  in
+  (* Whole-prove allocation, normalised per constraint.  Calling-domain
+     only (Gc.allocated_bytes is per-domain), so run this gate under
+     ZEBRA_DOMAINS=1 for the full picture. *)
+  let cs = snark_reward_circuit () in
+  let kp = Snark.setup_rng ~rng:(Source.of_seed snark_setup_seed) cs in
+  let prove () =
+    ignore (Snark.prove_rng ~rng:(Source.of_seed snark_prove_seed) kp.Snark.pk cs)
+  in
+  prove ();
+  Gc.minor ();
+  let b0 = Gc.allocated_bytes () in
+  let (), prove_s = wall prove in
+  Gc.minor ();
+  let prove_bytes = Gc.allocated_bytes () -. b0 in
+  let n_constraints = Cs.num_constraints cs in
+  let per_constraint = prove_bytes /. float_of_int n_constraints in
+  Printf.printf
+    "prove reward-majority-n5: %.3fs, %.1f MB allocated on calling domain (%.0f B/constraint)\n%!"
+    prove_s (prove_bytes /. 1e6) per_constraint;
+  (* The gate: every destructive kernel must beat its pure counterpart
+     by the floor.  A regression here means somebody re-introduced
+     per-op allocation into the hot path. *)
+  let worst =
+    List.fold_left (fun acc (_, _, _, _, _, r) -> Float.min acc r) infinity rows
+  in
+  if worst < field_alloc_floor then begin
+    Printf.eprintf
+      "FATAL: in-place kernel allocation reduction %.1fx is below the %.0fx floor\n%!" worst
+      field_alloc_floor;
+    exit 1
+  end;
+  Printf.printf "allocation reduction floor: worst kernel %.0fx >= %.0fx required\n%!" worst
+    field_alloc_floor;
+  let json =
+    Json.to_string
+      (Json.Obj
+         [
+           ("alloc_floor_x", Json.Num field_alloc_floor);
+           ("worst_kernel_alloc_reduction_x", Json.Num worst);
+           ( "kernels",
+             Json.List
+               (List.map
+                  (fun (name, pure_ns, into_ns, pure_b, into_b, ratio) ->
+                    Json.Obj
+                      [
+                        ("op", Json.Str name);
+                        ("pure_ns", Json.Num pure_ns);
+                        ("into_ns", Json.Num into_ns);
+                        ("pure_bytes_per_op", Json.Num pure_b);
+                        ("into_bytes_per_op", Json.Num into_b);
+                        ("alloc_reduction_x", Json.Num ratio);
+                      ])
+                  rows) );
+           ( "pow_254bit",
+             Json.Obj [ ("ns", Json.Num pow_ns); ("bytes_per_op", Json.Num pow_b) ] );
+           ( "fft",
+             Json.List
+               (List.map
+                  (fun (lg, arr_ns, vec_ns, arr_b, vec_b) ->
+                    Json.Obj
+                      [
+                        ("log2_size", Json.Num (float_of_int lg));
+                        ("array_ns", Json.Num arr_ns);
+                        ("vec_ns", Json.Num vec_ns);
+                        ("array_bytes_per_op", Json.Num arr_b);
+                        ("vec_bytes_per_op", Json.Num vec_b);
+                      ])
+                  fft_rows) );
+           ( "prove",
+             Json.Obj
+               [
+                 ("circuit", Json.Str "reward-majority-n5");
+                 ("constraints", Json.Num (float_of_int n_constraints));
+                 ("seconds", Json.Num prove_s);
+                 ("alloc_bytes_calling_domain", Json.Num prove_bytes);
+                 ("alloc_bytes_per_constraint", Json.Num per_constraint);
+                 ( "note",
+                   Json.Str
+                     "Gc.allocated_bytes is per-domain; run with ZEBRA_DOMAINS=1 to \
+                      attribute all prover allocation" );
+               ] );
+         ])
+  in
+  let oc = open_out "BENCH_field.json" in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote BENCH_field.json (%d bytes)\n%!" (String.length json)
+
 let lint () =
   header "X10: zebra_lint analyzer wall-time across the deployed circuits";
   let module Lint = Zebra_lint.Lint in
@@ -1057,6 +1225,7 @@ let all () =
   obs ();
   parallel ();
   lint ();
+  field ();
   snark ();
   chaos ();
   load_bench ()
@@ -1075,6 +1244,7 @@ let () =
   | "obs" -> obs ()
   | "parallel" -> parallel ()
   | "lint" -> lint ()
+  | "field" -> field ()
   | "snark" -> snark ()
   | "snark-digest" -> (
     (* Fast path for the check.sh determinism gate: print only a proof
@@ -1094,6 +1264,6 @@ let () =
   | "all" -> all ()
   | other ->
     Printf.eprintf
-      "unknown bench %S; try: table1 fig4 memory link endtoend ablation-fft ablation-field ablation-hash nonanon obs parallel lint snark chaos load all\n"
+      "unknown bench %S; try: table1 fig4 memory link endtoend ablation-fft ablation-field ablation-hash nonanon obs parallel lint field snark chaos load all\n"
       other;
     exit 1

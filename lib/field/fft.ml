@@ -75,8 +75,16 @@ let size d = d.size
 let omega d = d.omega
 let element d i = Fp.pow_int d.omega i
 
-let bit_reverse_permute a =
-  let n = Array.length a in
+(* The transforms run natively on flat {!Fp.Vec} limb vectors: one
+   contiguous buffer per polynomial, slots rewritten in place through
+   per-chunk scratch elements, zero allocation per butterfly.  Scratch
+   buffers are created inside each parallel chunk body, so they are
+   per-OCaml-domain by construction; Montgomery arithmetic is exact and
+   canonical, so every result limb is identical to the old boxed-element
+   path at any ZEBRA_DOMAINS (DESIGN.md, "Field kernel discipline"). *)
+
+let bit_reverse_permute_vec v =
+  let n = Fp.Vec.length v in
   let log_n =
     let rec go k acc = if 1 lsl acc = k then acc else go k (acc + 1) in
     go n 0
@@ -89,96 +97,114 @@ let bit_reverse_permute a =
       done;
       !r
     in
-    if j > i then begin
-      let tmp = a.(i) in
-      a.(i) <- a.(j);
-      a.(j) <- tmp
-    end
+    if j > i then Fp.Vec.swap v i j
   done
 
 (* [tw] holds root^i for i < n/2; the stage with block size [blk] reads its
    twiddle w_len^j = root^(j * n/blk) at stride n/blk.  One shared table
    replaces the per-butterfly running product (halving the multiplication
    count) and makes chunk boundaries trivially grid-independent. *)
-let ntt_in_place a tw =
-  let n = Array.length a in
-  bit_reverse_permute a;
+let ntt_in_place_vec v tw =
+  let n = Fp.Vec.length v in
+  bit_reverse_permute_vec v;
   let len = ref 2 in
   while !len <= n do
     let blk = !len in
     let half = blk / 2 in
     let stride = n / blk in
     (* One block's butterflies over j in [jlo, jhi).  Writes touch only
-       slots base+j and base+j+half. *)
-    let butterflies base jlo jhi =
+       slots base+j and base+j+half; [tmp] is the chunk's scratch. *)
+    let butterflies tmp base jlo jhi =
       for j = jlo to jhi - 1 do
-        let u = a.(base + j) in
-        let v = Fp.mul a.(base + j + half) tw.(j * stride) in
-        a.(base + j) <- Fp.add u v;
-        a.(base + j + half) <- Fp.sub u v
+        Fp.Vec.butterfly ~tmp v (base + j) (base + j + half) tw.(j * stride)
       done
     in
-    if half >= par_min_butterflies then
+    if half >= par_min_butterflies then begin
       (* Late stages: a few large blocks — split each block's j-range. *)
       let base = ref 0 in
       while !base < n do
         let b = !base in
         Parallel.parallel_for ~min_chunk:par_min_butterflies half (fun jlo jhi ->
-            butterflies b jlo jhi);
+            butterflies (Fp.buffer ()) b jlo jhi);
         base := b + blk
       done
+    end
     else if n / 2 >= par_min_butterflies then
       (* Early stages: many small blocks — whole blocks per chunk. *)
       Parallel.parallel_for
         ~min_chunk:(max 1 (par_min_butterflies / half))
         (n / blk)
         (fun blo bhi ->
+          let tmp = Fp.buffer () in
           for b = blo to bhi - 1 do
-            butterflies (b * blk) 0 half
+            butterflies tmp (b * blk) 0 half
           done)
     else begin
+      let tmp = Fp.buffer () in
       let base = ref 0 in
       while !base < n do
-        butterflies !base 0 half;
+        butterflies tmp !base 0 half;
         base := !base + blk
       done
     end;
     len := blk * 2
   done
 
+let check_len_vec d v =
+  if Fp.Vec.length v <> d.size then
+    invalid_arg "Fft: vector length must equal domain size"
+
+(* v.(i) <- v.(i) * t.(i), the pointwise pass both coset transforms use. *)
+let scale_by_table_vec v t =
+  Parallel.parallel_for ~min_chunk:par_min_pointwise (Fp.Vec.length v) (fun lo hi ->
+      let tmp = Fp.buffer () in
+      for i = lo to hi - 1 do
+        Fp.Vec.mul_slot_elt ~tmp v i t.(i)
+      done)
+
+let fft_vec d v =
+  check_len_vec d v;
+  ntt_in_place_vec v d.tw
+
+let ifft_vec d v =
+  check_len_vec d v;
+  ntt_in_place_vec v d.tw_inv;
+  Parallel.parallel_for ~min_chunk:par_min_pointwise d.size (fun lo hi ->
+      let tmp = Fp.buffer () in
+      for i = lo to hi - 1 do
+        Fp.Vec.mul_slot_elt ~tmp v i d.size_inv
+      done)
+
+let coset_fft_vec d v =
+  check_len_vec d v;
+  scale_by_table_vec v d.coset_pows;
+  ntt_in_place_vec v d.tw
+
+let coset_ifft_vec d v =
+  check_len_vec d v;
+  ntt_in_place_vec v d.tw_inv;
+  (* One pass applies both the inverse-NTT 1/n factor and the coset
+     unshift g^-i (folded table — see [coset_unscale]). *)
+  scale_by_table_vec v d.coset_unscale
+
+(* Boxed-array entry points, kept for callers outside the prover hot
+   path: convert once, transform flat, write fresh elements back (the
+   caller's existing elements are replaced, never mutated — they may be
+   shared, e.g. [Fp.zero] padding). *)
+
 let check_len d a =
   if Array.length a <> d.size then invalid_arg "Fft: array length must equal domain size"
 
-let fft d a =
+let on_vec d transform a =
   check_len d a;
-  ntt_in_place a d.tw
+  let v = Fp.Vec.of_array a in
+  transform d v;
+  Fp.Vec.write_array v a
 
-let ifft d a =
-  check_len d a;
-  ntt_in_place a d.tw_inv;
-  Parallel.parallel_for ~min_chunk:par_min_pointwise d.size (fun lo hi ->
-      for i = lo to hi - 1 do
-        a.(i) <- Fp.mul a.(i) d.size_inv
-      done)
-
-(* a.(i) <- a.(i) * t.(i), the pointwise pass both coset transforms use. *)
-let scale_by_table a t =
-  Parallel.parallel_for ~min_chunk:par_min_pointwise (Array.length a) (fun lo hi ->
-      for i = lo to hi - 1 do
-        a.(i) <- Fp.mul a.(i) t.(i)
-      done)
-
-let coset_fft d a =
-  check_len d a;
-  scale_by_table a d.coset_pows;
-  fft d a
-
-let coset_ifft d a =
-  check_len d a;
-  ntt_in_place a d.tw_inv;
-  (* One pass applies both the inverse-NTT 1/n factor and the coset
-     unshift g^-i (folded table — see [coset_unscale]). *)
-  scale_by_table a d.coset_unscale
+let fft d a = on_vec d fft_vec a
+let ifft d a = on_vec d ifft_vec a
+let coset_fft d a = on_vec d coset_fft_vec a
+let coset_ifft d a = on_vec d coset_ifft_vec a
 
 let vanishing_on_coset d = Fp.sub (Fp.pow_int coset_shift d.size) Fp.one
 let vanishing_at d x = Fp.sub (Fp.pow_int x d.size) Fp.one

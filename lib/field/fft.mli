@@ -29,8 +29,22 @@ val omega : domain -> Fp.t
 (** [element d i] is omega^i. *)
 val element : domain -> int -> Fp.t
 
+(** {2 Flat-vector transforms}
+
+    The native implementations: in-place over one contiguous
+    {!Fp.Vec.t} limb buffer, zero allocation per butterfly (per-chunk
+    scratch elements only).  The boxed-array entry points below are
+    thin wrappers that convert once and write fresh elements back.
+    Vector length must equal [size d]. *)
+
+val fft_vec : domain -> Fp.Vec.t -> unit
+val ifft_vec : domain -> Fp.Vec.t -> unit
+val coset_fft_vec : domain -> Fp.Vec.t -> unit
+val coset_ifft_vec : domain -> Fp.Vec.t -> unit
+
 (** In-place forward FFT: coefficients -> evaluations on the domain.
-    The array length must equal [size d]. *)
+    The array length must equal [size d].  Elements of the array are
+    replaced with fresh values, never mutated (they may be shared). *)
 val fft : domain -> Fp.t array -> unit
 
 (** In-place inverse FFT: evaluations -> coefficients. *)

@@ -122,4 +122,153 @@ let batch_inv a =
     out
   end
 
+(* ------------------------------------------------------------------ *)
+(* In-place kernels and flat element vectors (DESIGN.md, "Field kernel
+   discipline").  Only mutate buffers you created: [zero], [one] and
+   every element returned by the pure API may be shared — e.g.
+   [Array.make d Fp.zero] aliases the global zero in every slot. *)
+
+let nl = Modular.num_limbs ctx
+
+let buffer () : t = Modular.mont_buffer ctx
+let copy : t -> t = Modular.mont_copy
+let set ~dst x = Modular.mont_set ~dst x
+let set_zero dst = Modular.mont_set_zero dst
+let set_one dst = Modular.mont_set_one ctx ~dst
+let add_into ~dst a b = Modular.mont_add_into ctx ~dst a b
+let sub_into ~dst a b = Modular.mont_sub_into ctx ~dst a b
+let neg_into ~dst a = Modular.mont_neg_into ctx ~dst a
+let mul_into ~dst a b = Modular.mont_mul_into ctx ~dst a b
+let sqr_into ~dst a = Modular.mont_sqr_into ctx ~dst a
+
+let minus_one = neg one
+let is_one x = Modular.mont_equal x one
+let is_minus_one x = Modular.mont_equal x minus_one
+
+module Vec = struct
+  type elt = t
+  type t = { buf : int array; len : int }
+
+  let limbs (x : elt) : int array = (x :> int array)
+  let create len = { buf = Array.make (len * nl) 0; len }
+  let length v = v.len
+  let get v i = Modular.mont_of_region ctx v.buf (i * nl)
+  let get_into ~dst v i = Array.blit v.buf (i * nl) (limbs dst) 0 nl
+  let set v i x = Array.blit (limbs x) 0 v.buf (i * nl) nl
+  let copy v = { buf = Array.copy v.buf; len = v.len }
+  let blit src si dst di k = Array.blit src.buf (si * nl) dst.buf (di * nl) (k * nl)
+
+  let of_array a =
+    let v = create (Array.length a) in
+    Array.iteri (fun i x -> set v i x) a;
+    v
+
+  let to_array v = Array.init v.len (get v)
+
+  let write_array v a =
+    if Array.length a <> v.len then invalid_arg "Fp.Vec.write_array: length mismatch";
+    for i = 0 to v.len - 1 do
+      a.(i) <- get v i
+    done
+
+  let swap v i j =
+    let oi = i * nl and oj = j * nl in
+    for k = 0 to nl - 1 do
+      let t = v.buf.(oi + k) in
+      v.buf.(oi + k) <- v.buf.(oj + k);
+      v.buf.(oj + k) <- t
+    done
+
+  let is_zero v i = Modular.is_zero_off ctx v.buf (i * nl)
+
+  (* Slot arithmetic.  [op d k a i b j] computes d.[k] <- a.[i] op b.[j];
+     the destination slot may coincide with a source slot for add/sub
+     (elementwise kernels), never for multiplications (CIOS uses the
+     destination as accumulator — multiplications below either target a
+     caller-owned scratch element or write a slot from two elements,
+     which cannot overlap a vector's buffer). *)
+  let add_slots d k a i b j =
+    Modular.add_off ctx d.buf (k * nl) a.buf (i * nl) b.buf (j * nl)
+
+  let sub_slots d k a i b j =
+    Modular.sub_off ctx d.buf (k * nl) a.buf (i * nl) b.buf (j * nl)
+
+  (* v.[i] <- v.[i] * e, staged through the caller's scratch element. *)
+  let mul_slot_elt ~tmp v i e =
+    Modular.mul_off ctx (limbs tmp) 0 v.buf (i * nl) (limbs e) 0;
+    Array.blit (limbs tmp) 0 v.buf (i * nl) nl
+
+  (* dst <- a.[i] * b.[j] *)
+  let mul_into_elt ~dst a i b j =
+    Modular.mul_off ctx (limbs dst) 0 a.buf (i * nl) b.buf (j * nl)
+
+  (* dst <- v.[i] * e *)
+  let mul_elt_into ~dst v i e =
+    Modular.mul_off ctx (limbs dst) 0 v.buf (i * nl) (limbs e) 0
+
+  (* v.[i] <- e1 * e2 (elements live outside the vector's buffer) *)
+  let set_mul v i e1 e2 =
+    Modular.mul_off ctx v.buf (i * nl) (limbs e1) 0 (limbs e2) 0
+
+  (* dst <- e - v.[i] *)
+  let sub_elt_into ~dst e v i =
+    Modular.sub_off ctx (limbs dst) 0 (limbs e) 0 v.buf (i * nl)
+
+  (* acc <- acc + v.[i] *)
+  let add_elt_acc ~acc v i =
+    Modular.add_off ctx (limbs acc) 0 (limbs acc) 0 v.buf (i * nl)
+
+  (* v.[i] <- v.[i] + e  /  v.[i] <- v.[i] - e *)
+  let add_slot_elt v i e = Modular.add_off ctx v.buf (i * nl) v.buf (i * nl) (limbs e) 0
+  let sub_slot_elt v i e = Modular.sub_off ctx v.buf (i * nl) v.buf (i * nl) (limbs e) 0
+
+  (* Radix-2 butterfly: (v.[p], v.[q]) <- (v.[p] + w v.[q], v.[p] - w v.[q]) *)
+  let butterfly ~tmp v p q w =
+    mul_elt_into ~dst:tmp v q w;
+    Modular.sub_off ctx v.buf (q * nl) v.buf (p * nl) (limbs tmp) 0;
+    Modular.add_off ctx v.buf (p * nl) v.buf (p * nl) (limbs tmp) 0
+end
+
+(* Bucketed sparse dot products (Pippenger's bucket idea transposed to a
+   field-simulated SNARK, where the "exponentiations" of a multi-exp are
+   plain field multiplications).  Constraint-row coefficients are
+   overwhelmingly +-1 (boolean gadgets, Poseidon/MiMC wiring) and witness
+   values often 0/1, so terms are bucketed by coefficient class: the +1
+   and -1 buckets take one limb addition per term and are folded into
+   the accumulator with no multiplication at all; only the generic
+   bucket multiplies.  Field addition is exact, associative and
+   commutative, so the regrouped sum is limb-identical to the naive
+   left-to-right sum — no output byte moves. *)
+
+let classify x : char = if is_one x then '\001' else if is_minus_one x then '\002' else '\000'
+
+let classify_coefs a =
+  let b = Bytes.create (Array.length a) in
+  Array.iteri (fun i x -> Bytes.unsafe_set b i (classify x)) a;
+  b
+
+type dot_scratch = { ds_pos : t; ds_neg : t; ds_tmp : t }
+
+let dot_scratch () = { ds_pos = buffer (); ds_neg = buffer (); ds_tmp = buffer () }
+
+let dot_sparse_acc ~scratch ~acc ~cls ~coefs ~idx ~w ~lo ~hi =
+  let { ds_pos; ds_neg; ds_tmp } = scratch in
+  set_zero ds_pos;
+  set_zero ds_neg;
+  for k = lo to hi - 1 do
+    let wi = w.(idx.(k)) in
+    if not (is_zero wi) then
+      match Bytes.unsafe_get cls k with
+      | '\001' -> add_into ~dst:ds_pos ds_pos wi
+      | '\002' -> add_into ~dst:ds_neg ds_neg wi
+      | _ ->
+          if is_one wi then add_into ~dst:acc acc coefs.(k)
+          else begin
+            mul_into ~dst:ds_tmp coefs.(k) wi;
+            add_into ~dst:acc acc ds_tmp
+          end
+  done;
+  add_into ~dst:acc acc ds_pos;
+  sub_into ~dst:acc acc ds_neg
+
 let pp fmt x = Format.pp_print_string fmt (to_decimal_string x)

@@ -122,5 +122,163 @@ val random : (int -> bytes) -> t
     (Montgomery's trick).  @raise Division_by_zero if any element is zero. *)
 val batch_inv : t array -> t array
 
+(** {2 In-place kernels}
+
+    Destructive variants of the arithmetic above, writing into
+    caller-provided buffers so hot loops allocate nothing per
+    operation (DESIGN.md, "Field kernel discipline").  {b Only mutate
+    buffers you created with} [buffer]/[copy]: elements returned by the
+    pure API may be shared — [zero] and [one] are process-wide globals
+    and [Array.make d Fp.zero] aliases [zero] in every slot.
+
+    Aliasing: [add_into]/[sub_into]/[neg_into] accept [dst] physically
+    equal to either operand; [mul_into]/[sqr_into] raise
+    [Invalid_argument] if [dst] aliases a source (Montgomery CIOS uses
+    [dst] as its accumulator). *)
+
+(** A fresh caller-owned element buffer, initialised to zero. *)
+val buffer : unit -> t
+
+(** A fresh caller-owned buffer holding the value of the argument. *)
+val copy : t -> t
+
+(** [set ~dst x] overwrites [dst] with the value of [x]. *)
+val set : dst:t -> t -> unit
+
+val set_zero : t -> unit
+val set_one : t -> unit
+val add_into : dst:t -> t -> t -> unit
+val sub_into : dst:t -> t -> t -> unit
+val neg_into : dst:t -> t -> unit
+val mul_into : dst:t -> t -> t -> unit
+val sqr_into : dst:t -> t -> unit
+
+(** [equal x one] without materialising [one]. *)
+val is_one : t -> bool
+
+(** [equal x (neg one)]; with [is_one] this classifies the +-1
+    constraint coefficients that dominate R1CS rows. *)
+val is_minus_one : t -> bool
+
+(** {2 Flat element vectors}
+
+    [Vec.t] stores n field elements in one contiguous [int array] of
+    n·limbs — one allocation for a whole polynomial instead of one per
+    element, with indexed in-place slot operations for the FFT and
+    prover hot loops.  Also exposed as the {!Fvec} module alias.
+
+    Slot semantics: [op d k a i b j] computes [d.(k) <- a.(i) op b.(j)].
+    Destination slots may coincide with source slots for additive ops;
+    multiplicative ops either stage through a caller scratch element or
+    write a slot from elements outside the vector, so they are
+    alias-safe by construction. *)
+module Vec : sig
+  type elt = t
+
+  type t
+
+  (** [create n] is a vector of [n] zeros (one allocation). *)
+  val create : int -> t
+
+  val length : t -> int
+
+  (** [get v i] copies slot [i] out into a fresh element. *)
+  val get : t -> int -> elt
+
+  (** [get_into ~dst v i] copies slot [i] into the buffer [dst]. *)
+  val get_into : dst:elt -> t -> int -> unit
+
+  (** [set v i x] copies the value of [x] into slot [i] ([x] is not
+      captured — the vector owns its storage). *)
+  val set : t -> int -> elt -> unit
+
+  val copy : t -> t
+
+  (** [blit src si dst di k] copies [k] slots. *)
+  val blit : t -> int -> t -> int -> int -> unit
+
+  (** [of_array a] copies the elements of [a] in ([a] is unchanged). *)
+  val of_array : elt array -> t
+
+  (** [to_array v] is the vector as an array of fresh elements. *)
+  val to_array : t -> elt array
+
+  (** [write_array v a] stores fresh elements of [v] into the slots of
+      [a] (existing elements of [a] are replaced, never mutated).
+      @raise Invalid_argument on length mismatch. *)
+  val write_array : t -> elt array -> unit
+
+  val swap : t -> int -> int -> unit
+  val is_zero : t -> int -> bool
+  val add_slots : t -> int -> t -> int -> t -> int -> unit
+  val sub_slots : t -> int -> t -> int -> t -> int -> unit
+
+  (** [mul_slot_elt ~tmp v i e]: [v.(i) <- v.(i) * e] via scratch [tmp]. *)
+  val mul_slot_elt : tmp:elt -> t -> int -> elt -> unit
+
+  (** [mul_into_elt ~dst a i b j]: [dst <- a.(i) * b.(j)]. *)
+  val mul_into_elt : dst:elt -> t -> int -> t -> int -> unit
+
+  (** [mul_elt_into ~dst v i e]: [dst <- v.(i) * e]. *)
+  val mul_elt_into : dst:elt -> t -> int -> elt -> unit
+
+  (** [set_mul v i e1 e2]: [v.(i) <- e1 * e2]. *)
+  val set_mul : t -> int -> elt -> elt -> unit
+
+  (** [sub_elt_into ~dst e v i]: [dst <- e - v.(i)]. *)
+  val sub_elt_into : dst:elt -> elt -> t -> int -> unit
+
+  (** [add_elt_acc ~acc v i]: [acc <- acc + v.(i)]. *)
+  val add_elt_acc : acc:elt -> t -> int -> unit
+
+  (** [add_slot_elt v i e]: [v.(i) <- v.(i) + e]. *)
+  val add_slot_elt : t -> int -> elt -> unit
+
+  (** [sub_slot_elt v i e]: [v.(i) <- v.(i) - e]. *)
+  val sub_slot_elt : t -> int -> elt -> unit
+
+  (** [butterfly ~tmp v p q w]:
+      [(v.(p), v.(q)) <- (v.(p) + w v.(q), v.(p) - w v.(q))]. *)
+  val butterfly : tmp:elt -> t -> int -> int -> elt -> unit
+end
+
+(** {2 Bucketed sparse dot products}
+
+    Pippenger's bucket method transposed to this field-simulated SNARK:
+    dot-product terms are bucketed by coefficient class, so the +-1
+    coefficients that dominate R1CS rows (and 0/1 boolean-wire witness
+    values) cost one limb addition each and no multiplication.  Field
+    addition is exact, associative and commutative, so the regrouped
+    sum is limb-identical to the naive one — proof bytes are
+    unchanged. *)
+
+(** ['\001'] for +1, ['\002'] for -1, ['\000'] otherwise. *)
+val classify : t -> char
+
+(** One classification byte per element (precompute at matrix build). *)
+val classify_coefs : t array -> Bytes.t
+
+(** Per-worker scratch (two bucket accumulators and a product
+    temporary); create one per parallel chunk, never share across
+    domains. *)
+type dot_scratch
+
+val dot_scratch : unit -> dot_scratch
+
+(** [dot_sparse_acc ~scratch ~acc ~cls ~coefs ~idx ~w ~lo ~hi] adds
+    [sum_{k in [lo,hi)} coefs.(k) * w.(idx.(k))] into the caller-owned
+    buffer [acc], skipping zero witness values and bucketing by
+    [cls] (from {!classify_coefs} over [coefs]). *)
+val dot_sparse_acc :
+  scratch:dot_scratch ->
+  acc:t ->
+  cls:Bytes.t ->
+  coefs:t array ->
+  idx:int array ->
+  w:t array ->
+  lo:int ->
+  hi:int ->
+  unit
+
 (** Hex rendering for debugging and test failure messages. *)
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,5 @@
+(* Flat field-element vectors: n elements in one contiguous limb array.
+   The implementation lives in {!Fp.Vec} (it needs the field context and
+   limb layout); this module re-exports it under the name the rest of
+   the tree uses for "the vector type" in signatures and docs. *)
+include Fp.Vec

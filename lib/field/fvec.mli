@@ -1,0 +1,12 @@
+(** Flat vectors of {!Fp.t} elements — one contiguous [int array] of
+    n·limbs instead of n boxed limb arrays — with indexed in-place slot
+    operations for the FFT and SNARK prover hot loops.
+
+    This is an alias of {!Fp.Vec} (types are equal: [Fvec.t = Fp.Vec.t],
+    [Fvec.elt = Fp.t]); see that module for the full operation docs and
+    DESIGN.md, "Field kernel discipline", for the aliasing and
+    arena-ownership rules. *)
+
+include module type of struct
+  include Fp.Vec
+end

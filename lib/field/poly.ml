@@ -88,15 +88,34 @@ let interpolate pts =
         (fun j (xj, _) -> if i < j && Fp.equal xi xj then invalid_arg "Poly.interpolate: duplicate x")
         pts)
     pts;
+  (* All n(n-1) basis denominators xi - xj at once: one field inversion
+     total (Montgomery's trick) instead of one per (i, j) pair.  Each
+     inverse is the exact value [Fp.inv] would return, so the
+     interpolated coefficients are unchanged. *)
+  let denoms = Array.make (n * (n - 1)) Fp.one in
+  let k = ref 0 in
+  for i = 0 to n - 1 do
+    let xi, _ = pts.(i) in
+    for j = 0 to n - 1 do
+      if j <> i then begin
+        let xj, _ = pts.(j) in
+        denoms.(!k) <- Fp.sub xi xj;
+        incr k
+      end
+    done
+  done;
+  let denom_invs = Fp.batch_inv denoms in
+  let k = ref 0 in
   let acc = ref zero in
   for i = 0 to n - 1 do
-    let xi, yi = pts.(i) in
+    let _, yi = pts.(i) in
     let basis = ref one in
     for j = 0 to n - 1 do
       if j <> i then begin
         let xj, _ = pts.(j) in
         (* (x - xj) / (xi - xj) *)
-        let denom_inv = Fp.inv (Fp.sub xi xj) in
+        let denom_inv = denom_invs.(!k) in
+        incr k;
         basis := mul !basis [| Fp.mul (Fp.neg xj) denom_inv; denom_inv |]
       end
     done;

@@ -48,14 +48,19 @@ let create m =
 let modulus ctx = ctx.m
 let num_limbs ctx = ctx.n
 
+(* Compare little-endian limb regions, most-significant limb first.
+   Top-level recursion, not a local [let rec]: a local closure capturing
+   the array operands would be a per-call allocation in the innermost
+   prover loop (the non-flambda backend does not lift it). *)
+let rec cmp_off_from a ao b bo i =
+  if i < 0 then 0
+  else begin
+    let x = a.(ao + i) and y = b.(bo + i) in
+    if x < y then -1 else if x > y then 1 else cmp_off_from a ao b bo (i - 1)
+  end
+
 (* Compare fixed-width little-endian arrays. *)
-let cmp_fixed a b n =
-  let rec go i =
-    if i < 0 then 0
-    else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
-    else go (i - 1)
-  in
-  go (n - 1)
+let cmp_fixed a b n = cmp_off_from a 0 b 0 (n - 1)
 
 (* r <- a - m (in place allowed when r == a); assumes a >= m. *)
 let sub_m ctx a r =
@@ -172,22 +177,211 @@ let mont_neg ctx a =
 
 let mont_equal a b = cmp_fixed a b (Array.length a) = 0
 
+(* ------------------------------------------------------------------ *)
+(* Offset kernels over raw limb regions.
+
+   Each kernel operates on an n-limb little-endian region of a flat
+   [int array] starting at the given offset; regions must hold values
+   < m (every kernel re-establishes that invariant).  These back both
+   the in-place [mont_*_into] variants below (offset 0) and the flat
+   element vectors of {!Zebra_field.Fp.Vec}, so the prover hot path
+   can run without allocating a limb array per operation.
+
+   Aliasing rules (documented in the .mli):
+   - [add_off]/[sub_off]/[neg_off] read index i before writing index i,
+     so the destination region may coincide with either source region
+     exactly (same array, same offset).  Partially-overlapping regions
+     are invalid.
+   - [mul_off] uses the destination region as the CIOS accumulator, so
+     it must be disjoint from both source regions ([Invalid_argument]
+     on a detected overlap).  The two source regions may coincide
+     (squaring). *)
+
+let cmp_off a ao b bo n = cmp_off_from a ao b bo (n - 1)
+
+(* r[ro..] <- r[ro..] - m; assumes the region holds a value >= m. *)
+let sub_m_off ctx r ro =
+  let borrow = ref 0 in
+  for i = 0 to ctx.n - 1 do
+    let d = r.(ro + i) - ctx.m_limbs.(i) - !borrow in
+    if d < 0 then begin
+      r.(ro + i) <- d + base;
+      borrow := 1
+    end
+    else begin
+      r.(ro + i) <- d;
+      borrow := 0
+    end
+  done
+
+let add_off ctx r ro a ao b bo =
+  let n = ctx.n in
+  let carry = ref 0 in
+  for i = 0 to n - 1 do
+    let s = a.(ao + i) + b.(bo + i) + !carry in
+    r.(ro + i) <- s land mask;
+    carry := s lsr limb_bits
+  done;
+  if !carry <> 0 || cmp_off r ro ctx.m_limbs 0 n >= 0 then sub_m_off ctx r ro
+
+let sub_off ctx r ro a ao b bo =
+  let n = ctx.n in
+  let borrow = ref 0 in
+  for i = 0 to n - 1 do
+    let d = a.(ao + i) - b.(bo + i) - !borrow in
+    if d < 0 then begin
+      r.(ro + i) <- d + base;
+      borrow := 1
+    end
+    else begin
+      r.(ro + i) <- d;
+      borrow := 0
+    end
+  done;
+  if !borrow <> 0 then begin
+    let carry = ref 0 in
+    for i = 0 to n - 1 do
+      let s = r.(ro + i) + ctx.m_limbs.(i) + !carry in
+      r.(ro + i) <- s land mask;
+      carry := s lsr limb_bits
+    done
+  end
+
+let rec is_zero_off_from a ao n i = i >= n || (a.(ao + i) = 0 && is_zero_off_from a ao n (i + 1))
+let is_zero_off ctx a ao = is_zero_off_from a ao ctx.n 0
+
+let neg_off ctx r ro a ao =
+  if is_zero_off ctx a ao then Array.fill r ro ctx.n 0
+  else begin
+    let borrow = ref 0 in
+    for i = 0 to ctx.n - 1 do
+      let d = ctx.m_limbs.(i) - a.(ao + i) - !borrow in
+      if d < 0 then begin
+        r.(ro + i) <- d + base;
+        borrow := 1
+      end
+      else begin
+        r.(ro + i) <- d;
+        borrow := 0
+      end
+    done
+  end
+
+let overlaps r ro a ao n = r == a && abs (ro - ao) < n
+
+(* CIOS with the destination region as accumulator; see [mont_mul] for
+   the scalar-overflow-limb trick.  The destination must be disjoint
+   from both sources: the accumulator is written at index j-1 while
+   source limbs at indices >= j are still pending reads. *)
+let mul_off ctx r ro a ao b bo =
+  let n = ctx.n in
+  if overlaps r ro a ao n || overlaps r ro b bo n then
+    invalid_arg "Modular.mul_off: destination overlaps a source";
+  Array.fill r ro n 0;
+  let t_n = ref 0 in
+  let t_n1 = ref 0 in
+  for i = 0 to n - 1 do
+    let ai = a.(ao + i) in
+    let c = ref 0 in
+    for j = 0 to n - 1 do
+      let acc = r.(ro + j) + (ai * b.(bo + j)) + !c in
+      r.(ro + j) <- acc land mask;
+      c := acc lsr limb_bits
+    done;
+    let acc = !t_n + !c in
+    t_n := acc land mask;
+    t_n1 := !t_n1 + (acc lsr limb_bits);
+    let mi = (r.(ro) * ctx.m0') land mask in
+    let c = ref ((r.(ro) + (mi * ctx.m_limbs.(0))) lsr limb_bits) in
+    for j = 1 to n - 1 do
+      let acc = r.(ro + j) + (mi * ctx.m_limbs.(j)) + !c in
+      r.(ro + j - 1) <- acc land mask;
+      c := acc lsr limb_bits
+    done;
+    let acc = !t_n + !c in
+    r.(ro + n - 1) <- acc land mask;
+    t_n := !t_n1 + (acc lsr limb_bits);
+    t_n1 := 0
+  done;
+  if !t_n <> 0 || cmp_off r ro ctx.m_limbs 0 n >= 0 then sub_m_off ctx r ro
+
+(* ------------------------------------------------------------------ *)
+(* In-place variants on whole [mont] values (offset-0 specialisation).
+   Only safe on buffers the caller owns — never mutate a [mont] that
+   other code may hold a reference to (shared constants like
+   [mont_one], deduplicated witness values, ...). *)
+
+let mont_buffer ctx = Array.make ctx.n 0
+let mont_copy (a : mont) : mont = Array.copy a
+let mont_set ~dst (a : mont) = Array.blit a 0 dst 0 (Array.length dst)
+let mont_set_zero (dst : mont) = Array.fill dst 0 (Array.length dst) 0
+let mont_set_one ctx ~dst = Array.blit ctx.one_m 0 dst 0 ctx.n
+let mont_add_into ctx ~dst a b = add_off ctx dst 0 a 0 b 0
+let mont_sub_into ctx ~dst a b = sub_off ctx dst 0 a 0 b 0
+let mont_neg_into ctx ~dst a = neg_off ctx dst 0 a 0
+let mont_mul_into ctx ~dst a b = mul_off ctx dst 0 a 0 b 0
+let mont_sqr_into ctx ~dst a = mul_off ctx dst 0 a 0 a 0
+let mont_of_region ctx a ao : mont = Array.sub a ao ctx.n
+
 let to_mont ctx x =
   let x = if Nat.compare x ctx.m >= 0 then Nat.rem x ctx.m else x in
   mont_mul ctx (fixed_width ctx.n (Nat.limbs x)) ctx.r2
 
 let of_mont ctx a = Nat.of_limbs (mont_mul ctx a (fixed_width ctx.n [| 1 |]))
 
+(* 4-bit sliding-window exponentiation.  An 8-entry table of odd powers
+   b^1, b^3, ..., b^15 turns runs of exponent bits into one table
+   multiplication each, cutting the expected multiplication count from
+   ~nb/2 (square-and-multiply) to ~nb/5 for the same square count.
+   Field arithmetic is exact and the representation canonical, so the
+   result limbs are identical to the binary method's. *)
 let mont_pow ctx b e =
   let nb = Nat.num_bits e in
   if nb = 0 then mont_one ctx
-  else begin
+  else if nb <= 4 then begin
     let acc = ref (Array.copy b) in
     for i = nb - 2 downto 0 do
       acc := mont_sqr ctx !acc;
       if Nat.testbit e i then acc := mont_mul ctx !acc b
     done;
     !acc
+  end
+  else begin
+    let b2 = mont_sqr ctx b in
+    let tbl = Array.make 8 b in
+    for k = 1 to 7 do
+      tbl.(k) <- mont_mul ctx tbl.(k - 1) b2
+    done;
+    let acc = ref None in
+    let i = ref (nb - 1) in
+    while !i >= 0 do
+      if not (Nat.testbit e !i) then begin
+        (match !acc with Some a -> acc := Some (mont_sqr ctx a) | None -> ());
+        decr i
+      end
+      else begin
+        (* widest window [j, i] of <= 4 bits whose low bit is set *)
+        let j = ref (max 0 (!i - 3)) in
+        while not (Nat.testbit e !j) do
+          incr j
+        done;
+        let w = ref 0 in
+        for k = !i downto !j do
+          w := (!w lsl 1) lor (if Nat.testbit e k then 1 else 0)
+        done;
+        let entry = tbl.((!w - 1) / 2) in
+        (match !acc with
+        | None -> acc := Some (Array.copy entry)
+        | Some a ->
+            let a = ref a in
+            for _ = 1 to !i - !j + 1 do
+              a := mont_sqr ctx !a
+            done;
+            acc := Some (mont_mul ctx !a entry));
+        i := !j - 1
+      end
+    done;
+    match !acc with Some a -> a | None -> assert false
   end
 
 (* Binary inverse for odd modulus (HAC 14.61 specialisation). *)

@@ -153,12 +153,20 @@ let with_span name f =
   if not (Atomic.get on) then f ()
   else begin
     let h = intern spans hist_make name in
+    (* Allocation companion gauge: bytes allocated on the calling
+       domain while the span was open (work fanned out to pool domains
+       is not counted — Gc.allocated_bytes is per-domain).  Lets
+       `zebra stats` and the BENCH files spot allocation regressions in
+       the prover phases (e.g. snark.prove.fft.alloc_bytes). *)
+    let g = intern gauges (fun _ -> Atomic.make 0.) (name ^ ".alloc_bytes") in
     let stack = Domain.DLS.get span_stack in
     stack := name :: !stack;
+    let b0 = Gc.allocated_bytes () in
     let t0 = now () in
     Fun.protect
       ~finally:(fun () ->
         let dt = now () -. t0 in
+        Atomic.set g (Gc.allocated_bytes () -. b0);
         (match !stack with _ :: rest -> stack := rest | [] -> ());
         locked (fun () -> hist_observe h dt))
       f

@@ -81,7 +81,14 @@ end
     A span times one region and records the duration into a histogram named
     by the span.  Spans nest: the innermost active name is visible via
     {!current_span} (used by tests and debug output).  The duration is
-    recorded even when the region raises. *)
+    recorded even when the region raises.
+
+    Each span also maintains a companion gauge [<name>.alloc_bytes]: the
+    [Gc.allocated_bytes] delta of the {e calling domain} over the most
+    recent execution of the span (allocation on pool worker domains is
+    not attributed).  This makes allocation regressions in hot phases
+    (e.g. [snark.prove.fft.alloc_bytes]) visible in [zebra stats] and
+    the BENCH exports. *)
 
 val with_span : string -> (unit -> 'a) -> 'a
 

@@ -31,7 +31,11 @@ let par_init n f =
    the Montgomery representation canonical. *)
 type sparse_vec = { sv_idx : int array; sv_val : Fp.t array }
 
-type csr = { row_ptr : int array; col_idx : int array; coefs : Fp.t array }
+(* [coef_cls] classifies each coefficient (+1 / -1 / generic, see
+   {!Fp.classify_coefs}) so the prover's row dot products can bucket
+   the dominant +-1 terms into pure limb additions.  It is derived from
+   [coefs] — never serialised, recomputed on decode. *)
+type csr = { row_ptr : int array; col_idx : int array; coefs : Fp.t array; coef_cls : Bytes.t }
 
 type proving_key = {
   p_domain : Fft.domain;
@@ -137,25 +141,26 @@ let csr_of_cs cs select =
             incr pos
           end)
         (select a b c));
-  { row_ptr; col_idx; coefs }
+  { row_ptr; col_idx; coefs; coef_cls = Fp.classify_coefs coefs }
 
 let csr_nnz m = Array.length m.coefs
 
-(* Entries of [dense] at indices >= lo with nonzero value, as index/value
-   parallel arrays. *)
-let sparse_of_dense ~lo dense =
-  let n = Array.length dense in
+(* Entries of the flat vector [v] at indices >= lo with nonzero value,
+   as index/value parallel arrays (values copied out as fresh
+   elements — the sparse table outlives the setup's scratch vector). *)
+let sparse_of_vec ~lo (v : Fp.Vec.t) =
+  let n = Fp.Vec.length v in
   let count = ref 0 in
   for i = lo to n - 1 do
-    if not (Fp.is_zero dense.(i)) then incr count
+    if not (Fp.Vec.is_zero v i) then incr count
   done;
   let sv_idx = Array.make !count 0 in
   let sv_val = Array.make !count Fp.zero in
   let pos = ref 0 in
   for i = lo to n - 1 do
-    if not (Fp.is_zero dense.(i)) then begin
+    if not (Fp.Vec.is_zero v i) then begin
       sv_idx.(!pos) <- i;
-      sv_val.(!pos) <- dense.(i);
+      sv_val.(!pos) <- Fp.Vec.get v i;
       incr pos
     end
   done;
@@ -191,17 +196,27 @@ let setup ~random_bytes cs =
   let mat_a = csr_of_cs cs (fun a _ _ -> a) in
   let mat_b = csr_of_cs cs (fun _ b _ -> b) in
   let mat_c = csr_of_cs cs (fun _ _ c -> c) in
-  let a_s = Array.make n_vars Fp.zero in
-  let b_s = Array.make n_vars Fp.zero in
-  let c_s = Array.make n_vars Fp.zero in
+  let a_s = Fp.Vec.create n_vars in
+  let b_s = Fp.Vec.create n_vars in
+  let c_s = Fp.Vec.create n_vars in
   Obs.with_span "snark.setup.qap" (fun () ->
       let lag = Fft.lagrange_at domain s in
-      let accumulate dst (m : csr) =
+      (* Scatter-accumulate into the flat wire tables; +-1 coefficients
+         (the bulk of R1CS rows) are pure limb additions, the generic
+         bucket stages its product through one scratch element.  Exact
+         field arithmetic: same values as the boxed add/mul chain. *)
+      let tmp = Fp.buffer () in
+      let accumulate (dst : Fp.Vec.t) (m : csr) =
         for j = 0 to n_constraints - 1 do
           let lj = lag.(j) in
           for k = m.row_ptr.(j) to m.row_ptr.(j + 1) - 1 do
             let i = m.col_idx.(k) in
-            dst.(i) <- Fp.add dst.(i) (Fp.mul m.coefs.(k) lj)
+            match Bytes.unsafe_get m.coef_cls k with
+            | '\001' -> Fp.Vec.add_slot_elt dst i lj
+            | '\002' -> Fp.Vec.sub_slot_elt dst i lj
+            | _ ->
+                Fp.mul_into ~dst:tmp m.coefs.(k) lj;
+                Fp.Vec.add_slot_elt dst i tmp
           done
         done
       in
@@ -225,11 +240,17 @@ let setup ~random_bytes cs =
   in
   let z_s = Fft.vanishing_at domain s in
   let aux_lo = n_inputs + 1 in
-  let aux_a = sparse_of_dense ~lo:aux_lo a_s in
-  let aux_b = sparse_of_dense ~lo:aux_lo b_s in
-  let aux_c = sparse_of_dense ~lo:aux_lo c_s in
-  let k_s = par_init n_vars (fun i -> Fp.add (Fp.add a_s.(i) b_s.(i)) c_s.(i)) in
-  let aux_k = scale_vec beta (sparse_of_dense ~lo:aux_lo k_s) in
+  let aux_a = sparse_of_vec ~lo:aux_lo a_s in
+  let aux_b = sparse_of_vec ~lo:aux_lo b_s in
+  let aux_c = sparse_of_vec ~lo:aux_lo c_s in
+  (* k_s.(i) = (a_s.(i) + b_s.(i)) + c_s.(i), slot-wise in place. *)
+  let k_s = Fp.Vec.create n_vars in
+  Parallel.parallel_for ~min_chunk:par_min_ops n_vars (fun lo hi ->
+      for i = lo to hi - 1 do
+        Fp.Vec.add_slots k_s i a_s i b_s i;
+        Fp.Vec.add_slots k_s i k_s i c_s i
+      done);
+  let aux_k = scale_vec beta (sparse_of_vec ~lo:aux_lo k_s) in
   if Obs.enabled () then begin
     Obs.Gauge.set g_sparse_mat_nnz
       (float_of_int (csr_nnz mat_a + csr_nnz mat_b + csr_nnz mat_c));
@@ -261,7 +282,7 @@ let setup ~random_bytes cs =
       z_beta = Fp.mul beta z_s;
     }
   in
-  let slice arr = Array.sub arr 0 (n_inputs + 1) in
+  let slice v = Array.init (n_inputs + 1) (Fp.Vec.get v) in
   let vk =
     {
       v_num_inputs = n_inputs;
@@ -296,12 +317,21 @@ let prove ~random_bytes pk cs =
   let aux_sum vec =
     Parallel.map_reduce ~min_chunk:par_min_ops (Array.length vec.sv_idx)
       ~map:(fun lo hi ->
-        let acc = ref Fp.zero in
+        (* Chunk-owned accumulator and product scratch: zero allocation
+           per term.  Boolean wires (w.(i) = 1, very common) skip the
+           multiplication entirely — exact: 1 * v = v. *)
+        let acc = Fp.buffer () in
+        let tmp = Fp.buffer () in
         for k = lo to hi - 1 do
           let wi = w.(vec.sv_idx.(k)) in
-          if not (Fp.is_zero wi) then acc := Fp.add !acc (Fp.mul wi vec.sv_val.(k))
+          if not (Fp.is_zero wi) then
+            if Fp.is_one wi then Fp.add_into ~dst:acc acc vec.sv_val.(k)
+            else begin
+              Fp.mul_into ~dst:tmp wi vec.sv_val.(k);
+              Fp.add_into ~dst:acc acc tmp
+            end
         done;
-        !acc)
+        acc)
       ~reduce:Fp.add Fp.zero
   in
   let pi_a, pi_b, pi_c, pi_a', pi_b', pi_c', pi_k =
@@ -321,16 +351,18 @@ let prove ~random_bytes pk cs =
      full (IO + aux) witness combinations, one CSR row dot product per
      constraint. *)
   let evals_of (m : csr) =
-    (* Constraint j writes only slot j: rows are independent. *)
-    let arr = Array.make d Fp.zero in
+    (* Constraint j writes only slot j: rows are independent.  One flat
+       vector per matrix; each chunk owns a dot-product scratch, and
+       the row sums bucket +-1 coefficients into limb additions. *)
+    let arr = Fp.Vec.create d in
     Parallel.parallel_for ~min_chunk:256 pk.p_num_constraints (fun lo hi ->
+        let scratch = Fp.dot_scratch () in
+        let acc = Fp.buffer () in
         for j = lo to hi - 1 do
-          let acc = ref Fp.zero in
-          for k = m.row_ptr.(j) to m.row_ptr.(j + 1) - 1 do
-            let wi = w.(m.col_idx.(k)) in
-            if not (Fp.is_zero wi) then acc := Fp.add !acc (Fp.mul m.coefs.(k) wi)
-          done;
-          arr.(j) <- !acc
+          Fp.set_zero acc;
+          Fp.dot_sparse_acc ~scratch ~acc ~cls:m.coef_cls ~coefs:m.coefs ~idx:m.col_idx ~w
+            ~lo:m.row_ptr.(j) ~hi:m.row_ptr.(j + 1);
+          Fp.Vec.set arr j acc
         done);
     arr
   in
@@ -340,48 +372,59 @@ let prove ~random_bytes pk cs =
   in
   let a_coeffs, b_coeffs, h =
     Obs.with_span "snark.prove.fft" (fun () ->
-        Fft.ifft pk.p_domain a_evals;
-        Fft.ifft pk.p_domain b_evals;
-        Fft.ifft pk.p_domain c_evals;
-        let a_coeffs = Array.copy a_evals in
-        let b_coeffs = Array.copy b_evals in
-        Fft.coset_fft pk.p_domain a_evals;
-        Fft.coset_fft pk.p_domain b_evals;
-        Fft.coset_fft pk.p_domain c_evals;
+        Fft.ifft_vec pk.p_domain a_evals;
+        Fft.ifft_vec pk.p_domain b_evals;
+        Fft.ifft_vec pk.p_domain c_evals;
+        let a_coeffs = Fp.Vec.copy a_evals in
+        let b_coeffs = Fp.Vec.copy b_evals in
+        Fft.coset_fft_vec pk.p_domain a_evals;
+        Fft.coset_fft_vec pk.p_domain b_evals;
+        Fft.coset_fft_vec pk.p_domain c_evals;
         let z_inv = Fp.inv (Fft.vanishing_on_coset pk.p_domain) in
-        let h = Array.make d Fp.zero in
+        let h = Fp.Vec.create d in
+        (* h.(i) <- (a.(i) b.(i) - c.(i)) z_inv, staged per chunk. *)
         Parallel.parallel_for ~min_chunk:par_min_ops d (fun lo hi ->
+            let tmp = Fp.buffer () in
             for i = lo to hi - 1 do
-              h.(i) <- Fp.mul (Fp.sub (Fp.mul a_evals.(i) b_evals.(i)) c_evals.(i)) z_inv
+              Fp.Vec.mul_into_elt ~dst:tmp a_evals i b_evals i;
+              Fp.Vec.sub_elt_into ~dst:tmp tmp c_evals i;
+              Fp.Vec.set_mul h i tmp z_inv
             done);
-        Fft.coset_ifft pk.p_domain h;
+        Fft.coset_ifft_vec pk.p_domain h;
         (a_coeffs, b_coeffs, h))
   in
   (* Blinding:
      (A + d1 Z)(B + d2 Z) - (C + d3 Z) = Z (H + d1 B + d2 A + d1 d2 Z - d3). *)
-  let h_ext = Array.make (d + 1) Fp.zero in
-  Array.blit h 0 h_ext 0 d;
+  let h_ext = Fp.Vec.create (d + 1) in
+  Fp.Vec.blit h 0 h_ext 0 d;
   Parallel.parallel_for ~min_chunk:par_min_ops d (fun lo hi ->
+      let tmp = Fp.buffer () in
       for i = lo to hi - 1 do
-        h_ext.(i) <-
-          Fp.add h_ext.(i) (Fp.add (Fp.mul delta1 b_coeffs.(i)) (Fp.mul delta2 a_coeffs.(i)))
+        Fp.Vec.mul_elt_into ~dst:tmp b_coeffs i delta1;
+        Fp.Vec.add_slot_elt h_ext i tmp;
+        Fp.Vec.mul_elt_into ~dst:tmp a_coeffs i delta2;
+        Fp.Vec.add_slot_elt h_ext i tmp
       done);
   let d1d2 = Fp.mul delta1 delta2 in
   (* d1 d2 Z = d1 d2 x^d - d1 d2 *)
-  h_ext.(d) <- Fp.add h_ext.(d) d1d2;
-  h_ext.(0) <- Fp.sub (Fp.sub h_ext.(0) d1d2) delta3;
+  Fp.Vec.add_slot_elt h_ext d d1d2;
+  Fp.Vec.sub_slot_elt h_ext 0 d1d2;
+  Fp.Vec.sub_slot_elt h_ext 0 delta3;
   (* H is dense per proof (it depends on the witness, not the keypair), so
      this pass stays an index dot product with value-level zero skipping. *)
   let pi_h =
     Obs.with_span "snark.prove.exp" (fun () ->
         Parallel.map_reduce ~min_chunk:par_min_ops (d + 1)
           ~map:(fun lo hi ->
-            let acc = ref Fp.zero in
+            let acc = Fp.buffer () in
+            let tmp = Fp.buffer () in
             for i = lo to hi - 1 do
-              if not (Fp.is_zero h_ext.(i)) then
-                acc := Fp.add !acc (Fp.mul h_ext.(i) pk.powers.(i))
+              if not (Fp.Vec.is_zero h_ext i) then begin
+                Fp.Vec.mul_elt_into ~dst:tmp h_ext i pk.powers.(i);
+                Fp.add_into ~dst:acc acc tmp
+              end
             done;
-            !acc)
+            acc)
           ~reduce:Fp.add Fp.zero)
   in
   { pi_a; pi_a'; pi_b; pi_b'; pi_c; pi_c'; pi_k; pi_h }
@@ -616,7 +659,9 @@ let read_csr r =
   let coefs = Codec.read_array r read_fp in
   if Array.length col_idx <> Array.length coefs then
     raise (Codec.Decode_error "keypair: csr length mismatch");
-  { row_ptr; col_idx; coefs }
+  (* The bucket classification is derived data: recomputed here so the
+     keypair wire format is unchanged from previous releases. *)
+  { row_ptr; col_idx; coefs; coef_cls = Fp.classify_coefs coefs }
 
 let keypair_to_bytes kp =
   Codec.encode

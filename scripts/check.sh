@@ -76,6 +76,16 @@ if [ "$dm" = "$cpla_ref" ]; then
 fi
 echo "cpla-mimc ablation arm proves, digest $dm"
 
+# Field-kernel gate: the zero-allocation Montgomery kernel bench is
+# self-asserting -- it exits non-zero if any in-place kernel falls below
+# the committed allocation-reduction floor against its pure counterpart
+# (bench/main.ml, field_alloc_floor).  Run under ZEBRA_DOMAINS=1 so
+# Gc.allocated_bytes attributes the whole prove to one domain.  The
+# digest x domains x keycache gates above already pin the kernels'
+# bit-identity; this one pins their allocation profile.
+echo "== field kernel gate (in-place kernels stay allocation-free) =="
+ZEBRA_DOMAINS=1 "$BENCH" field
+
 # Chaos gate: each (seed, plan) pair must print the identical fault trace
 # and settlement at ZEBRA_DOMAINS=1 and =4 -- the fault schedule may not
 # leak pool-size dependence -- and the run itself must keep the chaos

@@ -74,6 +74,194 @@ let prop_inverse =
 let prop_sqr =
   qtest "sqr = mul self" arb_fp (fun a -> Fp.equal (Fp.sqr a) (Fp.mul a a))
 
+(* --- in-place kernels, Vec, bucketed dots (PR 10) --- *)
+
+module Nat = Zebra_numeric.Nat
+
+(* Edge-heavy generator: the in-place kernels must agree with the pure
+   ops at 0, 1, p-1 and p-2 as well as on random elements. *)
+let arb_fp_edge =
+  QCheck2.Gen.frequency
+    [
+      (6, arb_fp);
+      (1, QCheck2.Gen.return Fp.zero);
+      (1, QCheck2.Gen.return Fp.one);
+      (1, QCheck2.Gen.return (Fp.neg Fp.one));
+      (1, QCheck2.Gen.return (Fp.neg Fp.two));
+    ]
+
+let prop_into_kernels =
+  qtest "in-place kernels = pure ops" ~count:300 (QCheck2.Gen.pair arb_fp_edge arb_fp_edge)
+    (fun (a, b) ->
+      let dst = Fp.buffer () in
+      Fp.add_into ~dst a b;
+      let ok_add = Fp.equal dst (Fp.add a b) in
+      Fp.sub_into ~dst a b;
+      let ok_sub = Fp.equal dst (Fp.sub a b) in
+      Fp.mul_into ~dst a b;
+      let ok_mul = Fp.equal dst (Fp.mul a b) in
+      Fp.sqr_into ~dst a;
+      let ok_sqr = Fp.equal dst (Fp.sqr a) in
+      Fp.neg_into ~dst a;
+      let ok_neg = Fp.equal dst (Fp.neg a) in
+      (* Aliased destinations (dst == an operand) for the elementwise
+         kernels, as the documented aliasing rules permit. *)
+      let buf = Fp.copy a in
+      Fp.add_into ~dst:buf buf b;
+      let ok_add_alias = Fp.equal buf (Fp.add a b) in
+      let buf = Fp.copy a in
+      Fp.sub_into ~dst:buf buf b;
+      let ok_sub_alias = Fp.equal buf (Fp.sub a b) in
+      let buf = Fp.copy b in
+      Fp.sub_into ~dst:buf a buf;
+      let ok_sub_alias2 = Fp.equal buf (Fp.sub a b) in
+      let buf = Fp.copy a in
+      Fp.neg_into ~dst:buf buf;
+      let ok_neg_alias = Fp.equal buf (Fp.neg a) in
+      ok_add && ok_sub && ok_mul && ok_sqr && ok_neg && ok_add_alias && ok_sub_alias
+      && ok_sub_alias2 && ok_neg_alias)
+
+let test_mul_into_alias_rejected () =
+  let a = Fp.copy Fp.two in
+  Alcotest.check_raises "dst aliasing a source is rejected"
+    (Invalid_argument "Modular.mul_off: destination overlaps a source") (fun () ->
+      Fp.mul_into ~dst:a a Fp.one)
+
+(* Reference binary exponentiation; Fp.pow now uses a 4-bit sliding
+   window and must return limb-identical results. *)
+let naive_pow b e =
+  let nb = Nat.num_bits e in
+  if nb = 0 then Fp.one
+  else begin
+    let acc = ref b in
+    for i = nb - 2 downto 0 do
+      acc := Fp.sqr !acc;
+      if Nat.testbit e i then acc := Fp.mul !acc b
+    done;
+    !acc
+  end
+
+let prop_pow_window =
+  qtest "sliding-window pow = square-and-multiply" ~count:60 QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let r = Zebra_rng.Chacha20.create ~seed:(Printf.sprintf "pow-%d" seed) in
+      let rb n = Zebra_rng.Chacha20.bytes r n in
+      let b = Fp.random rb in
+      let e = Nat.of_bytes_be (rb 32) in
+      Fp.equal (Fp.pow b e) (naive_pow b e)
+      && Fp.equal (Fp.pow b Nat.zero) Fp.one
+      && Fp.equal (Fp.pow b Nat.one) b
+      && List.for_all
+           (fun k ->
+             let e = Nat.of_int k in
+             Fp.equal (Fp.pow b e) (naive_pow b e))
+           [ 2; 15; 16; 17; 255; 257 ])
+
+let prop_bucket_dot =
+  qtest "bucketed sparse dot = naive sum" ~count:200 QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let r = Zebra_rng.Chacha20.create ~seed:(Printf.sprintf "dot-%d" seed) in
+      let rb n = Zebra_rng.Chacha20.bytes r n in
+      let byte () = Char.code (Bytes.get (rb 1) 0) in
+      let nw = 1 + (byte () mod 8) in
+      (* Witness values skew to 0/1 like real boolean wires. *)
+      let w =
+        Array.init nw (fun _ ->
+            match byte () mod 4 with 0 -> Fp.zero | 1 -> Fp.one | _ -> Fp.random rb)
+      in
+      (* Coefficients skew to +-1 like real constraint rows. *)
+      let len = byte () mod 24 in
+      let coefs =
+        Array.init len (fun _ ->
+            match byte () mod 4 with 0 -> Fp.one | 1 -> Fp.neg Fp.one | _ -> Fp.random rb)
+      in
+      let idx = Array.init len (fun _ -> byte () mod nw) in
+      let cls = Fp.classify_coefs coefs in
+      let scratch = Fp.dot_scratch () in
+      let check lo hi =
+        let init = Fp.random rb in
+        let acc = Fp.copy init in
+        Fp.dot_sparse_acc ~scratch ~acc ~cls ~coefs ~idx ~w ~lo ~hi;
+        let naive = ref init in
+        for k = lo to hi - 1 do
+          naive := Fp.add !naive (Fp.mul coefs.(k) w.(idx.(k)))
+        done;
+        Fp.equal acc !naive
+      in
+      check 0 len && check (len / 3) (len - (len / 4)))
+
+let test_vec_roundtrip () =
+  let a = Array.init 10 (fun _ -> fresh_fp ()) in
+  let v = Fp.Vec.of_array a in
+  Alcotest.(check int) "length" 10 (Fp.Vec.length v);
+  Array.iteri (fun i x -> Alcotest.check fp (Printf.sprintf "get %d" i) x (Fp.Vec.get v i)) a;
+  let b = Fp.Vec.to_array v in
+  Array.iteri (fun i x -> Alcotest.check fp (Printf.sprintf "to_array %d" i) x b.(i)) a;
+  (* Fvec is the same type as Fp.Vec — the alias module interoperates. *)
+  Alcotest.(check int) "Fvec alias" 10 (Fvec.length v);
+  Fp.Vec.swap v 0 9;
+  Alcotest.check fp "swap" a.(9) (Fp.Vec.get v 0);
+  (* [set] copies the value in: mutating vector slots afterwards must
+     never reach back into the element we stored. *)
+  let x = fresh_fp () in
+  let x_saved = Fp.copy x in
+  Fp.Vec.set v 1 x;
+  Fp.Vec.set v 1 Fp.zero;
+  Alcotest.check fp "set copies" x_saved x;
+  Alcotest.(check bool) "is_zero" true (Fp.Vec.is_zero v 1)
+
+let test_vec_slot_ops () =
+  let x = fresh_fp () and y = fresh_fp () and c = fresh_fp () in
+  let tmp = Fp.buffer () in
+  let v = Fp.Vec.of_array [| x; y |] in
+  Fp.Vec.butterfly ~tmp v 0 1 c;
+  Alcotest.check fp "butterfly +" (Fp.add x (Fp.mul c y)) (Fp.Vec.get v 0);
+  Alcotest.check fp "butterfly -" (Fp.sub x (Fp.mul c y)) (Fp.Vec.get v 1);
+  let v = Fp.Vec.of_array [| x; y |] in
+  Fp.Vec.mul_slot_elt ~tmp v 0 c;
+  Alcotest.check fp "mul_slot_elt" (Fp.mul x c) (Fp.Vec.get v 0);
+  Fp.Vec.add_slots v 0 v 0 v 1;
+  Alcotest.check fp "add_slots (aliased dst)" (Fp.add (Fp.mul x c) y) (Fp.Vec.get v 0);
+  let v = Fp.Vec.of_array [| x; y |] in
+  Fp.Vec.mul_into_elt ~dst:tmp v 0 v 1;
+  Alcotest.check fp "mul_into_elt" (Fp.mul x y) tmp;
+  Fp.Vec.mul_elt_into ~dst:tmp v 1 c;
+  Alcotest.check fp "mul_elt_into" (Fp.mul y c) tmp;
+  Fp.Vec.set_mul v 0 c c;
+  Alcotest.check fp "set_mul" (Fp.sqr c) (Fp.Vec.get v 0);
+  Fp.Vec.sub_elt_into ~dst:tmp c v 1;
+  Alcotest.check fp "sub_elt_into" (Fp.sub c y) tmp;
+  Fp.set_zero tmp;
+  Fp.Vec.add_elt_acc ~acc:tmp v 1;
+  Fp.Vec.add_elt_acc ~acc:tmp v 1;
+  Alcotest.check fp "add_elt_acc" (Fp.add y y) tmp;
+  let v = Fp.Vec.of_array [| x |] in
+  Fp.Vec.add_slot_elt v 0 c;
+  Alcotest.check fp "add_slot_elt" (Fp.add x c) (Fp.Vec.get v 0);
+  Fp.Vec.sub_slot_elt v 0 c;
+  Alcotest.check fp "sub_slot_elt" x (Fp.Vec.get v 0)
+
+let test_fft_vec_matches_array () =
+  let d = Fft.domain 16 in
+  let a = Array.init 16 (fun _ -> fresh_fp ()) in
+  (* Array entry points and the native vector transforms must agree
+     slot for slot, for every transform variant. *)
+  List.iter
+    (fun (name, arr_t, vec_t) ->
+      let b = Array.copy a in
+      arr_t d b;
+      let v = Fp.Vec.of_array a in
+      vec_t d v;
+      Array.iteri
+        (fun i x -> Alcotest.check fp (Printf.sprintf "%s %d" name i) x (Fp.Vec.get v i))
+        b)
+    [
+      ("fft", Fft.fft, Fft.fft_vec);
+      ("ifft", Fft.ifft, Fft.ifft_vec);
+      ("coset_fft", Fft.coset_fft, Fft.coset_fft_vec);
+      ("coset_ifft", Fft.coset_ifft, Fft.coset_ifft_vec);
+    ]
+
 (* --- FFT --- *)
 
 let rand_poly n = Array.init n (fun _ -> fresh_fp ())
@@ -180,6 +368,14 @@ let () =
           Alcotest.test_case "batch inversion" `Quick test_batch_inv;
           Alcotest.test_case "batch inversion zero" `Quick test_batch_inv_zero;
           prop_field_laws; prop_inverse; prop_sqr;
+        ] );
+      ( "kernels",
+        [
+          Alcotest.test_case "mul_into alias rejected" `Quick test_mul_into_alias_rejected;
+          Alcotest.test_case "vec roundtrip" `Quick test_vec_roundtrip;
+          Alcotest.test_case "vec slot ops" `Quick test_vec_slot_ops;
+          Alcotest.test_case "fft vec = array" `Quick test_fft_vec_matches_array;
+          prop_into_kernels; prop_pow_window; prop_bucket_dot;
         ] );
       ( "fft",
         [

@@ -200,6 +200,29 @@ let prop_mod_pow_agree_small =
       let expected = Nat.rem (Nat.pow a e) m in
       Nat.equal expected (Modular.pow ctx a (Nat.of_int e)))
 
+(* The 4-bit sliding-window [mont_pow] must agree with a plain binary
+   ladder for wide exponents too (the RSA/Miller-Rabin regime), over
+   both a large and a tiny odd modulus. *)
+let prop_mod_pow_wide =
+  qtest "sliding-window pow matches binary ladder" ~count:30
+    (QCheck2.Gen.pair (arb_nat ~bits:250 ()) (arb_nat ~bits:250 ()))
+    (fun (a, e) ->
+      let ladder ctx m b e =
+        let b = Nat.rem b m in
+        let nb = Nat.num_bits e in
+        let acc = ref Nat.one in
+        for i = nb - 1 downto 0 do
+          acc := Modular.mul ctx !acc !acc;
+          if Nat.testbit e i then acc := Modular.mul ctx !acc b
+        done;
+        !acc
+      in
+      let ctx = Modular.create p256 in
+      let tiny = Nat.of_int 3 in
+      let ctx3 = Modular.create tiny in
+      Nat.equal (Modular.pow ctx a e) (ladder ctx p256 a e)
+      && Nat.equal (Modular.pow ctx3 a e) (ladder ctx3 tiny a e))
+
 (* --- Prime --- *)
 
 let test_small_primes () =
@@ -292,7 +315,7 @@ let () =
           Alcotest.test_case "inverse even modulus" `Quick test_inverse_even_modulus;
           Alcotest.test_case "inverse non-coprime" `Quick test_inverse_not_coprime;
           prop_mod_mul_matches_nat; prop_mod_add_matches_nat; prop_mod_inv;
-          prop_mod_pow_agree_small;
+          prop_mod_pow_agree_small; prop_mod_pow_wide;
         ] );
       ( "prime",
         [
